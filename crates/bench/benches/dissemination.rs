@@ -1,0 +1,50 @@
+//! Criterion micro-benches for E3: coherency-filter update cost at
+//! several object counts (the "does per-object filtering scale" claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mv_common::id::{ClientId, ObjectId};
+use mv_common::seeded_rng;
+use mv_dissem::{Bound, CoherencyServer};
+use rand::Rng;
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coherency_update");
+    group.sample_size(20);
+    for objects in [1_000u64, 100_000] {
+        let mut server = CoherencyServer::new();
+        for obj in 0..objects {
+            for cl in 0..4u64 {
+                server.subscribe(ClientId::new(cl), ObjectId::new(obj), Bound::Absolute(2.0));
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("bounded", objects), &objects, |b, &objects| {
+            let mut rng = seeded_rng(31);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 1) % objects;
+                server.update(ObjectId::new(i), rng.gen_range(-10.0..10.0))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_delta(c: &mut Criterion) {
+    use mv_dissem::DeltaCodec;
+    let mut group = c.benchmark_group("delta_codec");
+    group.sample_size(20);
+    group.bench_function("encode_64dim_sparse", |b| {
+        let mut codec = DeltaCodec::new();
+        let mut state = vec![0.0f64; 64];
+        let mut round = 0usize;
+        b.iter(|| {
+            round += 1;
+            state[round % 64] += 0.5;
+            codec.encode(1, &state)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_update, bench_delta);
+criterion_main!(benches);

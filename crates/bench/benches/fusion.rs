@@ -1,0 +1,33 @@
+//! Criterion micro-benches for E2: evidence ingestion and the full
+//! library-scenario fusion run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mv_common::time::SimTime;
+use mv_fusion::evidence::{EvidencePool, Observation};
+use mv_fusion::library::{LibraryParams, LibraryScenario};
+
+fn bench_observe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusion");
+    group.sample_size(20);
+    group.bench_function("observe", |b| {
+        let mut pool = EvidencePool::with_half_life_us(1e6);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            pool.observe(&Observation {
+                entity: (i % 1000) as usize,
+                hypothesis: i % 40,
+                reliability: 0.8,
+                ts: SimTime::from_micros(i),
+            })
+        })
+    });
+    group.bench_function("library_scenario_200_books", |b| {
+        let params = LibraryParams { n_books: 200, ..Default::default() };
+        b.iter(|| LibraryScenario::new(params, 42).run_fusion())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_observe);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion micro-benches for E5: Merkle append, proof generation and
+//! verification at several ledger sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mv_ledger::merkle::{verify_inclusion, MerkleTree};
+
+fn build(n: u64) -> MerkleTree {
+    let mut t = MerkleTree::new();
+    for i in 0..n {
+        t.append(&i.to_le_bytes());
+    }
+    t
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ledger_append");
+    group.sample_size(20);
+    group.bench_function("append", |b| {
+        let mut tree = MerkleTree::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            tree.append(&i.to_le_bytes())
+        })
+    });
+    group.finish();
+}
+
+fn bench_prove_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ledger_proofs");
+    group.sample_size(20);
+    for n in [1_000u64, 100_000] {
+        let mut tree = build(n);
+        let root = tree.root();
+        group.bench_with_input(BenchmarkId::new("prove_inclusion", n), &n, |b, &n| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 1) % n;
+                tree.prove_inclusion(i, n)
+            })
+        });
+        let proof = tree.prove_inclusion(n / 2, n);
+        let data = (n / 2).to_le_bytes();
+        group.bench_with_input(BenchmarkId::new("verify_inclusion", n), &n, |b, _| {
+            b.iter(|| assert!(verify_inclusion(&data, &proof, &root)))
+        });
+        group.bench_with_input(BenchmarkId::new("prove_consistency", n), &n, |b, &n| {
+            b.iter(|| tree.prove_consistency(n / 2, n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_append, bench_prove_verify);
+criterion_main!(benches);

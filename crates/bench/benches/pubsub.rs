@@ -1,0 +1,64 @@
+//! Criterion micro-benches for E15: per-event match cost, linear vs.
+//! indexed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mv_common::geom::{Aabb, Point};
+use mv_common::id::ClientId;
+use mv_common::seeded_rng;
+use mv_common::time::SimTime;
+use mv_pubsub::{IndexedMatcher, LinearMatcher, Matcher, Publication, Subscription};
+use rand::Rng;
+
+const TERMS: [&str; 12] = [
+    "sale", "pastry", "game", "concert", "troop", "vr", "nft", "museum", "quest", "raid",
+    "clinic", "transit",
+];
+
+fn subs(n: u64) -> Vec<Subscription> {
+    let mut rng = seeded_rng(15);
+    (0..n)
+        .map(|i| {
+            let mut sub = Subscription::new(ClientId::new(i));
+            if rng.gen_bool(0.7) {
+                sub = sub.with_term(TERMS[rng.gen_range(0..TERMS.len())]);
+            }
+            if rng.gen_bool(0.4) {
+                let c = Point::new(rng.gen_range(0.0..2_000.0), rng.gen_range(0.0..2_000.0));
+                sub = sub.in_region(Aabb::centered(c, rng.gen_range(10.0..60.0)));
+            }
+            sub
+        })
+        .collect()
+}
+
+fn event(rng: &mut rand::rngs::StdRng) -> Publication {
+    Publication::new(SimTime::ZERO)
+        .term(TERMS[rng.gen_range(0..TERMS.len())])
+        .at(Point::new(rng.gen_range(0.0..2_000.0), rng.gen_range(0.0..2_000.0)))
+}
+
+fn bench_match(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pubsub_match");
+    group.sample_size(20);
+    for n in [10_000u64, 50_000] {
+        let all = subs(n);
+        let mut lin = LinearMatcher::new();
+        let mut idx = IndexedMatcher::new();
+        for s in &all {
+            lin.add(s.clone());
+            idx.add(s.clone());
+        }
+        group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
+            let mut rng = seeded_rng(16);
+            b.iter(|| lin.match_pub(&event(&mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            let mut rng = seeded_rng(16);
+            b.iter(|| idx.match_pub(&event(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_match);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Criterion micro-benches for E10: spatial index update and range-query
+//! cost per operation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mv_common::geom::{Aabb, Point};
+use mv_common::id::EntityId;
+use mv_common::seeded_rng;
+use mv_spatial::{GridIndex, RTree, SpatialIndex, St2bTree};
+use rand::Rng;
+
+const WORLD: f64 = 10_000.0;
+const OBJECTS: usize = 20_000;
+
+fn populate<I: SpatialIndex>(idx: &mut I, seed: u64) -> Vec<Point> {
+    let mut rng = seeded_rng(seed);
+    (0..OBJECTS)
+        .map(|i| {
+            let p = Point::new(rng.gen_range(0.0..WORLD), rng.gen_range(0.0..WORLD));
+            idx.insert(EntityId::new(i as u64), p);
+            p
+        })
+        .collect()
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spatial_update");
+    group.sample_size(20);
+
+    let mut grid = GridIndex::new(100.0);
+    let pos = populate(&mut grid, 1);
+    let mut rtree = RTree::new();
+    populate(&mut rtree, 1);
+    let mut st2b = St2bTree::new(Point::ORIGIN, WORLD / 16.0, 16, 1_000_000);
+    populate(&mut st2b, 1);
+
+    let mut i = 0usize;
+    group.bench_function(BenchmarkId::new("grid", OBJECTS), |b| {
+        let mut rng = seeded_rng(2);
+        b.iter(|| {
+            i = (i + 1) % OBJECTS;
+            let p = Point::new(
+                (pos[i].x + rng.gen_range(-20.0..20.0)).clamp(0.0, WORLD),
+                (pos[i].y + rng.gen_range(-20.0..20.0)).clamp(0.0, WORLD),
+            );
+            grid.update(EntityId::new(i as u64), p);
+        })
+    });
+    group.bench_function(BenchmarkId::new("st2b", OBJECTS), |b| {
+        let mut rng = seeded_rng(2);
+        b.iter(|| {
+            i = (i + 1) % OBJECTS;
+            let p = Point::new(
+                (pos[i].x + rng.gen_range(-20.0..20.0)).clamp(0.0, WORLD),
+                (pos[i].y + rng.gen_range(-20.0..20.0)).clamp(0.0, WORLD),
+            );
+            st2b.update(EntityId::new(i as u64), p);
+        })
+    });
+    group.bench_function(BenchmarkId::new("rtree", OBJECTS), |b| {
+        let mut rng = seeded_rng(2);
+        b.iter(|| {
+            i = (i + 1) % OBJECTS;
+            let p = Point::new(
+                (pos[i].x + rng.gen_range(-20.0..20.0)).clamp(0.0, WORLD),
+                (pos[i].y + rng.gen_range(-20.0..20.0)).clamp(0.0, WORLD),
+            );
+            rtree.update(EntityId::new(i as u64), p);
+        })
+    });
+    group.finish();
+}
+
+fn bench_range(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spatial_range_100m");
+    group.sample_size(30);
+    let mut grid = GridIndex::new(100.0);
+    populate(&mut grid, 1);
+    let mut rtree = RTree::new();
+    populate(&mut rtree, 1);
+    let mut st2b = St2bTree::new(Point::ORIGIN, WORLD / 16.0, 16, 1_000_000);
+    populate(&mut st2b, 1);
+
+    group.bench_function("grid", |b| {
+        let mut rng = seeded_rng(3);
+        b.iter(|| {
+            let cpt = Point::new(rng.gen_range(0.0..WORLD), rng.gen_range(0.0..WORLD));
+            grid.range(&Aabb::centered(cpt, 100.0))
+        })
+    });
+    group.bench_function("rtree", |b| {
+        let mut rng = seeded_rng(3);
+        b.iter(|| {
+            let cpt = Point::new(rng.gen_range(0.0..WORLD), rng.gen_range(0.0..WORLD));
+            rtree.range(&Aabb::centered(cpt, 100.0))
+        })
+    });
+    group.bench_function("st2b", |b| {
+        let mut rng = seeded_rng(3);
+        b.iter(|| {
+            let cpt = Point::new(rng.gen_range(0.0..WORLD), rng.gen_range(0.0..WORLD));
+            st2b.range(&Aabb::centered(cpt, 100.0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_range);
+criterion_main!(benches);

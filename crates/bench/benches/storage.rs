@@ -1,0 +1,75 @@
+//! Criterion micro-benches for the storage layer: KV point ops, buffer
+//! pool accesses, object-store dedup writes.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mv_common::seeded_rng;
+use mv_common::Space;
+use mv_storage::{BufferPool, EvictionPolicy, KvStore, ObjectStore, PageId};
+use rand::Rng;
+
+fn bench_kv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kv");
+    group.sample_size(20);
+    group.bench_function("put", |b| {
+        let mut kv = KvStore::with_memtable_budget(1 << 18);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            kv.put(
+                Bytes::from(format!("key-{}", i % 50_000)),
+                Bytes::from_static(b"value-payload"),
+            )
+        })
+    });
+    group.bench_function("get", |b| {
+        let mut kv = KvStore::with_memtable_budget(1 << 18);
+        for i in 0..50_000u64 {
+            kv.put(Bytes::from(format!("key-{i}")), Bytes::from_static(b"value-payload"));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 50_000;
+            kv.get(format!("key-{i}").as_bytes())
+        })
+    });
+    group.finish();
+}
+
+fn bench_bufferpool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bufferpool");
+    group.sample_size(20);
+    for policy in EvictionPolicy::ALL {
+        group.bench_function(policy.name(), |b| {
+            let mut pool = BufferPool::new(1024, policy);
+            let mut rng = seeded_rng(7);
+            b.iter(|| {
+                let page = if rng.gen_bool(0.5) {
+                    PageId::new(Space::Physical, rng.gen_range(0..600))
+                } else {
+                    PageId::new(Space::Virtual, rng.gen_range(0..20_000))
+                };
+                pool.access(page)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_object_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("object_store");
+    group.sample_size(20);
+    group.bench_function("put_dedup", |b| {
+        let mut store = ObjectStore::new();
+        let payload = Bytes::from(vec![7u8; 4096]);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            store.put(&format!("obj/{i}"), payload.clone(), Space::Virtual)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kv, bench_bufferpool, bench_object_store);
+criterion_main!(benches);

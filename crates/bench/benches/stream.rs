@@ -1,0 +1,50 @@
+//! Criterion micro-benches for the stream engine: operator pipeline
+//! throughput, sequential vs. key-partitioned parallel (E14b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mv_common::time::{SimDuration, SimTime};
+use mv_stream::ops::{AggKind, FilterOp, MapOp, WindowAggOp, WindowKind};
+use mv_stream::{ParallelPipeline, Pipeline, StreamRecord};
+
+fn records(n: u64) -> Vec<StreamRecord> {
+    (0..n)
+        .map(|i| StreamRecord::physical(SimTime::from_micros(i), i % 128, (i % 100) as f64))
+        .collect()
+}
+
+fn make_pipeline() -> Pipeline {
+    Pipeline::new()
+        .then(MapOp::new(|r| r.with_value(r.value * 1.5)))
+        .then(FilterOp::new(|r| r.value >= 10.0))
+        .then(WindowAggOp::new(WindowKind::Tumbling(SimDuration::from_millis(1)), AggKind::Avg))
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_pipeline");
+    group.sample_size(10);
+    let n = 200_000u64;
+    group.throughput(Throughput::Elements(n));
+    let recs = records(n);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut p = make_pipeline();
+            let mut out = p.push_batch(recs.clone());
+            out.extend(p.flush(SimTime::from_secs(10)));
+            out.len()
+        })
+    });
+    for workers in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", workers),
+            &workers,
+            |b, &workers| {
+                let par = ParallelPipeline::new(workers);
+                b.iter(|| par.run(make_pipeline, recs.clone(), SimTime::from_secs(10)).len())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

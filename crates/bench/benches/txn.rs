@@ -1,0 +1,58 @@
+//! Criterion micro-benches for E6: MVCC commit cost and the distributed
+//! simulation round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use bytes::Bytes;
+use mv_common::time::SimDuration;
+use mv_txn::{CommitProtocol, DistributedSim, MvccStore, SimParams};
+
+fn bench_mvcc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mvcc");
+    group.sample_size(20);
+    group.bench_function("txn_commit_3_writes", |b| {
+        let mut db = MvccStore::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut t = db.begin();
+            for k in 0..3u64 {
+                db.write(&mut t, Bytes::from(format!("k{}", (i * 3 + k) % 10_000)), Bytes::from_static(b"v"));
+            }
+            db.commit(t).expect("disjoint keys never conflict")
+        })
+    });
+    group.bench_function("snapshot_read", |b| {
+        let mut db = MvccStore::new();
+        for i in 0..10_000u64 {
+            let mut t = db.begin();
+            db.write(&mut t, Bytes::from(format!("k{i}")), Bytes::from_static(b"v"));
+            db.commit(t).expect("fresh keys");
+        }
+        let t = db.begin();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            db.read(&t, format!("k{i}").as_bytes())
+        })
+    });
+    group.finish();
+}
+
+fn bench_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed_commit_sim");
+    group.sample_size(10);
+    for proto in CommitProtocol::ALL {
+        group.bench_function(proto.name(), |b| {
+            let sim = DistributedSim::new(SimParams {
+                txns: 500,
+                inter_dc_latency: SimDuration::from_millis(40),
+                ..Default::default()
+            });
+            b.iter(|| sim.run(proto).committed)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mvcc, bench_distributed);
+criterion_main!(benches);

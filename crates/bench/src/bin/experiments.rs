@@ -1,0 +1,40 @@
+//! The experiment runner: prints the tables recorded in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p mv-bench --bin experiments -- all
+//! cargo run --release -p mv-bench --bin experiments -- e3 e10
+//! ```
+
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: experiments <all | e1 e2 … e15>");
+        eprintln!("known ids: {}", mv_bench::ALL_IDS.join(" "));
+        std::process::exit(2);
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        mv_bench::ALL_IDS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in &ids {
+        if !mv_bench::ALL_IDS.contains(id) {
+            eprintln!("unknown experiment id: {id}");
+            eprintln!("known ids: {}", mv_bench::ALL_IDS.join(" "));
+            std::process::exit(2);
+        }
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for id in ids {
+        let started = std::time::Instant::now();
+        let tables = mv_bench::run(id);
+        writeln!(out, "\n=== experiment {id} ({:.2}s) ===\n", started.elapsed().as_secs_f64())
+            .expect("stdout");
+        for t in tables {
+            writeln!(out, "{t}").expect("stdout");
+        }
+    }
+}

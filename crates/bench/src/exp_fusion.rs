@@ -1,0 +1,77 @@
+//! E2 — heterogeneous data fusion (§IV-A, Fig. 6 library).
+//!
+//! Claim reproduced: weighted multi-source inference locates entities
+//! more accurately than any single source, and the gap widens as sources
+//! get noisier; the event layer detects most relocations.
+
+use mv_common::table::{f2, n, pct, Table};
+use mv_fusion::library::{LibraryParams, LibraryScenario};
+
+/// Run E2: accuracy per source vs. fused, across noise levels.
+pub fn e2() -> Vec<Table> {
+    let mut acc = Table::new(
+        "E2a: shelf-location accuracy — single sources vs. fusion (500 books, 40 shelves)",
+        &["rfid_noise", "rfid", "camera", "social", "fused", "fusion_gain"],
+    );
+    for &(miss, ghost) in &[(0.10, 0.05), (0.25, 0.15), (0.40, 0.30)] {
+        let params = LibraryParams { rfid_miss: miss, rfid_ghost: ghost, ..Default::default() };
+        let r = LibraryScenario::new(params, 42).run_fusion();
+        let best_single = r.rfid_acc.max(r.camera_acc).max(r.social_acc);
+        acc.row(&[
+            format!("miss={miss:.2} ghost={ghost:.2}"),
+            pct(r.rfid_acc),
+            pct(r.camera_acc),
+            pct(r.social_acc),
+            pct(r.fused_acc),
+            format!("+{:.1}pp", (r.fused_acc - best_single) * 100.0),
+        ]);
+    }
+
+    let mut events = Table::new(
+        "E2b: relocation-event detection (state_changed rule)",
+        &["relocated_fraction", "relocations", "detected", "recall", "false_alarms"],
+    );
+    for &frac in &[0.1f64, 0.2, 0.5] {
+        let params = LibraryParams { relocated_fraction: frac, ..Default::default() };
+        let r = LibraryScenario::new(params, 42).run_fusion();
+        events.row(&[
+            f2(frac),
+            n(r.relocations as u64),
+            n(r.detected_moves as u64),
+            pct(r.detected_moves as f64 / r.relocations.max(1) as f64),
+            n(r.false_moves as u64),
+        ]);
+    }
+    vec![acc, events, e2c_rfid()]
+}
+
+/// E2c: adaptive RFID cleaning — flicker (false "absent" while present)
+/// vs. departure lag, per window policy.
+fn e2c_rfid() -> Table {
+    use mv_fusion::rfid::{score_policy, WindowPolicy};
+    let mut t = Table::new(
+        "E2c: RFID stream cleaning — 60% read rate, 200 present epochs then departure",
+        &["policy", "flicker_epochs", "departure_lag_epochs"],
+    );
+    for policy in [
+        WindowPolicy::Raw,
+        WindowPolicy::Fixed(4),
+        WindowPolicy::Fixed(32),
+        WindowPolicy::Adaptive { delta: 0.05 },
+    ] {
+        let (flicker, lag) = score_policy(policy, 0.6, 200, 40, 7);
+        t.row(&[policy.name(), n(flicker), n(lag)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tables_have_expected_shape() {
+        let tables = super::e2();
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].len(), 3);
+        assert_eq!(tables[1].len(), 3);
+    }
+}

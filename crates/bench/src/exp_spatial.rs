@@ -1,0 +1,226 @@
+//! E10 — update-intensive spatial indexing (§IV-F).
+//!
+//! Claims reproduced: for moving-object workloads the grid and the
+//! ST2B-style tree sustain update rates far beyond the R-tree while
+//! keeping range queries cheap vs. the scan baseline; the HDoV-style
+//! visibility tree answers walkthrough queries touching a fraction of
+//! the scene.
+
+use mv_common::geom::{Aabb, Point};
+use mv_common::id::EntityId;
+use mv_common::seeded_rng;
+use mv_common::table::{f2, n, Table};
+use mv_spatial::{GridIndex, HdovTree, RTree, ScanIndex, SpatialIndex, St2bTree};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const WORLD: f64 = 10_000.0;
+
+fn random_point(rng: &mut StdRng) -> Point {
+    Point::new(rng.gen_range(0.0..WORLD), rng.gen_range(0.0..WORLD))
+}
+
+fn bench_index<I: SpatialIndex>(mut idx: I, objects: usize, updates: usize, queries: usize) -> (f64, f64, usize) {
+    let mut rng = seeded_rng(55);
+    let mut positions: Vec<Point> = (0..objects).map(|_| random_point(&mut rng)).collect();
+    for (i, &p) in positions.iter().enumerate() {
+        idx.insert(EntityId::new(i as u64), p);
+    }
+    let t0 = std::time::Instant::now();
+    for u in 0..updates {
+        let i = u % objects;
+        let cur = positions[i];
+        let next = Point::new(
+            (cur.x + rng.gen_range(-20.0..20.0)).clamp(0.0, WORLD),
+            (cur.y + rng.gen_range(-20.0..20.0)).clamp(0.0, WORLD),
+        );
+        positions[i] = next;
+        idx.update(EntityId::new(i as u64), next);
+    }
+    let update_us = t0.elapsed().as_micros() as f64 / updates as f64;
+    let t1 = std::time::Instant::now();
+    let mut hits = 0usize;
+    for _ in 0..queries {
+        let c = random_point(&mut rng);
+        hits += idx.range(&Aabb::centered(c, 100.0)).len();
+    }
+    let query_us = t1.elapsed().as_micros() as f64 / queries as f64;
+    (update_us, query_us, hits)
+}
+
+/// Run E10.
+pub fn e10() -> Vec<Table> {
+    let objects = 100_000;
+    let updates = 200_000;
+    let queries = 500;
+    let mut t = Table::new(
+        "E10a: moving-object indexes — 100k movers, 200k updates, 500 range queries (100 m radius)",
+        &["index", "update_us", "range_query_us", "result_rows"],
+    );
+    {
+        let (u, q, h) = bench_index(ScanIndex::new(), objects, updates, queries);
+        t.row(&["scan (baseline)".into(), f2(u), f2(q), n(h as u64)]);
+    }
+    {
+        let (u, q, h) = bench_index(GridIndex::new(100.0), objects, updates, queries);
+        t.row(&["grid (100 m cells)".into(), f2(u), f2(q), n(h as u64)]);
+    }
+    {
+        let (u, q, h) = bench_index(RTree::new(), objects, updates, queries);
+        t.row(&["r-tree (quadratic)".into(), f2(u), f2(q), n(h as u64)]);
+    }
+    {
+        let st2b = St2bTree::new(Point::ORIGIN, WORLD / 16.0, 16, 1_000_000);
+        let (u, q, h) = bench_index(st2b, objects, updates, queries);
+        t.row(&["st2b-style b+-tree".into(), f2(u), f2(q), n(h as u64)]);
+    }
+
+    // E10b: ST2B self-tuning effect under skew.
+    let mut tune_t = Table::new(
+        "E10b: ST2B self-tuning under skew (80% of 50k objects in 1/256 of space)",
+        &["configuration", "range_query_us", "grain_hot", "grain_cold"],
+    );
+    {
+        let mut rng = seeded_rng(56);
+        let build = |rng: &mut StdRng| {
+            let mut idx = St2bTree::new(Point::ORIGIN, WORLD / 16.0, 16, 1_000_000);
+            for i in 0..50_000u64 {
+                let p = if rng.gen_bool(0.8) {
+                    Point::new(rng.gen_range(0.0..WORLD / 16.0), rng.gen_range(0.0..WORLD / 16.0))
+                } else {
+                    random_point(rng)
+                };
+                idx.insert(EntityId::new(i), p);
+            }
+            idx
+        };
+        let query = |idx: &St2bTree, rng: &mut StdRng| -> f64 {
+            let t = std::time::Instant::now();
+            for _ in 0..300 {
+                let c = if rng.gen_bool(0.8) {
+                    Point::new(rng.gen_range(0.0..WORLD / 16.0), rng.gen_range(0.0..WORLD / 16.0))
+                } else {
+                    random_point(rng)
+                };
+                idx.range(&Aabb::centered(c, 100.0));
+            }
+            t.elapsed().as_micros() as f64 / 300.0
+        };
+        let untuned = build(&mut rng);
+        let us_untuned = query(&untuned, &mut rng);
+        let mut tuned = build(&mut rng);
+        tuned.tune();
+        let us_tuned = query(&tuned, &mut rng);
+        let hot = Point::new(100.0, 100.0);
+        let cold = Point::new(WORLD - 100.0, WORLD - 100.0);
+        tune_t.row(&["default grain".into(), f2(us_untuned), n(untuned.grain_at(hot) as u64), n(untuned.grain_at(cold) as u64)]);
+        tune_t.row(&["after tune()".into(), f2(us_tuned), n(tuned.grain_at(hot) as u64), n(tuned.grain_at(cold) as u64)]);
+    }
+
+    // E10c: HDoV walkthrough vs. full scan.
+    let mut hdov_t = Table::new(
+        "E10c: HDoV walkthrough (50k scene objects)",
+        &["method", "query_us", "visible", "nodes_or_objects_touched"],
+    );
+    {
+        let mut rng = seeded_rng(57);
+        let mut tree = HdovTree::new(Aabb::new(Point::ORIGIN, Point::new(WORLD, WORLD)));
+        for i in 0..50_000u64 {
+            let p = random_point(&mut rng);
+            tree.insert(EntityId::new(i), p, rng.gen_range(0.2..3.0));
+        }
+        let vp = Point::new(WORLD / 2.0, WORLD / 2.0);
+        let t0 = std::time::Instant::now();
+        let mut visited = 0usize;
+        let mut vis_count = 0usize;
+        for _ in 0..100 {
+            let (vis, v) = tree.walkthrough(vp);
+            visited = v;
+            vis_count = vis.len();
+        }
+        let us_tree = t0.elapsed().as_micros() as f64 / 100.0;
+        let t1 = std::time::Instant::now();
+        for _ in 0..100 {
+            tree.walkthrough_scan(vp);
+        }
+        let us_scan = t1.elapsed().as_micros() as f64 / 100.0;
+        hdov_t.row(&["full scan".into(), f2(us_scan), n(vis_count as u64), n(50_000)]);
+        hdov_t.row(&["hdov tree".into(), f2(us_tree), n(vis_count as u64), n(visited as u64)]);
+    }
+    vec![t, tune_t, hdov_t, e10d_trajectory()]
+}
+
+/// E10d: trajectory compression (§IV-F "trajectory … data") — the
+/// dead-reckoning tolerance trades storage for spatio-temporal recall.
+fn e10d_trajectory() -> Table {
+    use mv_common::table::pct;
+    use mv_common::time::{SimDuration, SimTime};
+    use mv_spatial::TrajectoryStore;
+    let mut t = Table::new(
+        "E10d: trajectory store — 200 movers x 500 reports, dead-reckoning tolerance sweep",
+        &["tolerance_m", "kept_samples", "storage", "query_recall"],
+    );
+    let build = |tol: f64| {
+        let mut s = TrajectoryStore::new(tol, 100.0, SimDuration::from_secs(20));
+        let mut rng = seeded_rng(101);
+        for ent in 0..200u64 {
+            let mut p = Point::new(rng.gen_range(0.0..2_000.0), rng.gen_range(0.0..2_000.0));
+            let mut v = Point::new(rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0));
+            for i in 0..500u64 {
+                if rng.gen_bool(0.05) {
+                    v = Point::new(rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0));
+                }
+                p = Point::new((p.x + v.x).clamp(0.0, 2_000.0), (p.y + v.y).clamp(0.0, 2_000.0));
+                s.record(EntityId::new(ent), SimTime::from_millis(i * 200), p);
+            }
+        }
+        s
+    };
+    let exact = build(0.0);
+    let total = exact.kept_samples();
+    let queries: Vec<(Aabb, SimTime, SimTime)> = {
+        let mut rng = seeded_rng(102);
+        (0..50)
+            .map(|_| {
+                let c = Point::new(rng.gen_range(0.0..2_000.0), rng.gen_range(0.0..2_000.0));
+                let t0 = rng.gen_range(0u64..80_000);
+                (
+                    Aabb::centered(c, rng.gen_range(50.0..200.0)),
+                    SimTime::from_millis(t0),
+                    SimTime::from_millis(t0 + 20_000),
+                )
+            })
+            .collect()
+    };
+    for &tol in &[0.0f64, 0.5, 2.0, 8.0] {
+        let s = build(tol);
+        let mut truth_hits = 0usize;
+        let mut got_hits = 0usize;
+        for (area, from, to) in &queries {
+            let truth = exact.range(area, *from, *to);
+            let got = s.range(area, *from, *to);
+            got_hits += got.iter().filter(|id| truth.contains(id)).count();
+            truth_hits += truth.len();
+        }
+        t.row(&[
+            f2(tol),
+            n(s.kept_samples() as u64),
+            pct(s.kept_samples() as f64 / total as f64),
+            pct(if truth_hits == 0 { 1.0 } else { got_hits as f64 / truth_hits as f64 }),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_updates_beat_rtree_updates() {
+        let (grid_u, _, grid_h) = bench_index(GridIndex::new(100.0), 5_000, 10_000, 50);
+        let (rt_u, _, rt_h) = bench_index(RTree::new(), 5_000, 10_000, 50);
+        assert_eq!(grid_h, rt_h, "identical workloads must agree on results");
+        assert!(grid_u < rt_u, "grid {grid_u}us vs r-tree {rt_u}us per update");
+    }
+}

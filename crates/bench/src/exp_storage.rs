@@ -1,0 +1,117 @@
+//! E9 — organization of data (§IV-F).
+//!
+//! Claim reproduced: each layout wins its own regime — unified makes
+//! cross-space reads one probe but drags the other space's bytes into
+//! single-space reads; separate is minimal for single-space operations
+//! but doubles cross-space probes; hybrid routes per table and takes the
+//! best of both on a mixed workload.
+
+use mv_common::seeded_rng;
+use mv_common::table::{f2, n, Table};
+use mv_common::Space;
+use mv_storage::{DataOrganization, Layout};
+use rand::Rng;
+
+fn layouts() -> Vec<Layout> {
+    vec![
+        Layout::Unified,
+        Layout::Separate,
+        Layout::Hybrid { unified_tables: vec!["inventory".into()] },
+    ]
+}
+
+/// Run E9.
+pub fn e9() -> Vec<Table> {
+    // Two tables: "inventory" rows are read cross-space (the co-space
+    // view), "telemetry" rows are read single-space (physical dashboards).
+    // Physical telemetry payloads are small; virtual twins are bulky.
+    let rows = 2_000u64;
+    let mut t = Table::new(
+        "E9: data organization across spaces (2k rows/table; 10k single-space + 10k cross-space reads)",
+        &["layout", "probes", "bytes_read", "probes_single", "probes_cross"],
+    );
+    for layout in layouts() {
+        let mut org = DataOrganization::new(layout.clone());
+        for i in 0..rows {
+            org.put(Space::Physical, "inventory", &format!("sku{i}"), &[1u8; 16]);
+            org.put(Space::Virtual, "inventory", &format!("sku{i}"), &[2u8; 64]);
+            org.put(Space::Physical, "telemetry", &format!("s{i}"), &[3u8; 16]);
+            org.put(Space::Virtual, "telemetry", &format!("s{i}"), &[4u8; 512]);
+        }
+        // Reset accounting after the load phase.
+        org.stats = mv_common::metrics::Counters::new();
+        let mut rng = seeded_rng(9);
+        let before_single = org.stats.get("probes");
+        for _ in 0..10_000 {
+            let k = format!("s{}", rng.gen_range(0..rows));
+            org.get_single(Space::Physical, "telemetry", &k);
+        }
+        let probes_single = org.stats.get("probes") - before_single;
+        let before_cross = org.stats.get("probes");
+        for _ in 0..10_000 {
+            let k = format!("sku{}", rng.gen_range(0..rows));
+            org.get_cross("inventory", &k);
+        }
+        let probes_cross = org.stats.get("probes") - before_cross;
+        t.row(&[
+            layout.name().into(),
+            n(org.stats.get("probes")),
+            n(org.stats.get("bytes_read")),
+            n(probes_single),
+            n(probes_cross),
+        ]);
+    }
+
+    // E9b: space-aware caching over the organized store (paper: "data
+    // from the real space may be given higher priority").
+    let mut cache_t = Table::new(
+        "E9b: eviction policy vs. physical-read hit rate (pool = 512 pages)",
+        &["policy", "overall_hit_rate", "physical_hit_rate"],
+    );
+    use mv_storage::{BufferPool, EvictionPolicy, PageId};
+    for policy in EvictionPolicy::ALL {
+        let mut pool = BufferPool::new(512, policy);
+        let mut rng = seeded_rng(10);
+        let (mut ph, mut pt) = (0u64, 0u64);
+        for _ in 0..50_000 {
+            let page = if rng.gen_bool(0.4) {
+                PageId::new(Space::Physical, rng.gen_range(0..600))
+            } else {
+                PageId::new(Space::Virtual, rng.gen_range(0..20_000))
+            };
+            let (hit, _) = pool.access(page);
+            if page.space == Space::Physical {
+                pt += 1;
+                ph += hit as u64;
+            }
+        }
+        cache_t.row(&[
+            policy.name().into(),
+            f2(pool.hit_rate()),
+            f2(ph as f64 / pt as f64),
+        ]);
+    }
+    vec![t, cache_t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn separate_wins_single_space_unified_wins_cross_space() {
+        let tables = super::e9();
+        let rendered = tables[0].render();
+        // Extract rows: layout | probes | bytes | single | cross.
+        let rows: Vec<Vec<String>> = rendered
+            .lines()
+            .filter(|l| l.starts_with('|') && !l.contains("layout"))
+            .map(|l| l.split('|').map(|c| c.trim().to_string()).collect())
+            .collect();
+        let find = |name: &str| rows.iter().find(|r| r[1] == name).expect("row").clone();
+        let unified = find("unified");
+        let separate = find("separate");
+        let cross = |r: &[String]| r[5].parse::<u64>().expect("cross probes");
+        let single_bytes = |r: &[String]| r[3].parse::<u64>().expect("bytes");
+        assert!(cross(&unified) < cross(&separate));
+        assert!(single_bytes(&separate) < single_bytes(&unified));
+    }
+}

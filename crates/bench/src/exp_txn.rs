@@ -1,0 +1,127 @@
+//! E6 — decentralized transactions (§IV-E1).
+//!
+//! Claims reproduced: inter-DC latency dominates commit cost; the
+//! single-round protocol (Carousel-style, \[86\]) halves latency vs. 2PC
+//! and, because locks are held for a shorter window, aborts less under
+//! contention.
+
+use mv_common::table::{f2, n, pct, Table};
+use mv_common::time::SimDuration;
+use mv_txn::{CommitProtocol, DistributedSim, SimParams};
+
+/// Run E6.
+pub fn e6() -> Vec<Table> {
+    let mut lat_t = Table::new(
+        "E6a: commit latency vs. inter-DC RTT (3 DCs, 3 keys/txn, low contention)",
+        &["one_way_ms", "protocol", "p50_ms", "p99_ms", "abort_rate"],
+    );
+    for &ms in &[5u64, 20, 40, 120] {
+        for proto in CommitProtocol::ALL {
+            let sim = DistributedSim::new(SimParams {
+                inter_dc_latency: SimDuration::from_millis(ms),
+                zipf_alpha: 0.2,
+                keys: 100_000,
+                mean_interarrival_us: 5_000.0,
+                seed: 6,
+                ..Default::default()
+            });
+            let mut r = sim.run(proto);
+            lat_t.row(&[
+                n(ms),
+                proto.name().into(),
+                f2(r.latency_ms.p50()),
+                f2(r.latency_ms.p99()),
+                pct(r.abort_rate()),
+            ]);
+        }
+    }
+
+    let mut cont_t = Table::new(
+        "E6b: contention interaction (40 ms one-way, zipf sweep over 2k keys)",
+        &["zipf_alpha", "protocol", "committed", "aborted", "abort_rate"],
+    );
+    for &alpha in &[0.4f64, 0.8, 1.2] {
+        for proto in CommitProtocol::ALL {
+            let sim = DistributedSim::new(SimParams {
+                zipf_alpha: alpha,
+                keys: 2_000,
+                mean_interarrival_us: 2_000.0,
+                seed: 6,
+                ..Default::default()
+            });
+            let r = sim.run(proto);
+            cont_t.row(&[
+                f2(alpha),
+                proto.name().into(),
+                n(r.committed),
+                n(r.aborted),
+                pct(r.abort_rate()),
+            ]);
+        }
+    }
+    vec![lat_t, cont_t, e6c_partition()]
+}
+
+/// E6c: network partitions (§IV-E1 "due to the network partition…"):
+/// availability of single-DC vs. cross-DC transactions while one DC is
+/// cut off.
+fn e6c_partition() -> Table {
+    use mv_common::table::pct;
+    use mv_common::time::SimTime;
+    use mv_net::topology::MultiDcTopology;
+    use rand::Rng;
+    let mut t = Table::new(
+        "E6c: availability under a partition (3 DCs, DC2 severed; 1000 txns, keys uniform over DCs)",
+        &["keys_per_txn", "txns_unaffected", "txns_blocked", "availability"],
+    );
+    for &keys_per_txn in &[1usize, 2, 3] {
+        let mut topo = MultiDcTopology::build(3, 0, mv_common::time::SimDuration::from_millis(40));
+        // DC 2 is partitioned away.
+        topo.net.sever(0, 2);
+        topo.net.sever(1, 2);
+        let mut rng = mv_common::seeded_rng(66);
+        let mut ok = 0u64;
+        let mut blocked = 0u64;
+        for _ in 0..1_000 {
+            let client_dc = rng.gen_range(0..3usize);
+            let participant_dcs: Vec<usize> =
+                (0..keys_per_txn).map(|_| rng.gen_range(0..3)).collect();
+            // A txn can commit iff the client can reach every participant.
+            let reachable = participant_dcs.iter().all(|&p| {
+                p == client_dc
+                    || topo
+                        .net
+                        .transfer(
+                            topo.coordinators[client_dc],
+                            topo.coordinators[p],
+                            64,
+                            SimTime::ZERO,
+                            &mut rng,
+                        )
+                        .is_ok()
+            });
+            if reachable {
+                ok += 1;
+            } else {
+                blocked += 1;
+            }
+        }
+        t.row(&[
+            n(keys_per_txn as u64),
+            n(ok),
+            n(blocked),
+            pct(ok as f64 / 1000.0),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tables_cover_both_protocols() {
+        let tables = super::e6();
+        let rendered = tables[0].render();
+        assert!(rendered.contains("2pc") && rendered.contains("single-round"));
+    }
+}

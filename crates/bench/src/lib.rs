@@ -1,0 +1,84 @@
+//! `mv-bench` — the experiment harness.
+//!
+//! One function per experiment in DESIGN.md §5; each returns the
+//! [`mv_common::table::Table`]s recorded in EXPERIMENTS.md. The
+//! `experiments` binary prints them (`cargo run --release -p mv-bench
+//! --bin experiments -- e3` or `-- all`); integration tests under
+//! `/tests` assert the *shape* claims (who wins, where crossovers fall)
+//! so a regression that flips a conclusion fails CI.
+//!
+//! Criterion micro-benches live in `benches/` for the operations where
+//! wall-clock per-op timing matters (index updates, proof generation,
+//! match throughput).
+
+pub mod exp_assets;
+pub mod exp_cloud;
+pub mod exp_collab;
+pub mod exp_dissem;
+pub mod exp_fusion;
+pub mod exp_ledger;
+pub mod exp_pubsub;
+pub mod exp_query;
+pub mod exp_spatial;
+pub mod exp_storage;
+pub mod exp_stream;
+pub mod exp_sync;
+pub mod exp_txn;
+
+use mv_common::table::Table;
+
+/// All experiment ids, in DESIGN.md order.
+pub const ALL_IDS: [&str; 16] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e12b", "e13",
+    "e14", "e15",
+];
+
+/// Run one experiment by id.
+///
+/// # Panics
+/// Panics on an unknown id (the binary validates first).
+pub fn run(id: &str) -> Vec<Table> {
+    match id {
+        "e1" => exp_sync::e1(),
+        "e2" => exp_fusion::e2(),
+        "e3" => exp_dissem::e3(),
+        "e4" => exp_dissem::e4(),
+        "e5" => exp_ledger::e5(),
+        "e6" => exp_txn::e6(),
+        "e7" => exp_cloud::e7(),
+        "e8" => exp_cloud::e8(),
+        "e9" => exp_storage::e9(),
+        "e10" => exp_spatial::e10(),
+        "e11" => exp_query::e11(),
+        "e12" => exp_collab::e12(),
+        "e12b" => exp_collab::e12b(),
+        "e13" => exp_assets::e13(),
+        "e14" => exp_stream::e14(),
+        "e15" => exp_pubsub::e15(),
+        other => panic!("unknown experiment id {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_id_is_runnable() {
+        // Smoke only the cheapest experiments here; the expensive ones are
+        // covered by the integration tests and the binary itself.
+        for id in ["e4", "e9", "e12b"] {
+            let tables = run(id);
+            assert!(!tables.is_empty(), "{id} produced no tables");
+            for t in &tables {
+                assert!(!t.is_empty(), "{id} produced an empty table");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_id_panics() {
+        run("e99");
+    }
+}

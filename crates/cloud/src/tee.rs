@@ -1,0 +1,183 @@
+//! Trusted-execution-environment cost model.
+//!
+//! §IV-D/E3: TEEs promise confidentiality but *"current implementations
+//! like Intel SGX fall short of … performance (large overhead)"*, and the
+//! partitioned design ("a trusted part, which runs inside the TEE
+//! enclave, and an untrusted part that interacts with the OS") pays a
+//! transition cost per enclave boundary crossing. The model exposes all
+//! three knobs — in-enclave slowdown, transition cost, and paging
+//! overhead beyond the enclave memory budget — so E8b can reproduce the
+//! qualitative claim: partition when transitions are cheap relative to
+//! the untrusted share; stay full-enclave when they are not.
+
+use mv_common::time::SimDuration;
+
+/// Deployment configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TeeConfig {
+    /// No TEE: fast, but the cloud must be trusted.
+    Untrusted,
+    /// Whole application inside the enclave.
+    FullEnclave,
+    /// Trusted core inside, rest outside, transitions at every call.
+    Partitioned,
+}
+
+impl TeeConfig {
+    /// All configurations.
+    pub const ALL: [TeeConfig; 3] =
+        [TeeConfig::Untrusted, TeeConfig::FullEnclave, TeeConfig::Partitioned];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TeeConfig::Untrusted => "untrusted",
+            TeeConfig::FullEnclave => "full-enclave",
+            TeeConfig::Partitioned => "partitioned",
+        }
+    }
+}
+
+/// The cost model.
+#[derive(Debug, Clone)]
+pub struct TeeCostModel {
+    /// Multiplier on CPU time executed inside the enclave (SGX-era ~1.2–2×).
+    pub enclave_slowdown: f64,
+    /// Cost per enclave boundary transition (ECALL/OCALL pair).
+    pub transition_cost: SimDuration,
+    /// Enclave memory budget in bytes (EPC); working sets beyond it page.
+    pub enclave_memory: u64,
+    /// Extra multiplier applied to enclave time when the working set
+    /// exceeds the budget (EPC paging is catastrophic on real SGX).
+    pub paging_penalty: f64,
+}
+
+impl Default for TeeCostModel {
+    fn default() -> Self {
+        TeeCostModel {
+            enclave_slowdown: 1.4,
+            transition_cost: SimDuration::from_micros(8),
+            enclave_memory: 96 << 20, // 96 MiB EPC, SGX v1 flavour
+            paging_penalty: 3.0,
+        }
+    }
+}
+
+/// A task profile to be costed.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskProfile {
+    /// Total CPU time of the task on untrusted hardware.
+    pub cpu: SimDuration,
+    /// Fraction of the CPU time that touches sensitive data (must run
+    /// trusted when a TEE is used).
+    pub trusted_fraction: f64,
+    /// Enclave boundary crossings a partitioned implementation makes.
+    pub transitions: u64,
+    /// Working-set size in bytes.
+    pub working_set: u64,
+}
+
+impl TeeCostModel {
+    /// Wall time to execute `task` under `config`.
+    pub fn execute(&self, task: &TaskProfile, config: TeeConfig) -> SimDuration {
+        let cpu_us = task.cpu.as_micros() as f64;
+        let paging = |inside_bytes: u64| -> f64 {
+            if inside_bytes > self.enclave_memory {
+                self.paging_penalty
+            } else {
+                1.0
+            }
+        };
+        let total_us = match config {
+            TeeConfig::Untrusted => cpu_us,
+            TeeConfig::FullEnclave => {
+                cpu_us * self.enclave_slowdown * paging(task.working_set)
+            }
+            TeeConfig::Partitioned => {
+                let trusted = cpu_us * task.trusted_fraction;
+                let untrusted = cpu_us * (1.0 - task.trusted_fraction);
+                // Only the trusted share's working set lives in the enclave.
+                let trusted_ws =
+                    (task.working_set as f64 * task.trusted_fraction) as u64;
+                trusted * self.enclave_slowdown * paging(trusted_ws)
+                    + untrusted
+                    + task.transitions as f64 * self.transition_cost.as_micros() as f64
+            }
+        };
+        SimDuration::from_micros(total_us.round() as u64)
+    }
+
+    /// Throughput (tasks/sec) under a configuration.
+    pub fn throughput(&self, task: &TaskProfile, config: TeeConfig) -> f64 {
+        let t = self.execute(task, config);
+        if t.as_micros() == 0 {
+            f64::INFINITY
+        } else {
+            1e6 / t.as_micros() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> TaskProfile {
+        TaskProfile {
+            cpu: SimDuration::from_millis(10),
+            trusted_fraction: 0.3,
+            transitions: 20,
+            working_set: 32 << 20,
+        }
+    }
+
+    #[test]
+    fn untrusted_is_fastest() {
+        let m = TeeCostModel::default();
+        let t = task();
+        let plain = m.execute(&t, TeeConfig::Untrusted);
+        for cfg in [TeeConfig::FullEnclave, TeeConfig::Partitioned] {
+            assert!(m.execute(&t, cfg) > plain, "{}", cfg.name());
+        }
+    }
+
+    #[test]
+    fn partitioning_wins_when_transitions_are_cheap() {
+        let m = TeeCostModel::default();
+        let t = task(); // 30% trusted, few transitions
+        let full = m.execute(&t, TeeConfig::FullEnclave);
+        let part = m.execute(&t, TeeConfig::Partitioned);
+        assert!(part < full, "partitioned {part} vs full {full}");
+    }
+
+    #[test]
+    fn chatty_partitioning_loses() {
+        let m = TeeCostModel::default();
+        let mut t = task();
+        t.transitions = 2_000_000; // pathological ECALL storm
+        let full = m.execute(&t, TeeConfig::FullEnclave);
+        let part = m.execute(&t, TeeConfig::Partitioned);
+        assert!(part > full, "transition storm must dominate");
+    }
+
+    #[test]
+    fn epc_paging_punishes_big_working_sets() {
+        let m = TeeCostModel::default();
+        let mut big = task();
+        big.working_set = 1 << 30; // 1 GiB ≫ EPC
+        let small_t = m.execute(&task(), TeeConfig::FullEnclave);
+        let big_t = m.execute(&big, TeeConfig::FullEnclave);
+        assert!(big_t.as_micros() as f64 >= small_t.as_micros() as f64 * 2.5);
+        // Partitioning shrinks the in-enclave working set below the EPC.
+        let big_part = m.execute(&big, TeeConfig::Partitioned);
+        assert!(big_part < big_t);
+    }
+
+    #[test]
+    fn throughput_is_inverse_latency() {
+        let m = TeeCostModel::default();
+        let t = task();
+        let tput = m.throughput(&t, TeeConfig::Untrusted);
+        assert!((tput - 100.0).abs() < 1.0, "10 ms task → ~100/s, got {tput}");
+    }
+}

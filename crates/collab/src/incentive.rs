@@ -1,0 +1,169 @@
+//! Contribution scoring and free-rider detection.
+//!
+//! The coalition value is the error *reduction* a set of parties
+//! delivers. Two estimators:
+//!
+//! * **Leave-one-out** — party i's score is the error increase when i is
+//!   removed from the grand coalition. Cheap (n evaluations) but blind to
+//!   substitutes (two parties with identical data both score ~0).
+//! * **Monte-Carlo Shapley** — average marginal contribution over random
+//!   permutations; the fair division the paper's "fair contributions of
+//!   useful data" asks for, at O(n × permutations) evaluations.
+//!
+//! Free-riders are parties whose score falls below a fraction of the
+//! mean positive score.
+
+use crate::federated::FederatedSim;
+use mv_common::seeded_rng;
+use rand::seq::SliceRandom;
+
+/// Leave-one-out scores: `err(all \ {i}) − err(all)` per party. Positive
+/// means the party helps.
+pub fn loo_scores(sim: &FederatedSim) -> Vec<f64> {
+    let n = sim.party_count();
+    let all = vec![true; n];
+    let base = sim.coalition_error(&all);
+    (0..n)
+        .map(|i| {
+            let mut coalition = all.clone();
+            coalition[i] = false;
+            sim.coalition_error(&coalition) - base
+        })
+        .collect()
+}
+
+/// Monte-Carlo Shapley values over `permutations` random orders.
+pub fn shapley_scores(sim: &FederatedSim, permutations: usize, seed: u64) -> Vec<f64> {
+    let n = sim.party_count();
+    let mut rng = seeded_rng(seed);
+    let mut scores = vec![0.0; n];
+    let empty_err = sim.coalition_error(&vec![false; n]);
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..permutations {
+        order.shuffle(&mut rng);
+        let mut coalition = vec![false; n];
+        let mut prev_err = empty_err;
+        for &i in &order {
+            coalition[i] = true;
+            let err = sim.coalition_error(&coalition);
+            // Value is error reduction; marginal contribution of i.
+            scores[i] += prev_err - err;
+            prev_err = err;
+        }
+    }
+    for s in &mut scores {
+        *s /= permutations as f64;
+    }
+    scores
+}
+
+/// Flag parties whose score is below `threshold_frac` of the mean
+/// positive score (scores ≤ 0 are always flagged).
+pub fn detect_free_riders(scores: &[f64], threshold_frac: f64) -> Vec<bool> {
+    let positives: Vec<f64> = scores.iter().copied().filter(|&s| s > 0.0).collect();
+    if positives.is_empty() {
+        return scores.iter().map(|_| true).collect();
+    }
+    let mean_pos = positives.iter().sum::<f64>() / positives.len() as f64;
+    let cut = mean_pos * threshold_frac;
+    scores.iter().map(|&s| s < cut).collect()
+}
+
+/// Proportional payments from a budget, zeroing non-positive scores.
+pub fn payments(scores: &[f64], budget: f64) -> Vec<f64> {
+    let total: f64 = scores.iter().copied().filter(|&s| s > 0.0).sum();
+    if total <= 0.0 {
+        return vec![0.0; scores.len()];
+    }
+    scores.iter().map(|&s| if s > 0.0 { budget * s / total } else { 0.0 }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::federated::FedParams;
+
+    fn sim() -> FederatedSim {
+        FederatedSim::generate(&FedParams {
+            honest: 10,
+            free_riders: 3,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn shapley_separates_free_riders() {
+        let sim = sim();
+        let scores = shapley_scores(&sim, 30, 2);
+        let honest_mean: f64 = scores
+            .iter()
+            .zip(&sim.parties)
+            .filter(|(_, p)| !p.free_rider)
+            .map(|(s, _)| *s)
+            .sum::<f64>()
+            / 10.0;
+        let rider_mean: f64 = scores
+            .iter()
+            .zip(&sim.parties)
+            .filter(|(_, p)| p.free_rider)
+            .map(|(s, _)| *s)
+            .sum::<f64>()
+            / 3.0;
+        assert!(
+            honest_mean > rider_mean,
+            "honest {honest_mean} vs riders {rider_mean}"
+        );
+    }
+
+    #[test]
+    fn detection_flags_mostly_riders() {
+        let sim = sim();
+        let scores = shapley_scores(&sim, 30, 2);
+        let flagged = detect_free_riders(&scores, 0.25);
+        let mut true_pos = 0;
+        let mut false_pos = 0;
+        for (f, p) in flagged.iter().zip(&sim.parties) {
+            match (f, p.free_rider) {
+                (true, true) => true_pos += 1,
+                (true, false) => false_pos += 1,
+                _ => {}
+            }
+        }
+        assert!(true_pos >= 2, "caught {true_pos}/3 riders");
+        assert!(false_pos <= 2, "{false_pos} honest parties falsely flagged");
+    }
+
+    #[test]
+    fn loo_is_cheaper_but_correlates() {
+        let sim = sim();
+        let loo = loo_scores(&sim);
+        let shap = shapley_scores(&sim, 30, 2);
+        // Rank correlation on the sign pattern: riders at the bottom in both.
+        let bottom = |scores: &[f64]| -> Vec<usize> {
+            let mut idx: Vec<usize> = (0..scores.len()).collect();
+            idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap());
+            idx[..3].to_vec()
+        };
+        let loo_bottom = bottom(&loo);
+        let shap_bottom = bottom(&shap);
+        let overlap = loo_bottom.iter().filter(|i| shap_bottom.contains(i)).count();
+        assert!(overlap >= 2, "LOO and Shapley bottom-3 overlap {overlap}");
+    }
+
+    #[test]
+    fn payments_are_budget_bounded_and_skip_riders() {
+        let scores = vec![3.0, 1.0, -0.5, 0.0];
+        let pay = payments(&scores, 100.0);
+        assert!((pay.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert_eq!(pay[2], 0.0);
+        assert_eq!(pay[3], 0.0);
+        assert!((pay[0] - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_useless_scores_flag_everyone() {
+        let flagged = detect_free_riders(&[-1.0, 0.0, -3.0], 0.5);
+        assert_eq!(flagged, vec![true, true, true]);
+        assert_eq!(payments(&[-1.0, 0.0], 50.0), vec![0.0, 0.0]);
+    }
+}

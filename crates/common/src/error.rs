@@ -1,0 +1,86 @@
+//! Workspace-wide error type.
+//!
+//! Library code in every `mv-*` crate returns [`MvResult`] on fallible user
+//! paths instead of panicking; the variants are deliberately coarse — this
+//! is a research platform, not a service — but each carries enough context
+//! to diagnose a failing experiment.
+
+use std::fmt;
+
+/// Convenient alias used across the workspace.
+pub type MvResult<T> = Result<T, MvError>;
+
+/// The error type shared by every crate in the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MvError {
+    /// A lookup referenced an id that does not exist.
+    NotFound { kind: &'static str, id: u64 },
+    /// An operation conflicts with concurrent state (e.g. write-write
+    /// conflict under snapshot isolation, or a double registration).
+    Conflict(String),
+    /// The caller supplied an argument outside the accepted domain.
+    InvalidArgument(String),
+    /// A transaction or protocol round was aborted.
+    Aborted(String),
+    /// Verification of a cryptographic proof or checksum failed.
+    VerificationFailed(String),
+    /// A resource limit (capacity, quota, bound) was exceeded.
+    Exhausted(String),
+    /// A network partition or unreachable node prevented the operation.
+    Unreachable { node: u64 },
+    /// The component is in a state that does not permit the operation.
+    IllegalState(String),
+}
+
+impl fmt::Display for MvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MvError::NotFound { kind, id } => write!(f, "{kind} {id} not found"),
+            MvError::Conflict(m) => write!(f, "conflict: {m}"),
+            MvError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            MvError::Aborted(m) => write!(f, "aborted: {m}"),
+            MvError::VerificationFailed(m) => write!(f, "verification failed: {m}"),
+            MvError::Exhausted(m) => write!(f, "exhausted: {m}"),
+            MvError::Unreachable { node } => write!(f, "node {node} unreachable"),
+            MvError::IllegalState(m) => write!(f, "illegal state: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MvError {}
+
+impl MvError {
+    /// Shorthand for a [`MvError::NotFound`].
+    pub fn not_found(kind: &'static str, id: u64) -> Self {
+        MvError::NotFound { kind, id }
+    }
+
+    /// True if this error represents a transient condition that a caller
+    /// may reasonably retry (aborts and unreachability), as opposed to a
+    /// programming or verification error.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, MvError::Aborted(_) | MvError::Unreachable { .. } | MvError::Conflict(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = MvError::not_found("entity", 7);
+        assert_eq!(e.to_string(), "entity 7 not found");
+        let e = MvError::Conflict("ww on key 3".into());
+        assert!(e.to_string().contains("ww on key 3"));
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(MvError::Aborted("x".into()).is_retryable());
+        assert!(MvError::Unreachable { node: 1 }.is_retryable());
+        assert!(MvError::Conflict("x".into()).is_retryable());
+        assert!(!MvError::VerificationFailed("x".into()).is_retryable());
+        assert!(!MvError::InvalidArgument("x".into()).is_retryable());
+    }
+}

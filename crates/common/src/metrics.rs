@@ -1,0 +1,253 @@
+//! Lightweight metrics: counters and streaming histograms.
+//!
+//! Every experiment harness reports latency percentiles and throughput;
+//! [`Histogram`] keeps raw samples (experiments are bounded, so memory is
+//! fine) and computes exact quantiles, which keeps the reported tables
+//! honest — no HDR bucketing error to explain away.
+
+use std::fmt;
+
+/// An exact-quantile histogram over `f64` samples.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty histogram with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Histogram { samples: Vec::with_capacity(cap), sorted: true }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().cloned().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            self.sorted = true;
+        }
+    }
+
+    /// Exact quantile `q in [0,1]` by nearest-rank (0 when empty).
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
+        self.samples[idx]
+    }
+
+    /// Median.
+    pub fn p50(&mut self) -> f64 {
+        self.quantile(0.50)
+    }
+    /// 95th percentile.
+    pub fn p95(&mut self) -> f64 {
+        self.quantile(0.95)
+    }
+    /// 99th percentile.
+    pub fn p99(&mut self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// Drop all samples.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.sorted = true;
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut h = self.clone();
+        write!(
+            f,
+            "n={} mean={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}",
+            h.count(),
+            h.mean(),
+            h.p50(),
+            h.p95(),
+            h.p99(),
+            h.max()
+        )
+    }
+}
+
+/// A named set of monotonically increasing counters with deterministic
+/// iteration order (BTreeMap), used for experiment accounting (messages
+/// sent, bytes saved, cache hits…).
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    inner: std::collections::BTreeMap<&'static str, u64>,
+}
+
+impl Counters {
+    /// Empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to counter `name` (created at zero on first use).
+    #[inline]
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.inner.entry(name).or_insert(0) += delta;
+    }
+
+    /// Increment counter `name` by one.
+    #[inline]
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Read counter `name` (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.inner.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterate `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.inner.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Merge another counter set into this one (summing shared names).
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (k, v) in self.iter() {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{k}={v}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_exact() {
+        let mut h = Histogram::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.p50(), 3.0);
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(1.0), 5.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 5.0);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let mut h = Histogram::new();
+        assert_eq!(h.p99(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn histogram_merge_combines() {
+        let mut a = Histogram::new();
+        a.record(1.0);
+        let mut b = Histogram::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 3.0);
+    }
+
+    #[test]
+    fn histogram_interleaved_record_and_quantile() {
+        let mut h = Histogram::new();
+        h.record(10.0);
+        assert_eq!(h.p50(), 10.0);
+        h.record(0.0); // must re-sort lazily
+        assert_eq!(h.quantile(0.0), 0.0);
+    }
+
+    #[test]
+    fn counters_accumulate_and_merge() {
+        let mut c = Counters::new();
+        c.incr("msgs");
+        c.add("msgs", 2);
+        c.add("bytes", 100);
+        assert_eq!(c.get("msgs"), 3);
+        assert_eq!(c.get("missing"), 0);
+        let mut d = Counters::new();
+        d.add("msgs", 7);
+        c.merge(&d);
+        assert_eq!(c.get("msgs"), 10);
+        assert_eq!(c.to_string(), "bytes=100 msgs=10");
+    }
+}

@@ -1,0 +1,157 @@
+//! Fixed-width ASCII tables for experiment output.
+//!
+//! The `experiments` binary in `mv-bench` prints one table per experiment;
+//! keeping the renderer here lets integration tests assert on table
+//! structure without depending on the bench crate.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; panics if the arity differs from the header count
+    /// (a mis-shapen experiment table is a bug, not a runtime condition).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience for rows of displayable values.
+    pub fn row_display(&mut self, cells: &[&dyn std::fmt::Display]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a `String` (also available via `Display`).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len() + 1;
+        let _ = writeln!(out, "{}", self.title);
+        let _ = writeln!(out, "{}", "-".repeat(total.max(self.title.len())));
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(line, " {cell:>w$} |", w = w);
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(total.max(self.title.len())));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Format a float with 2 decimals (the experiment tables' house style).
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format an integer-valued count.
+pub fn n(v: u64) -> String {
+    v.to_string()
+}
+
+/// Format a ratio as a `x`-suffixed speedup (e.g. `3.42x`).
+pub fn speedup(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["long-name".into(), "12345".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("long-name"));
+        // Every data line has the same length as the header line.
+        let lines: Vec<&str> = s.lines().filter(|l| l.starts_with('|')).collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.2345), "1.23");
+        assert_eq!(f3(1.2345), "1.234"); // round-half-even is fine either way
+        assert_eq!(n(42), "42");
+        assert_eq!(speedup(3.4167), "3.42x");
+        assert_eq!(pct(0.1234), "12.3%");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new("x", &["c"]);
+        assert!(t.is_empty());
+        t.row(&["v".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,262 @@
+//! Virtual time.
+//!
+//! Everything in the workspace runs on simulated time so that experiments
+//! are deterministic. [`SimTime`] is a microsecond-resolution instant,
+//! [`SimDuration`] the matching span, and [`VirtualClock`] a shared,
+//! monotonically advancing clock owned by a simulation driver (usually the
+//! discrete-event loop in `mv-net`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An instant on the simulated timeline, in microseconds since start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The origin of the simulated timeline.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future (used as an "infinite" deadline sentinel).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Microseconds since the origin.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+    /// Milliseconds since the origin (fractional).
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+    /// Seconds since the origin (fractional).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Duration since an earlier instant; saturates at zero if `earlier`
+    /// is actually later (late/out-of-order data is common in the fusion
+    /// layer, and a panic there would be wrong).
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+    /// Construct from fractional seconds (rounded to the nearest µs).
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimDuration((s * 1_000_000.0).round().max(0.0) as u64)
+    }
+
+    /// Microseconds in this span.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+    /// Milliseconds in this span (fractional).
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+    /// Seconds in this span (fractional).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Scale the span by a factor (used for jitter and backoff).
+    #[inline]
+    pub fn mul_f64(self, f: f64) -> Self {
+        SimDuration((self.0 as f64 * f).round().max(0.0) as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+/// A shared, monotonically advancing virtual clock.
+///
+/// The simulation driver advances it; everyone else only reads. Attempts
+/// to move the clock backwards are ignored (monotonicity is an invariant
+/// the event loop relies on).
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now_us: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock at the origin.
+    pub const fn new() -> Self {
+        Self { now_us: AtomicU64::new(0) }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        SimTime(self.now_us.load(Ordering::Acquire))
+    }
+
+    /// Advance to `t` if `t` is later than now; returns the (possibly
+    /// unchanged) current time.
+    pub fn advance_to(&self, t: SimTime) -> SimTime {
+        let mut cur = self.now_us.load(Ordering::Acquire);
+        while t.0 > cur {
+            match self.now_us.compare_exchange_weak(
+                cur,
+                t.0,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return t,
+                Err(actual) => cur = actual,
+            }
+        }
+        SimTime(cur)
+    }
+
+    /// Advance the clock by `d`.
+    pub fn advance_by(&self, d: SimDuration) -> SimTime {
+        let prev = self.now_us.fetch_add(d.0, Ordering::AcqRel);
+        SimTime(prev + d.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let t = SimTime::from_millis(5);
+        let t2 = t + SimDuration::from_millis(3);
+        assert_eq!(t2.as_micros(), 8_000);
+        assert_eq!((t2 - t).as_millis_f64(), 3.0);
+    }
+
+    #[test]
+    fn since_saturates_for_out_of_order() {
+        let early = SimTime::from_millis(1);
+        let late = SimTime::from_millis(2);
+        assert_eq!(early.since(late), SimDuration::ZERO);
+        assert_eq!(late.since(early), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance_to(SimTime::from_millis(10));
+        assert_eq!(c.now(), SimTime::from_millis(10));
+        // Going backwards is a no-op.
+        c.advance_to(SimTime::from_millis(5));
+        assert_eq!(c.now(), SimTime::from_millis(10));
+        c.advance_by(SimDuration::from_millis(1));
+        assert_eq!(c.now(), SimTime::from_millis(11));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimDuration::from_micros(12).to_string(), "12us");
+        assert_eq!(SimDuration::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_and_clamps() {
+        assert_eq!(SimDuration::from_secs_f64(0.0000015).as_micros(), 2);
+        assert_eq!(SimDuration::from_secs_f64(-1.0).as_micros(), 0);
+    }
+}

@@ -1,0 +1,432 @@
+//! The `Metaverse` engine: Fig. 1's bidirectional loop.
+//!
+//! Ground-truth movement lands in the authoritative space's spatial
+//! index immediately; the *other* space's materialized twin is refreshed
+//! only when the divergence exceeds the sync policy's coherency bound —
+//! §IV-C's "keep the virtual world as close to the real world as
+//! possible … tolerate some degree of discrepancies", which is what
+//! makes the cross-space traffic affordable. Virtual actions (area
+//! effects) query the virtual index and produce commands relayed to
+//! physical actors.
+
+use crate::entity::{Entity, EntityKind};
+use crate::events::{Command, CoEvent, EventBus, EventKind};
+use mv_common::geom::{Aabb, Point};
+use mv_common::hash::FastMap;
+use mv_common::id::{EntityId, IdGen};
+use mv_common::metrics::Counters;
+use mv_common::time::SimTime;
+use mv_common::Space;
+use mv_common::{MvError, MvResult};
+use mv_spatial::{GridIndex, SpatialIndex};
+
+/// Synchronization policy for the cross-space boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct SyncPolicy {
+    /// Twin positions may lag ground truth by up to this distance
+    /// (metres) before a sync message is forced.
+    pub position_bound: f64,
+    /// Attribute values may drift by this much before syncing.
+    pub attr_bound: f64,
+}
+
+impl Default for SyncPolicy {
+    fn default() -> Self {
+        SyncPolicy { position_bound: 1.0, attr_bound: 0.0 }
+    }
+}
+
+/// The co-space engine.
+pub struct Metaverse {
+    policy: SyncPolicy,
+    entities: FastMap<EntityId, Entity>,
+    /// Spatial index over *ground-truth* positions, per authoritative space.
+    truth_index: [GridIndex; 2],
+    /// Spatial index over *twin* positions, per materialized space (the
+    /// index entry lives in the OPPOSITE space of the entity's authority).
+    twin_index: [GridIndex; 2],
+    ids: IdGen,
+    bus: EventBus,
+    clock: SimTime,
+    /// `sync_msgs`, `suppressed_syncs`, `commands` counters.
+    pub stats: Counters,
+}
+
+fn space_slot(space: Space) -> usize {
+    match space {
+        Space::Physical => 0,
+        Space::Virtual => 1,
+    }
+}
+
+impl Metaverse {
+    /// Build with a policy; `cell_size` configures all spatial indexes.
+    pub fn new(policy: SyncPolicy, cell_size: f64) -> Self {
+        Metaverse {
+            policy,
+            entities: FastMap::default(),
+            truth_index: [GridIndex::new(cell_size), GridIndex::new(cell_size)],
+            twin_index: [GridIndex::new(cell_size), GridIndex::new(cell_size)],
+            ids: IdGen::new(),
+            bus: EventBus::new(),
+            clock: SimTime::ZERO,
+            stats: Counters::new(),
+        }
+    }
+
+    /// Default policy, 50 m grid cells.
+    pub fn with_defaults() -> Self {
+        Metaverse::new(SyncPolicy::default(), 50.0)
+    }
+
+    /// Current engine time (max over observed update times).
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        self.clock = self.clock.max(now);
+    }
+
+    /// Register an entity; it is immediately materialized in both spaces.
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        kind: EntityKind,
+        position: Point,
+        now: SimTime,
+    ) -> EntityId {
+        self.advance(now);
+        let id: EntityId = self.ids.next();
+        let entity = Entity::new(id, name, kind, position);
+        let auth = kind.authoritative_space();
+        self.truth_index[space_slot(auth)].insert(id, position);
+        self.twin_index[space_slot(auth.other())].insert(id, position);
+        self.entities.insert(id, entity);
+        self.bus.emit(now, auth, Some(id), EventKind::Moved);
+        id
+    }
+
+    /// Access an entity.
+    pub fn entity(&self, id: EntityId) -> MvResult<&Entity> {
+        self.entities.get(&id).ok_or(MvError::not_found("entity", id.raw()))
+    }
+
+    /// Number of live (non-retired) entities.
+    pub fn live_count(&self) -> usize {
+        self.entities.values().filter(|e| !e.retired).count()
+    }
+
+    /// Move an entity's ground truth (in its authoritative space). The
+    /// twin in the other space syncs only if the coherency bound is
+    /// violated. Returns true when a sync message crossed the boundary.
+    pub fn update_position(&mut self, id: EntityId, position: Point, now: SimTime) -> MvResult<bool> {
+        self.advance(now);
+        let policy = self.policy;
+        let entity = self
+            .entities
+            .get_mut(&id)
+            .ok_or(MvError::not_found("entity", id.raw()))?;
+        if entity.retired {
+            return Err(MvError::IllegalState(format!("entity {id} is retired")));
+        }
+        entity.position = position;
+        let auth = entity.kind.authoritative_space();
+        self.truth_index[space_slot(auth)].update(id, position);
+        let diverged = entity.divergence() > policy.position_bound;
+        if diverged {
+            entity.twin_position = position;
+            self.twin_index[space_slot(auth.other())].update(id, position);
+            self.stats.incr("sync_msgs");
+            self.bus.emit(now, auth.other(), Some(id), EventKind::TwinSynced);
+        } else {
+            self.stats.incr("suppressed_syncs");
+        }
+        Ok(diverged)
+    }
+
+    /// Update an attribute of the entity (authoritative-space write);
+    /// always relayed when it moves more than the attr bound.
+    pub fn update_attr(&mut self, id: EntityId, name: &str, value: f64, now: SimTime) -> MvResult<()> {
+        self.advance(now);
+        let policy = self.policy;
+        let entity = self
+            .entities
+            .get_mut(&id)
+            .ok_or(MvError::not_found("entity", id.raw()))?;
+        let old = entity.attr(name);
+        entity.set_attr(name, value);
+        if (value - old).abs() > policy.attr_bound {
+            let auth = entity.kind.authoritative_space();
+            self.stats.incr("sync_msgs");
+            self.bus.emit(
+                now,
+                auth.other(),
+                Some(id),
+                EventKind::AttrChanged { name: name.to_string(), value },
+            );
+        } else {
+            self.stats.incr("suppressed_syncs");
+        }
+        Ok(())
+    }
+
+    /// Ground-truth entities of `space` within `area` (its authoritative
+    /// residents), excluding retired ones, sorted by id.
+    pub fn query_truth(&self, space: Space, area: &Aabb) -> Vec<EntityId> {
+        let mut ids: Vec<EntityId> = self.truth_index[space_slot(space)]
+            .range(area)
+            .into_iter()
+            .filter(|id| !self.entities[id].retired)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Entities *visible in* `space` within `area`: its own residents
+    /// plus materialized twins from the other space — the unified view a
+    /// user immersed in that space actually sees.
+    pub fn query_visible(&self, space: Space, area: &Aabb) -> Vec<EntityId> {
+        let mut ids = self.query_truth(space, area);
+        ids.extend(
+            self.twin_index[space_slot(space)]
+                .range(area)
+                .into_iter()
+                .filter(|id| !self.entities[id].retired),
+        );
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Raise an area effect in `space` (e.g. a virtual air-raid). Every
+    /// entity *visible in that space* inside the region whose authority is
+    /// the other space gets a relayed command — Fig. 1's virtual→physical
+    /// arrow. Affected entities are retired when `retire` is set (the
+    /// paper's "the troops should perish").
+    pub fn area_effect(
+        &mut self,
+        space: Space,
+        effect: &str,
+        region: Aabb,
+        action: &str,
+        retire: bool,
+        now: SimTime,
+    ) -> Vec<Command> {
+        self.advance(now);
+        self.bus.emit(
+            now,
+            space,
+            None,
+            EventKind::AreaEffect { effect: effect.to_string(), region },
+        );
+        // Twins materialized in `space` whose truth lives in the other space.
+        let affected: Vec<EntityId> = self.twin_index[space_slot(space)]
+            .range(&region)
+            .into_iter()
+            .filter(|id| !self.entities[id].retired)
+            .collect();
+        let mut commands = Vec::with_capacity(affected.len());
+        let mut sorted = affected;
+        sorted.sort_unstable();
+        for id in sorted {
+            let target_space = self.entities[&id].kind.authoritative_space();
+            commands.push(Command {
+                target_space,
+                entity: id,
+                action: action.to_string(),
+                ts: now,
+            });
+            self.stats.incr("commands");
+            if retire {
+                self.retire(id, now).expect("entity exists and is live");
+            }
+        }
+        commands
+    }
+
+    /// Retire an entity from both spaces.
+    pub fn retire(&mut self, id: EntityId, now: SimTime) -> MvResult<()> {
+        self.advance(now);
+        let entity = self
+            .entities
+            .get_mut(&id)
+            .ok_or(MvError::not_found("entity", id.raw()))?;
+        if entity.retired {
+            return Err(MvError::IllegalState(format!("entity {id} already retired")));
+        }
+        entity.retired = true;
+        let auth = entity.kind.authoritative_space();
+        self.truth_index[space_slot(auth)].remove(id);
+        self.twin_index[space_slot(auth.other())].remove(id);
+        self.bus.emit(now, auth, Some(id), EventKind::Retired);
+        Ok(())
+    }
+
+    /// Mean divergence between truth and twins over live entities — the
+    /// §IV-C consistency metric E1 reports.
+    pub fn mean_divergence(&self) -> f64 {
+        let live: Vec<&Entity> = self.entities.values().filter(|e| !e.retired).collect();
+        if live.is_empty() {
+            return 0.0;
+        }
+        live.iter().map(|e| e.divergence()).sum::<f64>() / live.len() as f64
+    }
+
+    /// Maximum divergence over live entities.
+    pub fn max_divergence(&self) -> f64 {
+        self.entities
+            .values()
+            .filter(|e| !e.retired)
+            .map(Entity::divergence)
+            .fold(0.0, f64::max)
+    }
+
+    /// Drain the event log.
+    pub fn drain_events(&mut self) -> Vec<CoEvent> {
+        self.bus.drain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_common::seeded_rng;
+    use rand::Rng;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn spawn_materializes_in_both_spaces() {
+        let mut mv = Metaverse::with_defaults();
+        let id = mv.spawn("alice", EntityKind::Person, Point::new(5.0, 5.0), t(0));
+        let area = Aabb::centered(Point::new(5.0, 5.0), 1.0);
+        assert_eq!(mv.query_truth(Space::Physical, &area), vec![id]);
+        // Alice's twin is visible in the virtual space.
+        assert_eq!(mv.query_visible(Space::Virtual, &area), vec![id]);
+        // But she is not a virtual-authoritative resident.
+        assert!(mv.query_truth(Space::Virtual, &area).is_empty());
+    }
+
+    #[test]
+    fn small_moves_suppress_sync_large_moves_force_it() {
+        let mut mv = Metaverse::new(SyncPolicy { position_bound: 2.0, attr_bound: 0.0 }, 50.0);
+        let id = mv.spawn("s", EntityKind::Person, Point::ORIGIN, t(0));
+        assert!(!mv.update_position(id, Point::new(1.0, 0.0), t(1)).unwrap());
+        assert!(!mv.update_position(id, Point::new(1.9, 0.0), t(2)).unwrap());
+        assert_eq!(mv.stats.get("suppressed_syncs"), 2);
+        assert!(mv.update_position(id, Point::new(4.0, 0.0), t(3)).unwrap());
+        assert_eq!(mv.stats.get("sync_msgs"), 1);
+        // After the sync, divergence resets.
+        assert_eq!(mv.entity(id).unwrap().divergence(), 0.0);
+    }
+
+    #[test]
+    fn divergence_never_exceeds_bound_after_update() {
+        let mut mv = Metaverse::new(SyncPolicy { position_bound: 3.0, attr_bound: 0.0 }, 50.0);
+        let mut rng = seeded_rng(4);
+        let mut ids = Vec::new();
+        for i in 0..50 {
+            ids.push(mv.spawn(format!("e{i}"), EntityKind::Vehicle, Point::ORIGIN, t(0)));
+        }
+        for step in 1..200u64 {
+            for &id in &ids {
+                let cur = mv.entity(id).unwrap().position;
+                let next = Point::new(
+                    cur.x + rng.gen_range(-2.0..2.0),
+                    cur.y + rng.gen_range(-2.0..2.0),
+                );
+                mv.update_position(id, next, t(step)).unwrap();
+            }
+            assert!(
+                mv.max_divergence() <= 3.0 + 1e-9,
+                "bound violated at step {step}: {}",
+                mv.max_divergence()
+            );
+        }
+        // The bound must have actually saved messages.
+        assert!(mv.stats.get("suppressed_syncs") > mv.stats.get("sync_msgs"));
+    }
+
+    #[test]
+    fn virtual_air_raid_perishes_physical_troops_in_region() {
+        let mut mv = Metaverse::with_defaults();
+        let in_zone = mv.spawn("t1", EntityKind::Person, Point::new(10.0, 10.0), t(0));
+        let outside = mv.spawn("t2", EntityKind::Person, Point::new(200.0, 200.0), t(0));
+        let cmds = mv.area_effect(
+            Space::Virtual,
+            "air_raid",
+            Aabb::centered(Point::new(10.0, 10.0), 20.0),
+            "perish",
+            true,
+            t(5),
+        );
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].entity, in_zone);
+        assert_eq!(cmds[0].target_space, Space::Physical);
+        assert_eq!(cmds[0].action, "perish");
+        assert!(mv.entity(in_zone).unwrap().retired);
+        assert!(!mv.entity(outside).unwrap().retired);
+        assert_eq!(mv.live_count(), 1);
+        // Retired entities vanish from queries.
+        assert!(mv
+            .query_visible(Space::Virtual, &Aabb::centered(Point::new(10.0, 10.0), 20.0))
+            .is_empty());
+    }
+
+    #[test]
+    fn stale_twin_position_affects_area_targeting() {
+        // The §IV-C trade-off made visible: with a loose bound, a troop
+        // that moved out of the blast zone *physically* can still be hit
+        // because the virtual twin lags.
+        let mut mv = Metaverse::new(SyncPolicy { position_bound: 50.0, attr_bound: 0.0 }, 50.0);
+        let id = mv.spawn("t", EntityKind::Person, Point::new(10.0, 10.0), t(0));
+        // Physically walks 30 m away — under the 50 m bound, no sync.
+        mv.update_position(id, Point::new(40.0, 10.0), t(1)).unwrap();
+        assert_eq!(mv.entity(id).unwrap().twin_position, Point::new(10.0, 10.0));
+        let cmds = mv.area_effect(
+            Space::Virtual,
+            "air_raid",
+            Aabb::centered(Point::new(10.0, 10.0), 5.0),
+            "perish",
+            true,
+            t(2),
+        );
+        assert_eq!(cmds.len(), 1, "the stale twin is in the zone");
+    }
+
+    #[test]
+    fn attr_updates_relay_and_retired_entities_reject_moves() {
+        let mut mv = Metaverse::with_defaults();
+        let id = mv.spawn("p", EntityKind::Product, Point::ORIGIN, t(0));
+        mv.update_attr(id, "stock", 10.0, t(1)).unwrap();
+        assert_eq!(mv.entity(id).unwrap().attr("stock"), 10.0);
+        let events = mv.drain_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(&e.kind, EventKind::AttrChanged { name, value } if name == "stock" && *value == 10.0)));
+        mv.retire(id, t(2)).unwrap();
+        assert!(mv.update_position(id, Point::new(1.0, 1.0), t(3)).is_err());
+        assert!(mv.retire(id, t(4)).is_err());
+    }
+
+    #[test]
+    fn unknown_entity_errors() {
+        let mut mv = Metaverse::with_defaults();
+        assert!(mv.entity(EntityId::new(9)).is_err());
+        assert!(mv.update_position(EntityId::new(9), Point::ORIGIN, t(0)).is_err());
+        assert!(mv.update_attr(EntityId::new(9), "x", 1.0, t(0)).is_err());
+    }
+
+    #[test]
+    fn avatars_are_virtual_authoritative() {
+        let mut mv = Metaverse::with_defaults();
+        let id = mv.spawn("npc", EntityKind::Avatar, Point::new(3.0, 3.0), t(0));
+        let area = Aabb::centered(Point::new(3.0, 3.0), 1.0);
+        assert_eq!(mv.query_truth(Space::Virtual, &area), vec![id]);
+        // The avatar's twin is what physical users see (e.g. via AR).
+        assert_eq!(mv.query_visible(Space::Physical, &area), vec![id]);
+    }
+}

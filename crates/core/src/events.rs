@@ -1,0 +1,147 @@
+//! Cross-space events and commands.
+//!
+//! Events are facts raised in one space; commands are the engine's
+//! relayed instructions to actors in the *other* space (the paper's
+//! military example: a virtual air-raid ⇒ ground troops "perish").
+
+use mv_common::geom::Aabb;
+use mv_common::id::{EntityId, EventId};
+use mv_common::time::SimTime;
+use mv_common::Space;
+use serde::{Deserialize, Serialize};
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// An entity moved (authoritative-space update).
+    Moved,
+    /// The twin was re-synchronized across the boundary.
+    TwinSynced,
+    /// An entity's attribute changed.
+    AttrChanged {
+        /// Attribute name.
+        name: String,
+        /// New value.
+        value: f64,
+    },
+    /// An area-effect action in some space (air-raid, flash-sale zone…).
+    AreaEffect {
+        /// Effect tag ("air_raid", "flash_sale").
+        effect: String,
+        /// Affected region.
+        region: Aabb,
+    },
+    /// An entity was retired (perished, sold out, despawned).
+    Retired,
+}
+
+/// One event on the co-space timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoEvent {
+    /// Identifier.
+    pub id: EventId,
+    /// When.
+    pub ts: SimTime,
+    /// Which space raised it.
+    pub space: Space,
+    /// Subject entity, if any.
+    pub entity: Option<EntityId>,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// A relayed instruction for an actor in the target space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Command {
+    /// Space whose actors must act.
+    pub target_space: Space,
+    /// Acting/affected entity.
+    pub entity: EntityId,
+    /// Instruction tag ("perish", "restock", "reinforce"…).
+    pub action: String,
+    /// When the command was issued.
+    pub ts: SimTime,
+}
+
+/// A simple ordered event log with drain semantics.
+#[derive(Debug, Default)]
+pub struct EventBus {
+    events: Vec<CoEvent>,
+    next: u64,
+}
+
+impl EventBus {
+    /// Empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an event; returns its id.
+    pub fn emit(
+        &mut self,
+        ts: SimTime,
+        space: Space,
+        entity: Option<EntityId>,
+        kind: EventKind,
+    ) -> EventId {
+        let id = EventId::new(self.next);
+        self.next += 1;
+        self.events.push(CoEvent { id, ts, space, entity, kind });
+        id
+    }
+
+    /// Events recorded so far (not yet drained).
+    pub fn pending(&self) -> &[CoEvent] {
+        &self.events
+    }
+
+    /// Take all recorded events.
+    pub fn drain(&mut self) -> Vec<CoEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Total events ever emitted.
+    pub fn emitted(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_common::geom::Point;
+
+    #[test]
+    fn bus_assigns_ordered_ids_and_drains() {
+        let mut bus = EventBus::new();
+        let a = bus.emit(SimTime::ZERO, Space::Physical, None, EventKind::Moved);
+        let b = bus.emit(SimTime::from_millis(1), Space::Virtual, None, EventKind::Retired);
+        assert!(a < b);
+        assert_eq!(bus.pending().len(), 2);
+        let drained = bus.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(bus.pending().is_empty());
+        assert_eq!(bus.emitted(), 2);
+    }
+
+    #[test]
+    fn area_effect_carries_region() {
+        let mut bus = EventBus::new();
+        bus.emit(
+            SimTime::ZERO,
+            Space::Virtual,
+            None,
+            EventKind::AreaEffect {
+                effect: "air_raid".into(),
+                region: Aabb::centered(Point::new(10.0, 10.0), 5.0),
+            },
+        );
+        match &bus.pending()[0].kind {
+            EventKind::AreaEffect { effect, region } => {
+                assert_eq!(effect, "air_raid");
+                assert!(region.contains(Point::new(12.0, 12.0)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! `mv-core` — the co-space engine (the paper's primary contribution,
+//! made executable).
+//!
+//! Fig. 1 of the paper shows data flowing *within* each space and
+//! *across* spaces: the physical space is sensed and materialized in the
+//! virtual space, and virtual actions are relayed back to physical
+//! actors. This crate is that loop:
+//!
+//! * [`entity`] — co-space entities with a presence in either or both
+//!   spaces (a soldier and their virtual twin; a product and its virtual
+//!   listing);
+//! * [`events`] — the cross-space event model and bus (a virtual
+//!   air-raid becomes physical "perish" commands; a physical purchase
+//!   becomes a virtual stock update);
+//! * [`engine`] — [`engine::Metaverse`]: entity registry, one spatial
+//!   index per space, coherency-bounded twin synchronization
+//!   (physical→virtual, §IV-C), virtual→physical command relay, and
+//!   divergence accounting;
+//! * [`interest`] — per-user area-of-interest management so each user's
+//!   update stream scales with local density, not world population (the
+//!   MMO "consistency across multiple virtual views" problem).
+//!
+//! The examples in the repository root (`examples/`) drive this façade
+//! through the paper's five §II scenarios.
+
+pub mod engine;
+pub mod entity;
+pub mod events;
+pub mod interest;
+
+pub use engine::{Metaverse, SyncPolicy};
+pub use entity::{Entity, EntityKind};
+pub use events::{Command, CoEvent, EventKind};
+pub use interest::{InterestManager, InterestUpdate};

@@ -1,0 +1,181 @@
+//! Disruption-tolerant per-client outboxes.
+//!
+//! §IV-C points to *"methods developed for intermittently-connected and
+//! disruptive networks \[92\]"* (ICeDB). Mobile co-space clients drop off
+//! cellular links constantly; while a client is disconnected the server
+//! buffers its pushes in an outbox that (a) keeps only the newest value
+//! per object — stale intermediate values are useless to a reconnecting
+//! client — and (b) releases the backlog in priority order on reconnect.
+
+use crate::sched::Priority;
+use mv_common::hash::FastMap;
+use mv_common::id::{ClientId, ObjectId};
+use mv_common::metrics::Counters;
+
+/// One buffered (or delivered) outbox message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutMsg {
+    /// Target object.
+    pub object: ObjectId,
+    /// Newest value.
+    pub value: f64,
+    /// Criticality (drives replay order).
+    pub priority: Priority,
+    /// Monotone sequence number of the *latest* absorbed update.
+    pub seq: u64,
+}
+
+#[derive(Debug, Default)]
+struct Outbox {
+    connected: bool,
+    /// object → buffered message (newest-wins).
+    pending: FastMap<ObjectId, OutMsg>,
+}
+
+/// Manages outboxes for many clients.
+#[derive(Debug, Default)]
+pub struct OutboxManager {
+    clients: FastMap<ClientId, Outbox>,
+    seq: u64,
+    /// `delivered`, `buffered`, `merged` (overwrites saved) counters.
+    pub stats: Counters,
+}
+
+impl OutboxManager {
+    /// An empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a client (starts connected).
+    pub fn register(&mut self, client: ClientId) {
+        self.clients.entry(client).or_insert(Outbox { connected: true, pending: FastMap::default() });
+    }
+
+    /// Mark a client disconnected; pushes start buffering.
+    pub fn disconnect(&mut self, client: ClientId) {
+        if let Some(o) = self.clients.get_mut(&client) {
+            o.connected = false;
+        }
+    }
+
+    /// Is the client currently connected?
+    pub fn is_connected(&self, client: ClientId) -> bool {
+        self.clients.get(&client).is_some_and(|o| o.connected)
+    }
+
+    /// Number of messages waiting for a client.
+    pub fn backlog(&self, client: ClientId) -> usize {
+        self.clients.get(&client).map_or(0, |o| o.pending.len())
+    }
+
+    /// Push a value to a client. Returns `Some(msg)` if deliverable now,
+    /// `None` if buffered (client offline or unknown).
+    pub fn push(
+        &mut self,
+        client: ClientId,
+        object: ObjectId,
+        value: f64,
+        priority: Priority,
+    ) -> Option<OutMsg> {
+        self.seq += 1;
+        let msg = OutMsg { object, value, priority, seq: self.seq };
+        let outbox = self.clients.get_mut(&client)?;
+        if outbox.connected {
+            self.stats.incr("delivered");
+            Some(msg)
+        } else {
+            if outbox.pending.insert(object, msg).is_some() {
+                self.stats.incr("merged"); // an older buffered value died
+            } else {
+                self.stats.incr("buffered");
+            }
+            None
+        }
+    }
+
+    /// Reconnect a client: returns the backlog, most critical first
+    /// (ties: object id), and marks the client connected.
+    pub fn reconnect(&mut self, client: ClientId) -> Vec<OutMsg> {
+        let Some(outbox) = self.clients.get_mut(&client) else {
+            return Vec::new();
+        };
+        outbox.connected = true;
+        let mut msgs: Vec<OutMsg> = outbox.pending.drain().map(|(_, m)| m).collect();
+        msgs.sort_by_key(|m| (m.priority, m.object));
+        self.stats.add("delivered", msgs.len() as u64);
+        msgs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u64) -> ClientId {
+        ClientId::new(i)
+    }
+    fn o(i: u64) -> ObjectId {
+        ObjectId::new(i)
+    }
+
+    #[test]
+    fn connected_clients_get_immediate_delivery() {
+        let mut m = OutboxManager::new();
+        m.register(c(1));
+        let msg = m.push(c(1), o(1), 5.0, Priority::Normal);
+        assert!(msg.is_some());
+        assert_eq!(m.stats.get("delivered"), 1);
+        assert_eq!(m.backlog(c(1)), 0);
+    }
+
+    #[test]
+    fn disconnected_pushes_buffer_and_merge() {
+        let mut m = OutboxManager::new();
+        m.register(c(1));
+        m.disconnect(c(1));
+        assert!(m.push(c(1), o(1), 1.0, Priority::Normal).is_none());
+        assert!(m.push(c(1), o(1), 2.0, Priority::Normal).is_none());
+        assert!(m.push(c(1), o(1), 3.0, Priority::Normal).is_none());
+        assert!(m.push(c(1), o(2), 9.0, Priority::Normal).is_none());
+        // Three updates to o(1) collapse into one buffered message.
+        assert_eq!(m.backlog(c(1)), 2);
+        assert_eq!(m.stats.get("merged"), 2);
+        let replay = m.reconnect(c(1));
+        assert_eq!(replay.len(), 2);
+        let o1 = replay.iter().find(|r| r.object == o(1)).unwrap();
+        assert_eq!(o1.value, 3.0); // newest wins
+    }
+
+    #[test]
+    fn replay_is_priority_ordered() {
+        let mut m = OutboxManager::new();
+        m.register(c(1));
+        m.disconnect(c(1));
+        m.push(c(1), o(3), 1.0, Priority::Bulk);
+        m.push(c(1), o(1), 2.0, Priority::Critical);
+        m.push(c(1), o(2), 3.0, Priority::High);
+        let replay = m.reconnect(c(1));
+        let prios: Vec<Priority> = replay.iter().map(|r| r.priority).collect();
+        assert_eq!(prios, vec![Priority::Critical, Priority::High, Priority::Bulk]);
+        assert!(m.is_connected(c(1)));
+    }
+
+    #[test]
+    fn unknown_client_is_dropped_silently() {
+        let mut m = OutboxManager::new();
+        assert!(m.push(c(9), o(1), 1.0, Priority::Normal).is_none());
+        assert!(m.reconnect(c(9)).is_empty());
+        assert!(!m.is_connected(c(9)));
+    }
+
+    #[test]
+    fn reconnect_resumes_immediate_delivery() {
+        let mut m = OutboxManager::new();
+        m.register(c(1));
+        m.disconnect(c(1));
+        m.push(c(1), o(1), 1.0, Priority::Normal);
+        m.reconnect(c(1));
+        assert!(m.push(c(1), o(1), 2.0, Priority::Normal).is_some());
+    }
+}

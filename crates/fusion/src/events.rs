@@ -1,0 +1,196 @@
+//! Rule-based event detection over fused state.
+//!
+//! §IV-A: metaverse data management "detects events that had taken place
+//! based on these data sources and depicts these events accurately and
+//! efficiently in the metaverse". Rules are predicates over an entity's
+//! fused belief history; firing produces a [`DetectedEvent`] that the
+//! co-space engine materializes in the other space.
+
+use crate::evidence::FusedBelief;
+use mv_common::hash::FastMap;
+use mv_common::time::{SimDuration, SimTime};
+
+/// A detected event, ready for materialization in the co-space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectedEvent {
+    /// Rule that fired.
+    pub rule: &'static str,
+    /// Entity the event concerns.
+    pub entity: usize,
+    /// When it was detected.
+    pub ts: SimTime,
+    /// Hypothesis involved (e.g. the new shelf), if meaningful.
+    pub hypothesis: Option<u64>,
+}
+
+/// Predicate signature: `(previous belief, current belief) → fire?`.
+pub type RulePredicate = Box<dyn Fn(Option<&FusedBelief>, &FusedBelief) -> bool + Send>;
+
+/// A detection rule: inspects the previous and current fused belief.
+pub struct Rule {
+    /// Rule name (appears in events).
+    pub name: &'static str,
+    /// The firing predicate.
+    pub pred: RulePredicate,
+}
+
+impl Rule {
+    /// Build a rule.
+    pub fn new(
+        name: &'static str,
+        pred: impl Fn(Option<&FusedBelief>, &FusedBelief) -> bool + Send + 'static,
+    ) -> Self {
+        Rule { name, pred: Box::new(pred) }
+    }
+
+    /// Built-in: entity's winning hypothesis changed with confident margin.
+    pub fn state_changed(min_margin: f64) -> Self {
+        Rule::new("state_changed", move |prev, cur| {
+            matches!(prev, Some(p) if p.hypothesis != cur.hypothesis && cur.margin >= min_margin)
+        })
+    }
+
+    /// Built-in: first confident sighting of an entity.
+    pub fn first_sighting() -> Self {
+        Rule::new("first_sighting", |prev, _| prev.is_none())
+    }
+
+    /// Built-in: belief became contested (margin below a floor).
+    pub fn contested(max_margin: f64) -> Self {
+        Rule::new("contested", move |_, cur| cur.margin < max_margin)
+    }
+}
+
+/// The detector: feeds fused beliefs through rules, tracking per-entity
+/// previous state, and also raises `missing` events for entities not
+/// re-observed within a timeout.
+pub struct EventDetector {
+    rules: Vec<Rule>,
+    missing_after: Option<SimDuration>,
+    last_seen: FastMap<usize, (FusedBelief, SimTime)>,
+    missing_raised: FastMap<usize, bool>,
+}
+
+impl EventDetector {
+    /// A detector with the given rules.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        EventDetector {
+            rules,
+            missing_after: None,
+            last_seen: FastMap::default(),
+            missing_raised: FastMap::default(),
+        }
+    }
+
+    /// Builder: raise a `missing` event when an entity is silent this long.
+    pub fn with_missing_timeout(mut self, timeout: SimDuration) -> Self {
+        self.missing_after = Some(timeout);
+        self
+    }
+
+    /// Feed the current fused belief of an entity; returns fired events.
+    pub fn observe(&mut self, entity: usize, belief: FusedBelief, now: SimTime) -> Vec<DetectedEvent> {
+        let prev = self.last_seen.get(&entity).map(|(b, _)| *b);
+        let mut fired = Vec::new();
+        for rule in &self.rules {
+            if (rule.pred)(prev.as_ref(), &belief) {
+                fired.push(DetectedEvent {
+                    rule: rule.name,
+                    entity,
+                    ts: now,
+                    hypothesis: Some(belief.hypothesis),
+                });
+            }
+        }
+        self.last_seen.insert(entity, (belief, now));
+        self.missing_raised.insert(entity, false);
+        fired
+    }
+
+    /// Sweep for entities that have gone silent (call periodically).
+    pub fn sweep_missing(&mut self, now: SimTime) -> Vec<DetectedEvent> {
+        let Some(timeout) = self.missing_after else {
+            return Vec::new();
+        };
+        let mut fired = Vec::new();
+        let mut to_mark = Vec::new();
+        for (&entity, &(_, seen)) in &self.last_seen {
+            let already = self.missing_raised.get(&entity).copied().unwrap_or(false);
+            if !already && now.since(seen) > timeout {
+                fired.push(DetectedEvent { rule: "missing", entity, ts: now, hypothesis: None });
+                to_mark.push(entity);
+            }
+        }
+        for e in to_mark {
+            self.missing_raised.insert(e, true);
+        }
+        fired.sort_by_key(|e| e.entity);
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn belief(hyp: u64, margin: f64) -> FusedBelief {
+        FusedBelief { hypothesis: hyp, log_odds: 2.0, margin, support: 3 }
+    }
+
+    #[test]
+    fn first_sighting_then_state_change() {
+        let mut det =
+            EventDetector::new(vec![Rule::first_sighting(), Rule::state_changed(0.5)]);
+        let ev = det.observe(1, belief(10, 5.0), SimTime::from_millis(1));
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].rule, "first_sighting");
+        // Same hypothesis: nothing fires.
+        assert!(det.observe(1, belief(10, 5.0), SimTime::from_millis(2)).is_empty());
+        // Changed hypothesis with margin: fires.
+        let ev = det.observe(1, belief(11, 5.0), SimTime::from_millis(3));
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].rule, "state_changed");
+        assert_eq!(ev[0].hypothesis, Some(11));
+    }
+
+    #[test]
+    fn low_margin_change_does_not_fire_state_change() {
+        let mut det = EventDetector::new(vec![Rule::state_changed(1.0)]);
+        det.observe(1, belief(10, 5.0), SimTime::from_millis(1));
+        let ev = det.observe(1, belief(11, 0.2), SimTime::from_millis(2));
+        assert!(ev.is_empty());
+    }
+
+    #[test]
+    fn contested_rule_fires_on_thin_margin() {
+        let mut det = EventDetector::new(vec![Rule::contested(0.5)]);
+        let ev = det.observe(1, belief(10, 0.1), SimTime::from_millis(1));
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].rule, "contested");
+        assert!(det.observe(1, belief(10, 3.0), SimTime::from_millis(2)).is_empty());
+    }
+
+    #[test]
+    fn missing_sweep_fires_once_until_reobserved() {
+        let mut det = EventDetector::new(vec![])
+            .with_missing_timeout(SimDuration::from_millis(10));
+        det.observe(1, belief(10, 5.0), SimTime::from_millis(0));
+        det.observe(2, belief(20, 5.0), SimTime::from_millis(18));
+        let ev = det.sweep_missing(SimTime::from_millis(20));
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].entity, 1);
+        // Second sweep: no duplicate.
+        assert!(det.sweep_missing(SimTime::from_millis(25)).is_empty());
+        // Re-observation re-arms the rule.
+        det.observe(1, belief(10, 5.0), SimTime::from_millis(30));
+        let ev = det.sweep_missing(SimTime::from_millis(45));
+        assert_eq!(ev.len(), 2); // both 1 (re-armed) and 2 (first timeout)
+    }
+
+    #[test]
+    fn custom_rule_closure() {
+        let mut det = EventDetector::new(vec![Rule::new("strong", |_, cur| cur.log_odds > 1.0)]);
+        let ev = det.observe(1, belief(1, 9.0), SimTime::ZERO);
+        assert_eq!(ev[0].rule, "strong");
+    }
+}

@@ -1,0 +1,34 @@
+//! `mv-net` — discrete-event simulation substrate and network model.
+//!
+//! The paper's challenges (§IV-C consistency, §IV-E1 decentralized
+//! transactions, §IV-E2 disaggregation) are all *quantitative functions of
+//! network latency and bandwidth*. Since we have no SmartNICs, RDMA
+//! fabrics, or multi-continent deployments on hand, we substitute a
+//! deterministic discrete-event simulator (see DESIGN.md §2): the trade-off
+//! curves the paper predicts depend on latency/bandwidth *ratios*, which
+//! the simulator reproduces and can sweep.
+//!
+//! * [`sim`] — a generic discrete-event loop ([`sim::Sim`]) over a virtual
+//!   clock; events are closures over a user-supplied world type.
+//! * [`link`] — link specifications (latency, bandwidth, jitter, loss) and
+//!   canned link classes (RDMA-ish, LAN, WAN, cellular).
+//! * [`network`] — a routed message-level network: nodes, links, BFS
+//!   routing with a route cache, store-and-forward transfer-time
+//!   computation with per-link serialization, and group partitions.
+//! * [`topology`] — builders for the paper's deployment shapes: multi-DC
+//!   meshes (§IV-E1) and the device–cloud–storage disaggregation of
+//!   Fig. 7 (§IV-E2);
+//! * [`p2p`] — a Chord-style structured overlay for the P2P search
+//!   methods §IV-E points at (O(log n) key lookup vs. ring walking).
+
+pub mod link;
+pub mod network;
+pub mod p2p;
+pub mod sim;
+pub mod topology;
+
+pub use link::{LinkClass, LinkSpec};
+pub use network::{Delivery, Network};
+pub use p2p::ChordRing;
+pub use sim::Sim;
+pub use topology::{DisaggTopology, MultiDcTopology};

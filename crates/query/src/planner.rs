@@ -1,0 +1,170 @@
+//! Device-aware plan selection.
+//!
+//! §IV-G: *"the optimizer may have to be device-aware so that a feasible
+//! (and optimal for the device) plan can be generated"*. The planner
+//! chooses a join strategy per device class: plans that don't fit the
+//! device's memory are infeasible, and among the feasible ones the
+//! cheapest under a simple cost model wins.
+
+use mv_common::{MvError, MvResult};
+
+/// Device classes of the disaggregated architecture (Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceClass {
+    /// VR goggles / smart glasses: tiny memory, weak CPU.
+    Headset,
+    /// Mobile phone.
+    Phone,
+    /// Edge server.
+    EdgeServer,
+    /// Cloud executor: effectively unconstrained.
+    CloudExecutor,
+}
+
+impl DeviceClass {
+    /// Working memory available to a query, in rows it can hold.
+    pub fn mem_rows(self) -> u64 {
+        match self {
+            DeviceClass::Headset => 2_000,
+            DeviceClass::Phone => 50_000,
+            DeviceClass::EdgeServer => 2_000_000,
+            DeviceClass::CloudExecutor => u64::MAX,
+        }
+    }
+
+    /// Relative CPU slowdown vs. a cloud executor.
+    pub fn cpu_factor(self) -> f64 {
+        match self {
+            DeviceClass::Headset => 8.0,
+            DeviceClass::Phone => 4.0,
+            DeviceClass::EdgeServer => 1.5,
+            DeviceClass::CloudExecutor => 1.0,
+        }
+    }
+}
+
+/// Join strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinPlan {
+    /// Build a hash table on the smaller input. Needs the build side in
+    /// memory; cost ≈ n + m.
+    HashJoin,
+    /// Sort both sides, then merge. Needs the larger side in memory (we
+    /// model in-memory sorts only); cost ≈ n log n + m log m.
+    SortMergeJoin,
+    /// Nested loops: no memory needed; cost ≈ n × m.
+    NestedLoop,
+}
+
+impl JoinPlan {
+    /// All strategies.
+    pub const ALL: [JoinPlan; 3] =
+        [JoinPlan::HashJoin, JoinPlan::SortMergeJoin, JoinPlan::NestedLoop];
+
+    /// Memory rows required for inputs of `n` and `m` rows.
+    pub fn mem_rows(self, n: u64, m: u64) -> u64 {
+        match self {
+            JoinPlan::HashJoin => n.min(m),
+            JoinPlan::SortMergeJoin => n.max(m),
+            JoinPlan::NestedLoop => 1,
+        }
+    }
+
+    /// Abstract CPU cost for inputs of `n` and `m` rows.
+    pub fn cost(self, n: u64, m: u64) -> f64 {
+        let (n, m) = (n as f64, m as f64);
+        match self {
+            JoinPlan::HashJoin => 1.2 * (n + m),
+            JoinPlan::SortMergeJoin => {
+                n * n.max(2.0).log2() + m * m.max(2.0).log2()
+            }
+            JoinPlan::NestedLoop => 0.25 * n * m,
+        }
+    }
+}
+
+/// The device-aware planner.
+#[derive(Debug, Default)]
+pub struct Planner;
+
+impl Planner {
+    /// Pick the cheapest plan feasible on `device` for a join of `n × m`
+    /// rows; returns the plan and its device-adjusted cost.
+    pub fn choose_join(device: DeviceClass, n: u64, m: u64) -> MvResult<(JoinPlan, f64)> {
+        JoinPlan::ALL
+            .iter()
+            .filter(|p| p.mem_rows(n, m) <= device.mem_rows())
+            .map(|&p| (p, p.cost(n, m) * device.cpu_factor()))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
+            .ok_or_else(|| MvError::Exhausted("no feasible plan".into()))
+    }
+
+    /// Should the device run the join locally or ship both inputs to the
+    /// cloud? Shipping costs `ship_cost_per_row` per row; the cloud runs
+    /// at factor 1. Returns `(run_in_cloud, total_cost)`.
+    pub fn place_join(
+        device: DeviceClass,
+        n: u64,
+        m: u64,
+        ship_cost_per_row: f64,
+    ) -> MvResult<(bool, f64)> {
+        let local = Self::choose_join(device, n, m).map(|(_, c)| c);
+        let (_, cloud_exec) = Self::choose_join(DeviceClass::CloudExecutor, n, m)?;
+        let cloud = cloud_exec + ship_cost_per_row * (n + m) as f64;
+        Ok(match local {
+            Ok(local_cost) if local_cost <= cloud => (false, local_cost),
+            _ => (true, cloud),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cloud_prefers_hash_join() {
+        let (plan, _) = Planner::choose_join(DeviceClass::CloudExecutor, 100_000, 1_000_000)
+            .unwrap();
+        assert_eq!(plan, JoinPlan::HashJoin);
+    }
+
+    #[test]
+    fn headset_falls_back_when_build_side_too_big() {
+        // Build side (100k) exceeds headset memory (2k rows): hash join
+        // and sort-merge are infeasible; nested loop remains.
+        let (plan, _) = Planner::choose_join(DeviceClass::Headset, 100_000, 200_000).unwrap();
+        assert_eq!(plan, JoinPlan::NestedLoop);
+        // A small join fits and goes hash.
+        let (plan, _) = Planner::choose_join(DeviceClass::Headset, 1_000, 1_000).unwrap();
+        assert_eq!(plan, JoinPlan::HashJoin);
+    }
+
+    #[test]
+    fn device_cpu_factor_scales_cost() {
+        let (_, cloud) = Planner::choose_join(DeviceClass::CloudExecutor, 1_000, 1_000).unwrap();
+        let (_, phone) = Planner::choose_join(DeviceClass::Phone, 1_000, 1_000).unwrap();
+        assert!((phone / cloud - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn placement_ships_big_joins_off_weak_devices() {
+        // Big join on a headset: local nested loop is ruinous; shipping wins.
+        let (in_cloud, _) =
+            Planner::place_join(DeviceClass::Headset, 50_000, 50_000, 1.0).unwrap();
+        assert!(in_cloud);
+        // Small join: stay local, save the shipping.
+        let (in_cloud, _) = Planner::place_join(DeviceClass::Headset, 500, 500, 10.0).unwrap();
+        assert!(!in_cloud);
+    }
+
+    #[test]
+    fn plan_cost_model_orderings() {
+        // For equal inputs, hash < sort-merge < nested loop at scale.
+        let n = 100_000;
+        assert!(JoinPlan::HashJoin.cost(n, n) < JoinPlan::SortMergeJoin.cost(n, n));
+        assert!(JoinPlan::SortMergeJoin.cost(n, n) < JoinPlan::NestedLoop.cost(n, n));
+        // At tiny sizes nested loop is competitive.
+        assert!(JoinPlan::NestedLoop.cost(2, 2) < JoinPlan::HashJoin.cost(2, 2));
+    }
+}

@@ -1,0 +1,195 @@
+//! Space-aware contended allocation.
+//!
+//! §IV-G: *"it is reasonable to prioritize sales for a shopper in a
+//! physical mall than for an online shopper (when they both wanted the
+//! last available item)"*. The allocator batches purchase requests over a
+//! short decision window (requests racing within the window are
+//! "simultaneous") and resolves each item's contention under a policy.
+
+use mv_common::hash::FastMap;
+use mv_common::id::ClientId;
+use mv_common::metrics::Counters;
+use mv_common::time::{SimDuration, SimTime};
+use mv_common::Space;
+
+/// A purchase request for one unit of an item.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PurchaseRequest {
+    /// The shopper.
+    pub client: ClientId,
+    /// Which space the shopper is in.
+    pub space: Space,
+    /// Item id.
+    pub item: u64,
+    /// Arrival time.
+    pub ts: SimTime,
+}
+
+/// Contention-resolution policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocPolicy {
+    /// Strict arrival order (whoever's packet got in first).
+    Fifo,
+    /// Within a decision window, physical shoppers outrank virtual ones;
+    /// ties by arrival.
+    PhysicalFirst {
+        /// Requests closer together than this are considered simultaneous.
+        window: SimDuration,
+    },
+}
+
+/// Outcome per request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PurchaseOutcome {
+    /// Got the item.
+    Won,
+    /// Sold out (or outranked).
+    Lost,
+}
+
+/// The allocator.
+#[derive(Debug)]
+pub struct ContendedAllocator {
+    stock: FastMap<u64, u64>,
+    policy: AllocPolicy,
+    /// `sold`, `rejected`, `physical_wins`, `virtual_wins` counters.
+    pub stats: Counters,
+}
+
+impl ContendedAllocator {
+    /// Create with a policy.
+    pub fn new(policy: AllocPolicy) -> Self {
+        ContendedAllocator { stock: FastMap::default(), policy, stats: Counters::new() }
+    }
+
+    /// Set an item's stock.
+    pub fn stock(&mut self, item: u64, qty: u64) {
+        self.stock.insert(item, qty);
+    }
+
+    /// Remaining stock.
+    pub fn remaining(&self, item: u64) -> u64 {
+        self.stock.get(&item).copied().unwrap_or(0)
+    }
+
+    /// Resolve a batch of requests; returns outcomes aligned with the
+    /// input order.
+    pub fn resolve(&mut self, requests: &[PurchaseRequest]) -> Vec<PurchaseOutcome> {
+        // Deterministic service order per policy.
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        match self.policy {
+            AllocPolicy::Fifo => {
+                order.sort_by_key(|&i| (requests[i].ts, requests[i].client));
+            }
+            AllocPolicy::PhysicalFirst { window } => {
+                order.sort_by_key(|&i| {
+                    let r = &requests[i];
+                    // Quantize arrivals into decision windows; within a
+                    // window physical outranks virtual.
+                    let bucket = r.ts.as_micros() / window.as_micros().max(1);
+                    let space_rank = match r.space {
+                        Space::Physical => 0u8,
+                        Space::Virtual => 1u8,
+                    };
+                    (bucket, space_rank, r.ts, r.client)
+                });
+            }
+        }
+        let mut outcomes = vec![PurchaseOutcome::Lost; requests.len()];
+        for i in order {
+            let r = &requests[i];
+            let stock = self.stock.entry(r.item).or_insert(0);
+            if *stock > 0 {
+                *stock -= 1;
+                outcomes[i] = PurchaseOutcome::Won;
+                self.stats.incr("sold");
+                match r.space {
+                    Space::Physical => self.stats.incr("physical_wins"),
+                    Space::Virtual => self.stats.incr("virtual_wins"),
+                }
+            } else {
+                self.stats.incr("rejected");
+            }
+        }
+        outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(client: u64, space: Space, item: u64, us: u64) -> PurchaseRequest {
+        PurchaseRequest {
+            client: ClientId::new(client),
+            space,
+            item,
+            ts: SimTime::from_micros(us),
+        }
+    }
+
+    #[test]
+    fn fifo_first_packet_wins() {
+        let mut alloc = ContendedAllocator::new(AllocPolicy::Fifo);
+        alloc.stock(1, 1);
+        // The online shopper's packet arrives 1 µs earlier.
+        let outcomes = alloc.resolve(&[
+            req(1, Space::Virtual, 1, 100),
+            req(2, Space::Physical, 1, 101),
+        ]);
+        assert_eq!(outcomes, vec![PurchaseOutcome::Won, PurchaseOutcome::Lost]);
+    }
+
+    #[test]
+    fn physical_first_flips_the_race_within_the_window() {
+        let mut alloc = ContendedAllocator::new(AllocPolicy::PhysicalFirst {
+            window: SimDuration::from_millis(10),
+        });
+        alloc.stock(1, 1);
+        let outcomes = alloc.resolve(&[
+            req(1, Space::Virtual, 1, 100),
+            req(2, Space::Physical, 1, 101),
+        ]);
+        assert_eq!(outcomes, vec![PurchaseOutcome::Lost, PurchaseOutcome::Won]);
+        assert_eq!(alloc.stats.get("physical_wins"), 1);
+    }
+
+    #[test]
+    fn physical_priority_does_not_cross_windows() {
+        let mut alloc = ContendedAllocator::new(AllocPolicy::PhysicalFirst {
+            window: SimDuration::from_micros(10),
+        });
+        alloc.stock(1, 1);
+        // The virtual shopper arrived a full window earlier: FIFO applies.
+        let outcomes = alloc.resolve(&[
+            req(1, Space::Virtual, 1, 0),
+            req(2, Space::Physical, 1, 50),
+        ]);
+        assert_eq!(outcomes, vec![PurchaseOutcome::Won, PurchaseOutcome::Lost]);
+    }
+
+    #[test]
+    fn stock_depletes_across_batches() {
+        let mut alloc = ContendedAllocator::new(AllocPolicy::Fifo);
+        alloc.stock(1, 2);
+        alloc.resolve(&[req(1, Space::Physical, 1, 0)]);
+        alloc.resolve(&[req(2, Space::Physical, 1, 1)]);
+        let out = alloc.resolve(&[req(3, Space::Physical, 1, 2)]);
+        assert_eq!(out, vec![PurchaseOutcome::Lost]);
+        assert_eq!(alloc.remaining(1), 0);
+        assert_eq!(alloc.stats.get("sold"), 2);
+        assert_eq!(alloc.stats.get("rejected"), 1);
+    }
+
+    #[test]
+    fn independent_items_do_not_contend() {
+        let mut alloc = ContendedAllocator::new(AllocPolicy::Fifo);
+        alloc.stock(1, 1);
+        alloc.stock(2, 1);
+        let out = alloc.resolve(&[
+            req(1, Space::Virtual, 1, 0),
+            req(2, Space::Physical, 2, 0),
+        ]);
+        assert_eq!(out, vec![PurchaseOutcome::Won, PurchaseOutcome::Won]);
+    }
+}

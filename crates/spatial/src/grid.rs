@@ -1,0 +1,323 @@
+//! Uniform-grid point index.
+//!
+//! The workhorse for update-intensive movement streams: an update touches
+//! exactly two cells (hash-map buckets), a range query enumerates the
+//! covered cells. The grid is the index the co-space engine (`mv-core`)
+//! uses for the physical space by default.
+
+use crate::index::SpatialIndex;
+use mv_common::geom::{Aabb, Point};
+use mv_common::hash::FastMap;
+use mv_common::id::EntityId;
+
+/// Integer cell coordinates.
+type Cell = (i64, i64);
+
+/// A uniform grid over the plane with square cells of `cell_size` metres.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cell_size: f64,
+    cells: FastMap<Cell, Vec<EntityId>>,
+    positions: FastMap<EntityId, Point>,
+}
+
+impl GridIndex {
+    /// Create a grid with the given cell size.
+    ///
+    /// # Panics
+    /// Panics if `cell_size` is not strictly positive and finite.
+    pub fn new(cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell_size must be positive and finite"
+        );
+        GridIndex { cell_size, cells: FastMap::default(), positions: FastMap::default() }
+    }
+
+    /// The configured cell size.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    #[inline]
+    fn cell_of(&self, p: Point) -> Cell {
+        ((p.x / self.cell_size).floor() as i64, (p.y / self.cell_size).floor() as i64)
+    }
+
+    fn remove_from_cell(&mut self, cell: Cell, id: EntityId) {
+        if let Some(v) = self.cells.get_mut(&cell) {
+            if let Some(pos) = v.iter().position(|&e| e == id) {
+                v.swap_remove(pos);
+            }
+            if v.is_empty() {
+                self.cells.remove(&cell);
+            }
+        }
+    }
+
+    /// Number of occupied cells (diagnostics for grain tuning).
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+impl SpatialIndex for GridIndex {
+    fn insert(&mut self, id: EntityId, p: Point) {
+        if let Some(old) = self.positions.insert(id, p) {
+            let old_cell = self.cell_of(old);
+            let new_cell = self.cell_of(p);
+            if old_cell != new_cell {
+                self.remove_from_cell(old_cell, id);
+                self.cells.entry(new_cell).or_default().push(id);
+            }
+            return;
+        }
+        let cell = self.cell_of(p);
+        self.cells.entry(cell).or_default().push(id);
+    }
+
+    fn remove(&mut self, id: EntityId) -> Option<Point> {
+        let p = self.positions.remove(&id)?;
+        let cell = self.cell_of(p);
+        self.remove_from_cell(cell, id);
+        Some(p)
+    }
+
+    fn get(&self, id: EntityId) -> Option<Point> {
+        self.positions.get(&id).copied()
+    }
+
+    fn range(&self, area: &Aabb) -> Vec<EntityId> {
+        let lo = self.cell_of(area.lo);
+        let hi = self.cell_of(area.hi);
+        let mut out = Vec::new();
+        // Huge queries (e.g. `Aabb::everything()`) would enumerate an
+        // astronomically large cell rectangle; when the query covers more
+        // cells than are occupied, walk the occupied cells instead.
+        let span = (hi.0 as i128 - lo.0 as i128 + 1)
+            .saturating_mul(hi.1 as i128 - lo.1 as i128 + 1);
+        if span > self.cells.len() as i128 {
+            for (&(cx, cy), ids) in &self.cells {
+                if cx < lo.0 || cx > hi.0 || cy < lo.1 || cy > hi.1 {
+                    continue;
+                }
+                for &id in ids {
+                    let p = self.positions[&id];
+                    if area.contains(p) {
+                        out.push(id);
+                    }
+                }
+            }
+            return out;
+        }
+        for cx in lo.0..=hi.0 {
+            for cy in lo.1..=hi.1 {
+                if let Some(ids) = self.cells.get(&(cx, cy)) {
+                    for &id in ids {
+                        // Cells on the query boundary need a point check.
+                        let p = self.positions[&id];
+                        if area.contains(p) {
+                            out.push(id);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn knn(&self, p: Point, k: usize) -> Vec<EntityId> {
+        if k == 0 || self.positions.is_empty() {
+            return Vec::new();
+        }
+        // Expanding-ring search: examine cells in growing square rings
+        // around p; stop once the k-th best distance is no larger than the
+        // closest possible point in the next unexplored ring.
+        let center = self.cell_of(p);
+        let mut best: Vec<(f64, EntityId)> = Vec::with_capacity(k + 1);
+        let mut ring = 0i64;
+        let max_ring = 1 + (self.positions.len() as f64).sqrt() as i64
+            + self
+                .cells
+                .keys()
+                .map(|&(x, y)| (x - center.0).abs().max((y - center.1).abs()))
+                .max()
+                .unwrap_or(0);
+        while ring <= max_ring {
+            // Visit cells at Chebyshev distance `ring` from the center.
+            let visit = |cell: Cell, best: &mut Vec<(f64, EntityId)>| {
+                if let Some(ids) = self.cells.get(&cell) {
+                    for &id in ids {
+                        let d = p.dist_sq(self.positions[&id]);
+                        best.push((d, id));
+                    }
+                }
+            };
+            if ring == 0 {
+                visit(center, &mut best);
+            } else {
+                for dx in -ring..=ring {
+                    visit((center.0 + dx, center.1 - ring), &mut best);
+                    visit((center.0 + dx, center.1 + ring), &mut best);
+                }
+                for dy in (-ring + 1)..ring {
+                    visit((center.0 - ring, center.1 + dy), &mut best);
+                    visit((center.0 + ring, center.1 + dy), &mut best);
+                }
+            }
+            best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            best.truncate(k);
+            if best.len() == k {
+                // Distance to the nearest edge of the next ring.
+                let next_ring_dist = ring as f64 * self.cell_size;
+                let kth = best[k - 1].0.sqrt();
+                if kth <= next_ring_dist {
+                    break;
+                }
+            }
+            ring += 1;
+        }
+        best.into_iter().map(|(_, id)| id).collect()
+    }
+
+    fn len(&self) -> usize {
+        self.positions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{sorted, ScanIndex};
+    use mv_common::seeded_rng;
+    use proptest::prelude::*;
+    use rand::Rng;
+
+    fn e(i: u64) -> EntityId {
+        EntityId::new(i)
+    }
+
+    #[test]
+    fn basic_insert_range() {
+        let mut g = GridIndex::new(10.0);
+        g.insert(e(1), Point::new(5.0, 5.0));
+        g.insert(e(2), Point::new(15.0, 5.0));
+        g.insert(e(3), Point::new(-5.0, -5.0));
+        let hits = sorted(g.range(&Aabb::new(Point::ORIGIN, Point::new(20.0, 10.0))));
+        assert_eq!(hits, vec![e(1), e(2)]);
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn update_across_cells() {
+        let mut g = GridIndex::new(1.0);
+        g.insert(e(1), Point::new(0.5, 0.5));
+        g.update(e(1), Point::new(10.5, 10.5));
+        assert_eq!(g.len(), 1);
+        assert!(g.range(&Aabb::centered(Point::new(0.5, 0.5), 0.4)).is_empty());
+        assert_eq!(g.range(&Aabb::centered(Point::new(10.5, 10.5), 0.4)), vec![e(1)]);
+        assert_eq!(g.occupied_cells(), 1);
+    }
+
+    #[test]
+    fn insert_same_cell_does_not_duplicate() {
+        let mut g = GridIndex::new(10.0);
+        g.insert(e(1), Point::new(1.0, 1.0));
+        g.insert(e(1), Point::new(2.0, 2.0)); // same cell
+        let hits = g.range(&Aabb::centered(Point::new(2.0, 2.0), 5.0));
+        assert_eq!(hits, vec![e(1)]);
+    }
+
+    #[test]
+    fn everything_query_terminates_and_returns_all() {
+        // Regression: the unbounded box used to enumerate 2^64 cells (and
+        // its cell-span product overflowed i128). Must be instant.
+        let mut g = GridIndex::new(500.0);
+        for i in 0..1000u64 {
+            g.insert(e(i), Point::new((i % 317) as f64 * 300.0, (i % 211) as f64 * 300.0));
+        }
+        let t0 = std::time::Instant::now();
+        let all = g.range(&Aabb::everything());
+        assert_eq!(all.len(), 1000);
+        assert!(t0.elapsed().as_millis() < 1000, "everything() too slow");
+    }
+
+    #[test]
+    fn knn_matches_scan_on_fixed_case() {
+        let mut g = GridIndex::new(2.0);
+        let mut s = ScanIndex::new();
+        let pts = [(0.0, 0.0), (1.0, 1.0), (3.0, 0.0), (10.0, 10.0), (-2.0, 1.0)];
+        for (i, (x, y)) in pts.iter().enumerate() {
+            g.insert(e(i as u64), Point::new(*x, *y));
+            s.insert(e(i as u64), Point::new(*x, *y));
+        }
+        for k in 0..=5 {
+            assert_eq!(g.knn(Point::new(0.2, 0.1), k), s.knn(Point::new(0.2, 0.1), k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn randomized_equivalence_with_scan() {
+        let mut rng = seeded_rng(42);
+        let mut g = GridIndex::new(7.0);
+        let mut s = ScanIndex::new();
+        for i in 0..500u64 {
+            let p = Point::new(rng.gen_range(-100.0..100.0), rng.gen_range(-100.0..100.0));
+            g.insert(e(i), p);
+            s.insert(e(i), p);
+        }
+        // Random updates and removals.
+        for i in 0..200u64 {
+            let p = Point::new(rng.gen_range(-100.0..100.0), rng.gen_range(-100.0..100.0));
+            g.update(e(i), p);
+            s.update(e(i), p);
+        }
+        for i in 300..350u64 {
+            assert_eq!(g.remove(e(i)), s.remove(e(i)));
+        }
+        for _ in 0..50 {
+            let c = Point::new(rng.gen_range(-100.0..100.0), rng.gen_range(-100.0..100.0));
+            let r = rng.gen_range(1.0..40.0);
+            let area = Aabb::centered(c, r);
+            assert_eq!(sorted(g.range(&area)), sorted(s.range(&area)));
+            assert_eq!(g.knn(c, 5), s.knn(c, 5));
+        }
+        assert_eq!(g.len(), s.len());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_grid_range_equals_scan(
+            pts in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..60),
+            qx in -50.0f64..50.0,
+            qy in -50.0f64..50.0,
+            r in 0.1f64..30.0,
+            cell in 0.5f64..20.0,
+        ) {
+            let mut g = GridIndex::new(cell);
+            let mut s = ScanIndex::new();
+            for (i, (x, y)) in pts.iter().enumerate() {
+                g.insert(e(i as u64), Point::new(*x, *y));
+                s.insert(e(i as u64), Point::new(*x, *y));
+            }
+            let area = Aabb::centered(Point::new(qx, qy), r);
+            prop_assert_eq!(sorted(g.range(&area)), sorted(s.range(&area)));
+        }
+
+        #[test]
+        fn prop_grid_knn_equals_scan(
+            pts in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..40),
+            qx in -50.0f64..50.0,
+            qy in -50.0f64..50.0,
+            k in 1usize..8,
+        ) {
+            let mut g = GridIndex::new(5.0);
+            let mut s = ScanIndex::new();
+            for (i, (x, y)) in pts.iter().enumerate() {
+                g.insert(e(i as u64), Point::new(*x, *y));
+                s.insert(e(i as u64), Point::new(*x, *y));
+            }
+            prop_assert_eq!(g.knn(Point::new(qx, qy), k), s.knn(Point::new(qx, qy), k));
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Buffer pool with pluggable eviction, including the space-aware policy.
+//!
+//! §IV-F: *"The two categories of data … call for novel buffer
+//! management and caching schemes. In particular, we expect an effective
+//! scheme to be conscious of the semantics. For example, data from the
+//! real space may be given higher priority over data from the virtual
+//! space."* [`EvictionPolicy::SpaceAware`] implements exactly that: on
+//! eviction, virtual-space pages are sacrificed (LRU among them) before
+//! any physical-space page is considered. E7/E9 measure hit rates.
+
+use mv_common::hash::FastMap;
+use mv_common::metrics::Counters;
+use mv_common::Space;
+
+/// A cached page's identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId {
+    /// Which space the page's data belongs to (§IV-F tagging).
+    pub space: Space,
+    /// Page number within that space.
+    pub page_no: u64,
+}
+
+impl PageId {
+    /// Construct a page id.
+    pub fn new(space: Space, page_no: u64) -> Self {
+        PageId { space, page_no }
+    }
+}
+
+/// Eviction policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Least recently used.
+    Lru,
+    /// Least frequently used (ties: LRU).
+    Lfu,
+    /// Evict virtual-space pages (LRU among them) before physical ones.
+    SpaceAware,
+}
+
+impl EvictionPolicy {
+    /// All policies, for sweeps.
+    pub const ALL: [EvictionPolicy; 3] =
+        [EvictionPolicy::Lru, EvictionPolicy::Lfu, EvictionPolicy::SpaceAware];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvictionPolicy::Lru => "lru",
+            EvictionPolicy::Lfu => "lfu",
+            EvictionPolicy::SpaceAware => "space-aware",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    last_used: u64,
+    uses: u64,
+}
+
+/// The pool: tracks residency and access recency/frequency. Page
+/// *contents* live with the callers — the pool is an admission/eviction
+/// simulator, which is all the experiments need.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    policy: EvictionPolicy,
+    frames: FastMap<PageId, Frame>,
+    tick: u64,
+    /// `hits`, `misses`, `evictions` counters.
+    pub stats: Counters,
+}
+
+impl BufferPool {
+    /// A pool holding up to `capacity` pages.
+    pub fn new(capacity: usize, policy: EvictionPolicy) -> Self {
+        assert!(capacity > 0);
+        BufferPool {
+            capacity,
+            policy,
+            frames: FastMap::default(),
+            tick: 0,
+            stats: Counters::new(),
+        }
+    }
+
+    /// Touch a page: returns true on hit; on miss the page is admitted,
+    /// evicting a victim if full. The returned victim (if any) tells the
+    /// caller which page to write back / drop.
+    pub fn access(&mut self, page: PageId) -> (bool, Option<PageId>) {
+        self.tick += 1;
+        if let Some(f) = self.frames.get_mut(&page) {
+            f.last_used = self.tick;
+            f.uses += 1;
+            self.stats.incr("hits");
+            return (true, None);
+        }
+        self.stats.incr("misses");
+        let mut victim = None;
+        if self.frames.len() >= self.capacity {
+            victim = self.pick_victim();
+            if let Some(v) = victim {
+                self.frames.remove(&v);
+                self.stats.incr("evictions");
+            }
+        }
+        self.frames.insert(page, Frame { last_used: self.tick, uses: 1 });
+        (false, victim)
+    }
+
+    fn pick_victim(&self) -> Option<PageId> {
+        let candidates = self.frames.iter();
+        match self.policy {
+            EvictionPolicy::Lru => candidates
+                .min_by_key(|(id, f)| (f.last_used, **id))
+                .map(|(id, _)| *id),
+            EvictionPolicy::Lfu => candidates
+                .min_by_key(|(id, f)| (f.uses, f.last_used, **id))
+                .map(|(id, _)| *id),
+            EvictionPolicy::SpaceAware => {
+                // Virtual pages first (LRU among them), else LRU overall.
+                let virt = self
+                    .frames
+                    .iter()
+                    .filter(|(id, _)| id.space == Space::Virtual)
+                    .min_by_key(|(id, f)| (f.last_used, **id))
+                    .map(|(id, _)| *id);
+                virt.or_else(|| {
+                    self.frames
+                        .iter()
+                        .min_by_key(|(id, f)| (f.last_used, **id))
+                        .map(|(id, _)| *id)
+                })
+            }
+        }
+    }
+
+    /// Is a page resident?
+    pub fn contains(&self, page: PageId) -> bool {
+        self.frames.contains_key(&page)
+    }
+
+    /// Resident page count.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Hit rate so far.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.stats.get("hits") as f64;
+        let m = self.stats.get("misses") as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phys(n: u64) -> PageId {
+        PageId::new(Space::Physical, n)
+    }
+    fn virt(n: u64) -> PageId {
+        PageId::new(Space::Virtual, n)
+    }
+
+    #[test]
+    fn hits_and_misses_count() {
+        let mut bp = BufferPool::new(2, EvictionPolicy::Lru);
+        assert_eq!(bp.access(phys(1)), (false, None));
+        assert_eq!(bp.access(phys(1)), (true, None));
+        assert_eq!(bp.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut bp = BufferPool::new(2, EvictionPolicy::Lru);
+        bp.access(phys(1));
+        bp.access(phys(2));
+        bp.access(phys(1)); // 2 is now LRU
+        let (_, victim) = bp.access(phys(3));
+        assert_eq!(victim, Some(phys(2)));
+        assert!(bp.contains(phys(1)));
+        assert!(bp.contains(phys(3)));
+    }
+
+    #[test]
+    fn lfu_protects_frequent_pages() {
+        let mut bp = BufferPool::new(2, EvictionPolicy::Lfu);
+        for _ in 0..5 {
+            bp.access(phys(1)); // hot
+        }
+        bp.access(phys(2));
+        let (_, victim) = bp.access(phys(3));
+        assert_eq!(victim, Some(phys(2)), "cold page evicted, hot survives");
+        assert!(bp.contains(phys(1)));
+    }
+
+    #[test]
+    fn space_aware_sacrifices_virtual_pages_first() {
+        let mut bp = BufferPool::new(3, EvictionPolicy::SpaceAware);
+        bp.access(phys(1));
+        bp.access(virt(1));
+        bp.access(phys(2));
+        // phys(1) is the global LRU, but the virtual page must go first.
+        let (_, victim) = bp.access(phys(3));
+        assert_eq!(victim, Some(virt(1)));
+        assert!(bp.contains(phys(1)));
+    }
+
+    #[test]
+    fn space_aware_falls_back_to_lru_without_virtual_pages() {
+        let mut bp = BufferPool::new(2, EvictionPolicy::SpaceAware);
+        bp.access(phys(1));
+        bp.access(phys(2));
+        let (_, victim) = bp.access(phys(3));
+        assert_eq!(victim, Some(phys(1)));
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut bp = BufferPool::new(4, EvictionPolicy::Lru);
+        for i in 0..100 {
+            bp.access(phys(i));
+        }
+        assert_eq!(bp.len(), 4);
+        assert_eq!(bp.stats.get("evictions"), 96);
+    }
+}

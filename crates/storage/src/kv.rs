@@ -1,0 +1,322 @@
+//! A log-structured in-memory KV store.
+//!
+//! The write path is the classic LSM shape: puts land in a mutable
+//! memtable (a B-tree); when the memtable exceeds its budget it freezes
+//! into an immutable sorted run; reads check memtable → runs newest-first;
+//! compaction merges runs, dropping shadowed versions and tombstones.
+//! "Disk" is simulated by the run vector — what matters for the
+//! experiments is the *shape* of the access paths, not actual I/O.
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// Number of immutable runs that triggers a full-merge compaction.
+const COMPACT_TRIGGER: usize = 8;
+
+/// A sorted immutable run: key → value (None = tombstone).
+type Run = Vec<(Bytes, Option<Bytes>)>;
+
+/// The store.
+#[derive(Debug)]
+pub struct KvStore {
+    memtable: BTreeMap<Bytes, Option<Bytes>>,
+    memtable_bytes: usize,
+    memtable_budget: usize,
+    /// Immutable runs, newest last.
+    runs: Vec<Run>,
+    /// Monotone flush counter (diagnostics).
+    pub flushes: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+}
+
+impl KvStore {
+    /// A store with the default 1 MiB memtable budget.
+    pub fn new() -> Self {
+        Self::with_memtable_budget(1 << 20)
+    }
+
+    /// A store with an explicit memtable budget in bytes.
+    pub fn with_memtable_budget(budget: usize) -> Self {
+        assert!(budget > 0);
+        KvStore {
+            memtable: BTreeMap::new(),
+            memtable_bytes: 0,
+            memtable_budget: budget,
+            runs: Vec::new(),
+            flushes: 0,
+            compactions: 0,
+        }
+    }
+
+    /// Insert or overwrite a key.
+    pub fn put(&mut self, key: impl Into<Bytes>, value: impl Into<Bytes>) {
+        let (key, value) = (key.into(), value.into());
+        self.memtable_bytes += key.len() + value.len();
+        self.memtable.insert(key, Some(value));
+        self.maybe_flush();
+    }
+
+    /// Delete a key (writes a tombstone).
+    pub fn delete(&mut self, key: impl Into<Bytes>) {
+        let key = key.into();
+        self.memtable_bytes += key.len();
+        self.memtable.insert(key, None);
+        self.maybe_flush();
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Option<Bytes> {
+        if let Some(v) = self.memtable.get(key) {
+            return v.clone();
+        }
+        for run in self.runs.iter().rev() {
+            if let Ok(idx) = run.binary_search_by(|(k, _)| k.as_ref().cmp(key)) {
+                return run[idx].1.clone();
+            }
+        }
+        None
+    }
+
+    /// Range scan over `[lo, hi)`, newest version per key, tombstones
+    /// elided, ascending key order.
+    pub fn scan(&self, lo: &[u8], hi: &[u8]) -> Vec<(Bytes, Bytes)> {
+        // Merge: memtable wins, then newer runs win.
+        let mut merged: BTreeMap<Bytes, Option<Bytes>> = BTreeMap::new();
+        for run in &self.runs {
+            let start = run.partition_point(|(k, _)| k.as_ref() < lo);
+            for (k, v) in &run[start..] {
+                if k.as_ref() >= hi {
+                    break;
+                }
+                merged.insert(k.clone(), v.clone());
+            }
+        }
+        for (k, v) in self.memtable.range::<[u8], _>((
+            std::ops::Bound::Included(lo),
+            std::ops::Bound::Excluded(hi),
+        )) {
+            merged.insert(k.clone(), v.clone());
+        }
+        merged.into_iter().filter_map(|(k, v)| v.map(|v| (k, v))).collect()
+    }
+
+    /// Freeze the memtable into a run if over budget.
+    fn maybe_flush(&mut self) {
+        if self.memtable_bytes >= self.memtable_budget {
+            self.flush();
+        }
+    }
+
+    /// Force-freeze the memtable (used before snapshots/recovery points).
+    pub fn flush(&mut self) {
+        if self.memtable.is_empty() {
+            return;
+        }
+        let run: Run = std::mem::take(&mut self.memtable).into_iter().collect();
+        self.memtable_bytes = 0;
+        self.runs.push(run);
+        self.flushes += 1;
+        if self.runs.len() >= COMPACT_TRIGGER {
+            self.compact();
+        }
+    }
+
+    /// Merge all runs into one, dropping shadowed versions and tombstones
+    /// that no longer shadow anything.
+    pub fn compact(&mut self) {
+        if self.runs.len() <= 1 {
+            return;
+        }
+        let mut merged: BTreeMap<Bytes, Option<Bytes>> = BTreeMap::new();
+        for run in self.runs.drain(..) {
+            for (k, v) in run {
+                merged.insert(k, v);
+            }
+        }
+        // After a full merge, tombstones shadow nothing and can drop.
+        let run: Run = merged.into_iter().filter(|(_, v)| v.is_some()).collect();
+        self.runs.push(run);
+        self.compactions += 1;
+    }
+
+    /// Number of immutable runs (diagnostics).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Live key count (scan-based; diagnostics only).
+    pub fn len(&self) -> usize {
+        self.scan(&[], &[0xffu8; 64]).len()
+    }
+
+    /// True when no live keys exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for KvStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_common::seeded_rng;
+    use proptest::prelude::*;
+    use rand::Rng;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn put_get_overwrite_delete() {
+        let mut kv = KvStore::new();
+        kv.put(b("a"), b("1"));
+        assert_eq!(kv.get(b"a"), Some(b("1")));
+        kv.put(b("a"), b("2"));
+        assert_eq!(kv.get(b"a"), Some(b("2")));
+        kv.delete(b("a"));
+        assert_eq!(kv.get(b"a"), None);
+        assert_eq!(kv.get(b"zzz"), None);
+    }
+
+    #[test]
+    fn reads_span_memtable_and_runs() {
+        let mut kv = KvStore::with_memtable_budget(64);
+        for i in 0..100u32 {
+            kv.put(Bytes::from(format!("key{i:03}")), Bytes::from(format!("v{i}")));
+        }
+        assert!(kv.run_count() > 0, "small budget must have flushed");
+        for i in 0..100u32 {
+            assert_eq!(
+                kv.get(format!("key{i:03}").as_bytes()),
+                Some(Bytes::from(format!("v{i}"))),
+                "key{i}"
+            );
+        }
+    }
+
+    #[test]
+    fn newer_run_shadows_older() {
+        let mut kv = KvStore::with_memtable_budget(1 << 20);
+        kv.put(b("k"), b("old"));
+        kv.flush();
+        kv.put(b("k"), b("new"));
+        kv.flush();
+        assert_eq!(kv.get(b"k"), Some(b("new")));
+        kv.compact();
+        assert_eq!(kv.get(b"k"), Some(b("new")));
+        assert_eq!(kv.run_count(), 1);
+    }
+
+    #[test]
+    fn tombstones_survive_flush_until_compaction() {
+        let mut kv = KvStore::new();
+        kv.put(b("k"), b("v"));
+        kv.flush();
+        kv.delete(b("k"));
+        kv.flush();
+        assert_eq!(kv.get(b"k"), None);
+        kv.compact();
+        assert_eq!(kv.get(b"k"), None);
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn scan_merges_and_orders() {
+        let mut kv = KvStore::with_memtable_budget(48);
+        kv.put(b("b"), b("2"));
+        kv.put(b("d"), b("4"));
+        kv.flush();
+        kv.put(b("a"), b("1"));
+        kv.put(b("c"), b("3"));
+        kv.delete(b("d"));
+        let hits = kv.scan(b"a", b"e");
+        let keys: Vec<&[u8]> = hits.iter().map(|(k, _)| k.as_ref()).collect();
+        assert_eq!(keys, vec![b"a".as_ref(), b"b".as_ref(), b"c".as_ref()]);
+        // Range excludes the upper bound.
+        let partial = kv.scan(b"a", b"c");
+        assert_eq!(partial.len(), 2);
+    }
+
+    #[test]
+    fn automatic_compaction_kicks_in() {
+        let mut kv = KvStore::with_memtable_budget(16);
+        for i in 0..200u32 {
+            kv.put(Bytes::from(format!("k{i}")), Bytes::from(vec![0u8; 8]));
+        }
+        assert!(kv.compactions > 0);
+        assert!(kv.run_count() < COMPACT_TRIGGER);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_matches_btreemap_model(
+            ops in proptest::collection::vec((0u8..3, "[a-d]{1,3}", "[x-z]{0,3}"), 1..120),
+            budget in 16usize..256,
+        ) {
+            let mut kv = KvStore::with_memtable_budget(budget);
+            let mut model: BTreeMap<String, String> = BTreeMap::new();
+            for (op, k, v) in &ops {
+                match op {
+                    0 => {
+                        kv.put(Bytes::from(k.clone()), Bytes::from(v.clone()));
+                        model.insert(k.clone(), v.clone());
+                    }
+                    1 => {
+                        kv.delete(Bytes::from(k.clone()));
+                        model.remove(k);
+                    }
+                    _ => {
+                        let got = kv.get(k.as_bytes()).map(|b| String::from_utf8_lossy(&b).to_string());
+                        prop_assert_eq!(got, model.get(k).cloned());
+                    }
+                }
+            }
+            // Full scan equals the model.
+            let scanned: Vec<(String, String)> = kv
+                .scan(b"a", b"zzzz")
+                .into_iter()
+                .map(|(k, v)| (
+                    String::from_utf8_lossy(&k).to_string(),
+                    String::from_utf8_lossy(&v).to_string(),
+                ))
+                .collect();
+            let expected: Vec<(String, String)> =
+                model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            prop_assert_eq!(scanned, expected);
+        }
+    }
+
+    #[test]
+    fn randomized_stress_against_model() {
+        let mut rng = seeded_rng(99);
+        let mut kv = KvStore::with_memtable_budget(128);
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for _ in 0..5000 {
+            let key = format!("key-{}", rng.gen_range(0..300)).into_bytes();
+            if rng.gen_bool(0.7) {
+                let val = format!("val-{}", rng.gen_range(0..1000)).into_bytes();
+                kv.put(Bytes::from(key.clone()), Bytes::from(val.clone()));
+                model.insert(key, val);
+            } else {
+                kv.delete(Bytes::from(key.clone()));
+                model.remove(&key);
+            }
+        }
+        for i in 0..300 {
+            let key = format!("key-{i}").into_bytes();
+            assert_eq!(
+                kv.get(&key).map(|b| b.to_vec()),
+                model.get(&key).cloned(),
+                "key-{i}"
+            );
+        }
+    }
+}

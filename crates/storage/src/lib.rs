@@ -1,0 +1,34 @@
+//! `mv-storage` — the heterogeneous storage layer of Fig. 7.
+//!
+//! §IV-E2: the cloud-storage layer *"contains heterogeneous data stores,
+//! including the key-value (KV) store, object store, block store, etc."* —
+//! and §IV-F asks how data from the two spaces should be *organized*
+//! (together, apart, or hybrid) and for *"novel buffer management and
+//! caching schemes … conscious of the semantics"*.
+//!
+//! * [`kv`] — a log-structured KV store: mutable memtable, immutable
+//!   sorted runs, merge compaction, range scans, tombstones;
+//! * [`wal`] — a write-ahead log with crash/recovery simulation;
+//! * [`object`] — a content-addressed object store with refcounted
+//!   deduplication (shared avatar assets land here in E13);
+//! * [`block`] — a fixed-size block store with a free bitmap and extent
+//!   allocation;
+//! * [`bufferpool`] — a page cache with LRU, LFU and the **space-aware**
+//!   eviction policy §IV-F sketches (physical-space pages are protected
+//!   over virtual-space pages);
+//! * [`organization`] — the §IV-F unified / separate / hybrid layouts,
+//!   measurable against single-space and cross-space access mixes (E9).
+
+pub mod block;
+pub mod bufferpool;
+pub mod kv;
+pub mod object;
+pub mod organization;
+pub mod wal;
+
+pub use block::BlockStore;
+pub use bufferpool::{BufferPool, EvictionPolicy, PageId};
+pub use kv::KvStore;
+pub use object::ObjectStore;
+pub use organization::{DataOrganization, Layout};
+pub use wal::{Wal, WalRecord};

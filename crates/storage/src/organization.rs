@@ -1,0 +1,312 @@
+//! Data organization across the two spaces (§IV-F).
+//!
+//! *"…should the location of a shopper in the physical mall be stored
+//! together with the location of an online shopper … On one hand, we can
+//! simply tag data to reflect the space it belongs to. This offers a
+//! unified view … However, for operations that involve only data from a
+//! particular space, the performance may be penalized. On the other hand,
+//! we can organize the data from the two spaces separately. But, this may
+//! end up duplicating resources. Moreover, it may be possible to have a
+//! hybrid strategy."*
+//!
+//! The model: every logical row exists per (table, key) with potentially
+//! a physical-space and a virtual-space payload.
+//!
+//! * **Unified** — one store; both payloads live in one merged record.
+//!   Cross-space reads are one probe; single-space reads drag the other
+//!   space's bytes along, and writes are read-modify-write.
+//! * **Separate** — one store per space. Single-space ops are minimal;
+//!   cross-space reads cost two probes (and two stores' worth of
+//!   structures).
+//! * **Hybrid** — tables listed as `unified_tables` use the merged
+//!   layout; everything else is separate. E9 shows each layout winning
+//!   its own regime, which is precisely the paper's point.
+
+use crate::kv::KvStore;
+use bytes::{BufMut, Bytes, BytesMut};
+use mv_common::metrics::Counters;
+use mv_common::Space;
+
+/// Layout strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Layout {
+    /// One tagged store.
+    Unified,
+    /// Per-space stores.
+    Separate,
+    /// Unified for the listed tables, separate otherwise.
+    Hybrid {
+        /// Tables stored merged.
+        unified_tables: Vec<String>,
+    },
+}
+
+impl Layout {
+    fn unified_for(&self, table: &str) -> bool {
+        match self {
+            Layout::Unified => true,
+            Layout::Separate => false,
+            Layout::Hybrid { unified_tables } => unified_tables.iter().any(|t| t == table),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Layout::Unified => "unified",
+            Layout::Separate => "separate",
+            Layout::Hybrid { .. } => "hybrid",
+        }
+    }
+}
+
+fn encode_pair(phys: Option<&[u8]>, virt: Option<&[u8]>) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        8 + phys.map_or(0, <[u8]>::len) + virt.map_or(0, <[u8]>::len),
+    );
+    let p = phys.unwrap_or(&[]);
+    let v = virt.unwrap_or(&[]);
+    buf.put_u32_le(p.len() as u32);
+    buf.put_u32_le(v.len() as u32);
+    // A zero-length payload is "absent"; presence flags keep empty-vs-
+    // missing distinct.
+    buf.put_u8(phys.is_some() as u8);
+    buf.put_u8(virt.is_some() as u8);
+    buf.put_slice(p);
+    buf.put_slice(v);
+    buf.freeze()
+}
+
+fn decode_pair(data: &[u8]) -> (Option<Bytes>, Option<Bytes>) {
+    let plen = u32::from_le_bytes(data[0..4].try_into().expect("header")) as usize;
+    let vlen = u32::from_le_bytes(data[4..8].try_into().expect("header")) as usize;
+    let has_p = data[8] == 1;
+    let has_v = data[9] == 1;
+    let p = &data[10..10 + plen];
+    let v = &data[10 + plen..10 + plen + vlen];
+    (
+        has_p.then(|| Bytes::copy_from_slice(p)),
+        has_v.then(|| Bytes::copy_from_slice(v)),
+    )
+}
+
+fn row_key(table: &str, key: &str) -> Bytes {
+    Bytes::from(format!("{table}\u{1}{key}"))
+}
+
+/// The organization layer.
+#[derive(Debug)]
+pub struct DataOrganization {
+    layout: Layout,
+    unified: KvStore,
+    physical: KvStore,
+    virtual_: KvStore,
+    /// `probes`, `bytes_read`, `bytes_written` counters.
+    pub stats: Counters,
+}
+
+impl DataOrganization {
+    /// Build with a layout.
+    pub fn new(layout: Layout) -> Self {
+        DataOrganization {
+            layout,
+            unified: KvStore::new(),
+            physical: KvStore::new(),
+            virtual_: KvStore::new(),
+            stats: Counters::new(),
+        }
+    }
+
+    /// The configured layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    fn space_store(&mut self, space: Space) -> &mut KvStore {
+        match space {
+            Space::Physical => &mut self.physical,
+            Space::Virtual => &mut self.virtual_,
+        }
+    }
+
+    /// Write one space's payload of a row.
+    pub fn put(&mut self, space: Space, table: &str, key: &str, value: &[u8]) {
+        let rk = row_key(table, key);
+        if self.layout.unified_for(table) {
+            // Read-modify-write of the merged record.
+            self.stats.incr("probes");
+            let (mut p, mut v) = match self.unified.get(&rk) {
+                Some(cur) => {
+                    self.stats.add("bytes_read", cur.len() as u64);
+                    decode_pair(&cur)
+                }
+                None => (None, None),
+            };
+            match space {
+                Space::Physical => p = Some(Bytes::copy_from_slice(value)),
+                Space::Virtual => v = Some(Bytes::copy_from_slice(value)),
+            }
+            let enc = encode_pair(p.as_deref(), v.as_deref());
+            self.stats.add("bytes_written", enc.len() as u64);
+            self.unified.put(rk, enc);
+        } else {
+            self.stats.add("bytes_written", value.len() as u64);
+            let value = Bytes::copy_from_slice(value);
+            self.space_store(space).put(rk, value);
+        }
+        self.stats.incr("probes");
+    }
+
+    /// Read one space's payload of a row.
+    pub fn get_single(&mut self, space: Space, table: &str, key: &str) -> Option<Bytes> {
+        let rk = row_key(table, key);
+        self.stats.incr("probes");
+        if self.layout.unified_for(table) {
+            let cur = self.unified.get(&rk)?;
+            self.stats.add("bytes_read", cur.len() as u64);
+            let (p, v) = decode_pair(&cur);
+            match space {
+                Space::Physical => p,
+                Space::Virtual => v,
+            }
+        } else {
+            let store = match space {
+                Space::Physical => &self.physical,
+                Space::Virtual => &self.virtual_,
+            };
+            let got = store.get(&rk);
+            if let Some(b) = &got {
+                self.stats.add("bytes_read", b.len() as u64);
+            }
+            got
+        }
+    }
+
+    /// Read both spaces' payloads of a row (the co-space join §IV-F's
+    /// unified view exists for).
+    pub fn get_cross(&mut self, table: &str, key: &str) -> (Option<Bytes>, Option<Bytes>) {
+        let rk = row_key(table, key);
+        if self.layout.unified_for(table) {
+            self.stats.incr("probes");
+            match self.unified.get(&rk) {
+                Some(cur) => {
+                    self.stats.add("bytes_read", cur.len() as u64);
+                    decode_pair(&cur)
+                }
+                None => (None, None),
+            }
+        } else {
+            self.stats.add("probes", 2);
+            let p = self.physical.get(&rk);
+            let v = self.virtual_.get(&rk);
+            if let Some(b) = &p {
+                self.stats.add("bytes_read", b.len() as u64);
+            }
+            if let Some(b) = &v {
+                self.stats.add("bytes_read", b.len() as u64);
+            }
+            (p, v)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layouts() -> Vec<Layout> {
+        vec![
+            Layout::Unified,
+            Layout::Separate,
+            Layout::Hybrid { unified_tables: vec!["inventory".into()] },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_under_every_layout() {
+        for layout in layouts() {
+            let mut org = DataOrganization::new(layout.clone());
+            org.put(Space::Physical, "inventory", "sku1", b"qty=5");
+            org.put(Space::Virtual, "inventory", "sku1", b"qty=50");
+            org.put(Space::Physical, "shoppers", "alice", b"aisle3");
+            assert_eq!(
+                org.get_single(Space::Physical, "inventory", "sku1").as_deref(),
+                Some(b"qty=5".as_ref()),
+                "{layout:?}"
+            );
+            assert_eq!(
+                org.get_single(Space::Virtual, "inventory", "sku1").as_deref(),
+                Some(b"qty=50".as_ref())
+            );
+            let (p, v) = org.get_cross("inventory", "sku1");
+            assert_eq!(p.as_deref(), Some(b"qty=5".as_ref()));
+            assert_eq!(v.as_deref(), Some(b"qty=50".as_ref()));
+            // Missing side stays distinct from empty.
+            let (p, v) = org.get_cross("shoppers", "alice");
+            assert_eq!(p.as_deref(), Some(b"aisle3".as_ref()));
+            assert!(v.is_none());
+            assert!(org.get_single(Space::Virtual, "shoppers", "alice").is_none());
+        }
+    }
+
+    #[test]
+    fn unified_cross_read_is_single_probe() {
+        let mut org = DataOrganization::new(Layout::Unified);
+        org.put(Space::Physical, "t", "k", b"p");
+        org.put(Space::Virtual, "t", "k", b"v");
+        let before = org.stats.get("probes");
+        org.get_cross("t", "k");
+        assert_eq!(org.stats.get("probes") - before, 1);
+    }
+
+    #[test]
+    fn separate_cross_read_is_two_probes() {
+        let mut org = DataOrganization::new(Layout::Separate);
+        org.put(Space::Physical, "t", "k", b"p");
+        org.put(Space::Virtual, "t", "k", b"v");
+        let before = org.stats.get("probes");
+        org.get_cross("t", "k");
+        assert_eq!(org.stats.get("probes") - before, 2);
+    }
+
+    #[test]
+    fn unified_single_reads_drag_both_payloads() {
+        let mut org = DataOrganization::new(Layout::Unified);
+        org.put(Space::Physical, "t", "k", &[0u8; 10]);
+        org.put(Space::Virtual, "t", "k", &[0u8; 1000]);
+        let before = org.stats.get("bytes_read");
+        org.get_single(Space::Physical, "t", "k");
+        let dragged = org.stats.get("bytes_read") - before;
+        assert!(dragged > 1000, "unified read dragged only {dragged} bytes");
+
+        let mut sep = DataOrganization::new(Layout::Separate);
+        sep.put(Space::Physical, "t", "k", &[0u8; 10]);
+        sep.put(Space::Virtual, "t", "k", &[0u8; 1000]);
+        let before = sep.stats.get("bytes_read");
+        sep.get_single(Space::Physical, "t", "k");
+        assert_eq!(sep.stats.get("bytes_read") - before, 10);
+    }
+
+    #[test]
+    fn hybrid_routes_per_table() {
+        let mut org = DataOrganization::new(Layout::Hybrid {
+            unified_tables: vec!["inventory".into()],
+        });
+        org.put(Space::Physical, "inventory", "k", b"p");
+        org.put(Space::Virtual, "inventory", "k", b"v");
+        org.put(Space::Physical, "telemetry", "k", b"p");
+        org.put(Space::Virtual, "telemetry", "k", b"v");
+        let before = org.stats.get("probes");
+        org.get_cross("inventory", "k"); // unified: 1 probe
+        org.get_cross("telemetry", "k"); // separate: 2 probes
+        assert_eq!(org.stats.get("probes") - before, 3);
+    }
+
+    #[test]
+    fn pair_codec_distinguishes_empty_and_missing() {
+        let enc = encode_pair(Some(b""), None);
+        let (p, v) = decode_pair(&enc);
+        assert_eq!(p.as_deref(), Some(b"".as_ref()));
+        assert!(v.is_none());
+    }
+}

@@ -1,0 +1,56 @@
+//! The record type flowing through the stream engine.
+
+use mv_common::time::SimTime;
+use mv_common::Space;
+use serde::{Deserialize, Serialize};
+
+/// One stream element: a timestamped, keyed measurement tagged with the
+/// space it originated from.
+///
+/// The `key` identifies the logical sub-stream (a sensor id, a product id,
+/// a player id); operators that group (windows, joins) group by it. The
+/// single `value` keeps the engine concrete without a full row model —
+/// richer payloads travel through `mv-fusion`'s record model instead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamRecord {
+    /// Event time.
+    pub ts: SimTime,
+    /// Logical sub-stream (sensor/product/player…).
+    pub key: u64,
+    /// The measurement.
+    pub value: f64,
+    /// Originating space.
+    pub space: Space,
+}
+
+impl StreamRecord {
+    /// Construct a physical-space record (the common case for sensed data).
+    pub fn physical(ts: SimTime, key: u64, value: f64) -> Self {
+        StreamRecord { ts, key, value, space: Space::Physical }
+    }
+
+    /// Construct a virtual-space record.
+    pub fn virtual_(ts: SimTime, key: u64, value: f64) -> Self {
+        StreamRecord { ts, key, value, space: Space::Virtual }
+    }
+
+    /// Copy with a different value (operators transform immutably).
+    pub fn with_value(mut self, value: f64) -> Self {
+        self.value = value;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_tag_space() {
+        let p = StreamRecord::physical(SimTime::from_millis(1), 7, 3.5);
+        assert_eq!(p.space, Space::Physical);
+        let v = StreamRecord::virtual_(SimTime::from_millis(1), 7, 3.5);
+        assert_eq!(v.space, Space::Virtual);
+        assert_eq!(p.with_value(9.0).value, 9.0);
+    }
+}

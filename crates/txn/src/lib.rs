@@ -1,0 +1,21 @@
+//! `mv-txn` — transactions for the decentralized metaverse database.
+//!
+//! §IV-E1: *"distributed transactions are essential for accessing data
+//! across multiple data centers. However, distributed transactions are
+//! hard to process at scale to ensure high throughput, high availability
+//! and yet low latency due to the network partition and non-negligible
+//! inter-data-center network latency. Although existing works \[51\], \[86\]
+//! on reducing network overhead for inter-data-center transactions can
+//! potentially help…"* (\[86\] is Carousel's single-round commit.)
+//!
+//! * [`mvcc`] — a multi-version store with snapshot-isolation
+//!   transactions (first-committer-wins write-write conflict detection);
+//! * [`distributed`] — a contention + latency simulation comparing
+//!   two-phase commit against a Carousel-style single-round protocol on
+//!   `mv-net` multi-DC topologies (experiment E6).
+
+pub mod distributed;
+pub mod mvcc;
+
+pub use distributed::{CommitProtocol, DistributedSim, SimParams, TxnReport};
+pub use mvcc::{MvccStore, Transaction};

@@ -1,0 +1,270 @@
+//! Multi-version concurrency control with snapshot isolation.
+//!
+//! Each key keeps a version chain ordered by commit timestamp. A
+//! transaction reads as of its begin timestamp, buffers writes privately,
+//! and at commit validates first-committer-wins: if any written key has
+//! grown a version after the transaction began, the commit aborts. This
+//! is textbook SI — it prevents lost updates but (deliberately) permits
+//! write skew, and the tests pin down both behaviours.
+
+use bytes::Bytes;
+use mv_common::hash::FastMap;
+use mv_common::id::TxnId;
+use mv_common::{MvError, MvResult};
+use std::collections::BTreeMap;
+
+/// A committed version.
+#[derive(Debug, Clone)]
+struct Version {
+    commit_ts: u64,
+    value: Option<Bytes>, // None = deletion
+}
+
+/// The store.
+#[derive(Debug, Default)]
+pub struct MvccStore {
+    /// key → version chain (ascending commit_ts).
+    chains: FastMap<Bytes, Vec<Version>>,
+    /// Logical clock; commit timestamps are allocated from it.
+    clock: u64,
+    next_txn: u64,
+    /// Commits performed.
+    pub commits: u64,
+    /// Aborts due to write-write conflicts.
+    pub aborts: u64,
+}
+
+/// An open transaction handle.
+#[derive(Debug)]
+pub struct Transaction {
+    /// Identifier.
+    pub id: TxnId,
+    begin_ts: u64,
+    writes: BTreeMap<Bytes, Option<Bytes>>,
+}
+
+impl MvccStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begin a transaction snapshotted at the current clock.
+    pub fn begin(&mut self) -> Transaction {
+        let id = TxnId::new(self.next_txn);
+        self.next_txn += 1;
+        Transaction { id, begin_ts: self.clock, writes: BTreeMap::new() }
+    }
+
+    /// Read `key` inside `txn` (snapshot + read-your-writes).
+    pub fn read(&self, txn: &Transaction, key: &[u8]) -> Option<Bytes> {
+        if let Some(buffered) = txn.writes.get(key) {
+            return buffered.clone();
+        }
+        self.read_at(key, txn.begin_ts)
+    }
+
+    /// Read the newest version of `key` visible at timestamp `ts`.
+    pub fn read_at(&self, key: &[u8], ts: u64) -> Option<Bytes> {
+        let chain = self.chains.get(key)?;
+        chain
+            .iter()
+            .rev()
+            .find(|v| v.commit_ts <= ts)
+            .and_then(|v| v.value.clone())
+    }
+
+    /// Latest committed value (auto-commit read).
+    pub fn read_latest(&self, key: &[u8]) -> Option<Bytes> {
+        self.read_at(key, self.clock)
+    }
+
+    /// Buffer a write inside the transaction.
+    pub fn write(&self, txn: &mut Transaction, key: impl Into<Bytes>, value: impl Into<Bytes>) {
+        txn.writes.insert(key.into(), Some(value.into()));
+    }
+
+    /// Buffer a delete inside the transaction.
+    pub fn delete(&self, txn: &mut Transaction, key: impl Into<Bytes>) {
+        txn.writes.insert(key.into(), None);
+    }
+
+    /// Commit: first-committer-wins validation, then install versions at
+    /// a fresh commit timestamp. Returns the commit timestamp.
+    pub fn commit(&mut self, txn: Transaction) -> MvResult<u64> {
+        for key in txn.writes.keys() {
+            if let Some(chain) = self.chains.get(key) {
+                if let Some(last) = chain.last() {
+                    if last.commit_ts > txn.begin_ts {
+                        self.aborts += 1;
+                        return Err(MvError::Conflict(format!(
+                            "write-write conflict on {:?} ({} > begin {})",
+                            key, last.commit_ts, txn.begin_ts
+                        )));
+                    }
+                }
+            }
+        }
+        self.clock += 1;
+        let commit_ts = self.clock;
+        for (key, value) in txn.writes {
+            self.chains
+                .entry(key)
+                .or_default()
+                .push(Version { commit_ts, value });
+        }
+        self.commits += 1;
+        Ok(commit_ts)
+    }
+
+    /// Abort (drop) a transaction explicitly.
+    pub fn abort(&mut self, txn: Transaction) {
+        drop(txn);
+        self.aborts += 1;
+    }
+
+    /// Garbage-collect versions no snapshot at or after `horizon` can see
+    /// (keeps the newest version at or below the horizon per key).
+    pub fn gc(&mut self, horizon: u64) -> usize {
+        let mut dropped = 0;
+        for chain in self.chains.values_mut() {
+            // Index of the newest version visible at the horizon.
+            let keep_from = chain
+                .iter()
+                .rposition(|v| v.commit_ts <= horizon)
+                .unwrap_or(0);
+            dropped += keep_from;
+            chain.drain(..keep_from);
+        }
+        self.chains.retain(|_, c| !c.is_empty());
+        dropped
+    }
+
+    /// Number of live keys (with any version).
+    pub fn key_count(&self) -> usize {
+        self.chains.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn read_your_writes_and_commit() {
+        let mut db = MvccStore::new();
+        let mut t = db.begin();
+        db.write(&mut t, b("k"), b("v1"));
+        assert_eq!(db.read(&t, b"k"), Some(b("v1")));
+        assert_eq!(db.read_latest(b"k"), None, "uncommitted writes invisible");
+        db.commit(t).unwrap();
+        assert_eq!(db.read_latest(b"k"), Some(b("v1")));
+    }
+
+    #[test]
+    fn snapshot_reads_ignore_later_commits() {
+        let mut db = MvccStore::new();
+        let mut t0 = db.begin();
+        db.write(&mut t0, b("k"), b("old"));
+        db.commit(t0).unwrap();
+
+        let reader = db.begin();
+        let mut writer = db.begin();
+        db.write(&mut writer, b("k"), b("new"));
+        db.commit(writer).unwrap();
+
+        // The reader still sees the old snapshot.
+        assert_eq!(db.read(&reader, b"k"), Some(b("old")));
+        assert_eq!(db.read_latest(b"k"), Some(b("new")));
+    }
+
+    #[test]
+    fn lost_update_is_prevented() {
+        let mut db = MvccStore::new();
+        let mut init = db.begin();
+        db.write(&mut init, b("counter"), b("0"));
+        db.commit(init).unwrap();
+
+        let mut t1 = db.begin();
+        let mut t2 = db.begin();
+        db.write(&mut t1, b("counter"), b("1"));
+        db.write(&mut t2, b("counter"), b("2"));
+        assert!(db.commit(t1).is_ok());
+        let err = db.commit(t2).unwrap_err();
+        assert!(err.is_retryable());
+        assert_eq!(db.aborts, 1);
+    }
+
+    #[test]
+    fn write_skew_is_permitted_under_si() {
+        // The classic SI anomaly: two txns each read the other's key and
+        // write their own — both commit because write sets are disjoint.
+        let mut db = MvccStore::new();
+        let mut init = db.begin();
+        db.write(&mut init, b("oncall_alice"), b("yes"));
+        db.write(&mut init, b("oncall_bob"), b("yes"));
+        db.commit(init).unwrap();
+
+        let mut t1 = db.begin();
+        let mut t2 = db.begin();
+        assert_eq!(db.read(&t1, b"oncall_bob"), Some(b("yes")));
+        assert_eq!(db.read(&t2, b"oncall_alice"), Some(b("yes")));
+        db.write(&mut t1, b("oncall_alice"), b("no"));
+        db.write(&mut t2, b("oncall_bob"), b("no"));
+        assert!(db.commit(t1).is_ok());
+        assert!(db.commit(t2).is_ok(), "SI permits write skew by design");
+    }
+
+    #[test]
+    fn deletes_are_versioned() {
+        let mut db = MvccStore::new();
+        let mut t0 = db.begin();
+        db.write(&mut t0, b("k"), b("v"));
+        db.commit(t0).unwrap();
+        let reader = db.begin();
+        let mut t1 = db.begin();
+        db.delete(&mut t1, b("k"));
+        db.commit(t1).unwrap();
+        assert_eq!(db.read_latest(b"k"), None);
+        assert_eq!(db.read(&reader, b"k"), Some(b("v")), "old snapshot still sees it");
+    }
+
+    #[test]
+    fn explicit_abort_discards_writes() {
+        let mut db = MvccStore::new();
+        let mut t = db.begin();
+        db.write(&mut t, b("k"), b("v"));
+        db.abort(t);
+        assert_eq!(db.read_latest(b"k"), None);
+        assert_eq!(db.aborts, 1);
+    }
+
+    #[test]
+    fn gc_trims_invisible_versions() {
+        let mut db = MvccStore::new();
+        for i in 0..10 {
+            let mut t = db.begin();
+            db.write(&mut t, b("k"), Bytes::from(format!("v{i}")));
+            db.commit(t).unwrap();
+        }
+        let horizon = db.clock;
+        let dropped = db.gc(horizon);
+        assert_eq!(dropped, 9);
+        assert_eq!(db.read_latest(b"k"), Some(b("v9")));
+    }
+
+    #[test]
+    fn conflict_detection_is_per_key() {
+        let mut db = MvccStore::new();
+        let mut t1 = db.begin();
+        let mut t2 = db.begin();
+        db.write(&mut t1, b("a"), b("1"));
+        db.write(&mut t2, b("b"), b("2"));
+        assert!(db.commit(t1).is_ok());
+        assert!(db.commit(t2).is_ok(), "disjoint write sets never conflict");
+    }
+}

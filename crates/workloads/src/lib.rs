@@ -1,0 +1,31 @@
+//! `mv-workloads` — generators for the paper's five §II scenarios.
+//!
+//! Every experiment needs realistic load *shapes*; these generators are
+//! the substitution (DESIGN.md §2) for the production traces we do not
+//! have. All are seeded and deterministic.
+//!
+//! * [`movement`] — random-waypoint movers (players, shoppers, troops);
+//! * [`military`] — the §II military exercise: a physical 5 km × 5 km
+//!   sub-exercise inside a 100 km × 100 km virtual theatre;
+//! * [`marketplace`] — the §II metaverse mall, including the §IV-E
+//!   "Black Friday" flash-sale burst from both spaces;
+//! * [`game`] — §II location-based gaming: players roaming a city grid
+//!   with points of interest and encounters;
+//! * [`healthcare`] — §II smart healthcare: vital-sign streams with
+//!   injected anomalies for remote monitoring;
+//! * [`smartcity`] — §II smart city: a sensor grid with Zipf-skewed hot
+//!   cells and diurnal rates.
+
+pub mod game;
+pub mod healthcare;
+pub mod marketplace;
+pub mod military;
+pub mod movement;
+pub mod smartcity;
+
+pub use game::{GameParams, GameWorkload};
+pub use healthcare::{HealthParams, VitalsStream};
+pub use marketplace::{FlashSale, MarketParams};
+pub use military::{ExerciseParams, MilitaryExercise};
+pub use movement::MoverField;
+pub use smartcity::{SensorField, SmartCityParams};

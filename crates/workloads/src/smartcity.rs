@@ -1,0 +1,157 @@
+//! §II smart city: an urban sensor field.
+//!
+//! Sensors sit on a city grid; activity is Zipf-skewed across cells
+//! (downtown is hot) and modulated by a diurnal curve. The generated
+//! records feed the E1 cross-space sync throughput experiment and the
+//! stream-engine benches.
+
+use mv_common::geom::Point;
+use mv_common::sample::{exp_sample, Zipf};
+use mv_common::seeded_rng;
+use mv_common::time::{SimDuration, SimTime};
+use mv_stream::StreamRecord;
+use rand::Rng;
+
+/// Parameters.
+#[derive(Debug, Clone)]
+pub struct SmartCityParams {
+    /// Sensors deployed.
+    pub sensors: usize,
+    /// City side, metres.
+    pub city_side: f64,
+    /// Grid cells per side for the hot-spot skew.
+    pub cells_per_side: usize,
+    /// Zipf skew across cells.
+    pub zipf_alpha: f64,
+    /// Mean readings per sensor per second (before skew/diurnal shaping).
+    pub base_rate: f64,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SmartCityParams {
+    fn default() -> Self {
+        SmartCityParams {
+            sensors: 2_000,
+            city_side: 10_000.0,
+            cells_per_side: 16,
+            zipf_alpha: 1.0,
+            base_rate: 1.0,
+            duration: SimDuration::from_secs(60),
+            seed: 29,
+        }
+    }
+}
+
+/// The generated field.
+#[derive(Debug)]
+pub struct SensorField {
+    /// Sensor positions (index = sensor id).
+    pub positions: Vec<Point>,
+    /// Readings, time-ordered (key = sensor id, value = measurement).
+    pub readings: Vec<StreamRecord>,
+}
+
+impl SensorField {
+    /// Generate sensors and their reading stream.
+    pub fn generate(params: &SmartCityParams) -> Self {
+        let mut rng = seeded_rng(params.seed);
+        let cells = params.cells_per_side * params.cells_per_side;
+        let zipf = Zipf::new(cells, params.zipf_alpha);
+        let cell_side = params.city_side / params.cells_per_side as f64;
+        // Sensors land in Zipf-hot cells.
+        let positions: Vec<Point> = (0..params.sensors)
+            .map(|_| {
+                let c = zipf.sample(&mut rng);
+                let cx = (c % params.cells_per_side) as f64;
+                let cy = (c / params.cells_per_side) as f64;
+                Point::new(
+                    cx * cell_side + rng.gen_range(0.0..cell_side),
+                    cy * cell_side + rng.gen_range(0.0..cell_side),
+                )
+            })
+            .collect();
+        // Each sensor emits a Poisson stream; rate follows a diurnal
+        // curve (one "day" compressed into the run).
+        let mut readings = Vec::new();
+        let dur_us = params.duration.as_micros() as f64;
+        for (id, _) in positions.iter().enumerate() {
+            let mut t = 0.0f64;
+            loop {
+                // Diurnal modulation in [0.3, 1.7].
+                let phase = t / dur_us * std::f64::consts::TAU;
+                let rate = params.base_rate * (1.0 + 0.7 * phase.sin()).max(0.3);
+                t += exp_sample(&mut rng, 1e6 / rate);
+                if t >= dur_us {
+                    break;
+                }
+                let value = 20.0 + 5.0 * phase.sin() + rng.gen_range(-1.0..1.0);
+                readings
+                    .push(StreamRecord::physical(SimTime::from_micros(t as u64), id as u64, value));
+            }
+        }
+        readings.sort_by_key(|r| (r.ts, r.key));
+        SensorField { positions, readings }
+    }
+
+    /// Readings per second, averaged over the run.
+    pub fn mean_rate(&self, duration: SimDuration) -> f64 {
+        self.readings.len() as f64 / duration.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_tracks_configuration() {
+        let params = SmartCityParams {
+            sensors: 100,
+            duration: SimDuration::from_secs(20),
+            ..Default::default()
+        };
+        let f = SensorField::generate(&params);
+        assert_eq!(f.positions.len(), 100);
+        // ~100 sensors × ~1/s × 20 s, diurnal-modulated.
+        let n = f.readings.len();
+        assert!((1000..4000).contains(&n), "readings {n}");
+        assert!(f.readings.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn hot_cells_hold_disproportionate_sensors() {
+        let params = SmartCityParams::default();
+        let f = SensorField::generate(&params);
+        let cell_side = params.city_side / params.cells_per_side as f64;
+        let mut counts = vec![0usize; params.cells_per_side * params.cells_per_side];
+        for p in &f.positions {
+            let cx = ((p.x / cell_side) as usize).min(params.cells_per_side - 1);
+            let cy = ((p.y / cell_side) as usize).min(params.cells_per_side - 1);
+            counts[cy * params.cells_per_side + cx] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let mean = params.sensors / counts.len();
+        assert!(max > mean * 5, "hot cell {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn positions_stay_in_city() {
+        let params = SmartCityParams::default();
+        let f = SensorField::generate(&params);
+        for p in &f.positions {
+            assert!((0.0..=params.city_side).contains(&p.x));
+            assert!((0.0..=params.city_side).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SensorField::generate(&SmartCityParams::default());
+        let b = SensorField::generate(&SmartCityParams::default());
+        assert_eq!(a.readings.len(), b.readings.len());
+        assert_eq!(a.positions, b.positions);
+    }
+}

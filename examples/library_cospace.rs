@@ -1,0 +1,53 @@
+//! Fig. 6: the co-space of a library.
+//!
+//! RFID readers, panning cameras, and web reviews all speak about the
+//! same books with different noise; the fusion layer resolves mentions,
+//! combines evidence by reliability, and detects relocations — keeping
+//! the virtual library faithful to the physical one.
+//!
+//! Run with: `cargo run --release --example library_cospace`
+
+use metaverse_deluge::fusion::library::{LibraryParams, LibraryScenario};
+use metaverse_deluge::fusion::{EntityResolver};
+
+fn main() {
+    // First: entity resolution across heterogeneous mentions (the messy
+    // reality of fusing web text with catalog rows).
+    let mut resolver = EntityResolver::new();
+    for mention in [
+        "Dune",
+        "DUNE (Herbert)",
+        "dune herbert",
+        "Neuromancer",
+        "neuromancer - gibson",
+        "Snow Crash",
+        "snow crash (stephenson)",
+    ] {
+        resolver.add_mention(mention);
+    }
+    let (entities, _) = resolver.resolve();
+    println!("--- entity resolution ---");
+    for e in &entities {
+        println!("  {:<28} <= {:?}", e.canonical, e.mentions);
+    }
+
+    // Then: the full library with ground truth, three noisy sources, and
+    // a mid-run reshelving of 20% of the collection.
+    let params = LibraryParams::default();
+    let report = LibraryScenario::new(params, 42).run_fusion();
+    println!("\n--- shelf-location accuracy (500 books, 40 shelves) ---");
+    println!("RFID alone (25% miss, 15% ghost):  {:>5.1}%", report.rfid_acc * 100.0);
+    println!("camera alone (60% coverage):       {:>5.1}%", report.camera_acc * 100.0);
+    println!("web mentions alone (noisy):        {:>5.1}%", report.social_acc * 100.0);
+    println!("fused (log-odds, time-decayed):    {:>5.1}%", report.fused_acc * 100.0);
+
+    println!("\n--- relocation events ---");
+    println!("books actually reshelved:   {}", report.relocations);
+    println!("detected by the event rule: {}", report.detected_moves);
+    println!("false alarms:               {}", report.false_moves);
+    println!(
+        "\nThe co-space library's virtual shelves track the physical ones at {:.1}% \
+         accuracy — no single sensor comes close.",
+        report.fused_acc * 100.0
+    );
+}

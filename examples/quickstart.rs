@@ -1,0 +1,76 @@
+//! Quickstart: a ten-minute tour of the co-space engine.
+//!
+//! Spawns a physical shopper and a virtual avatar, moves them around,
+//! shows coherency-bounded twin sync, and relays a virtual event to the
+//! physical world.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use metaverse_deluge::common::geom::{Aabb, Point};
+use metaverse_deluge::common::time::SimTime;
+use metaverse_deluge::common::Space;
+use metaverse_deluge::core::{EntityKind, Metaverse, SyncPolicy};
+
+fn main() {
+    // A co-space world where twins may lag ground truth by up to 2 m.
+    let mut world = Metaverse::new(SyncPolicy { position_bound: 2.0, attr_bound: 0.0 }, 50.0);
+
+    // A physical shopper walks the mall; a virtual avatar browses the
+    // virtual wing of the same mall.
+    let alice = world.spawn("alice", EntityKind::Person, Point::new(10.0, 10.0), SimTime::ZERO);
+    let bot = world.spawn("greeter-bot", EntityKind::Avatar, Point::new(12.0, 10.0), SimTime::ZERO);
+
+    // Small movements stay under the coherency bound: no cross-space
+    // message is sent, but ground truth is always current.
+    for step in 1..=5u64 {
+        let p = Point::new(10.0 + step as f64 * 0.3, 10.0);
+        world.update_position(alice, p, SimTime::from_millis(step * 100)).unwrap();
+    }
+    println!(
+        "after 5 small moves: sync_msgs={} suppressed={} divergence={:.2} m",
+        world.stats.get("sync_msgs"),
+        world.stats.get("suppressed_syncs"),
+        world.entity(alice).unwrap().divergence(),
+    );
+
+    // A big move forces a sync.
+    world.update_position(alice, Point::new(25.0, 10.0), SimTime::from_millis(600)).unwrap();
+    println!(
+        "after a 13 m move:  sync_msgs={} divergence={:.2} m",
+        world.stats.get("sync_msgs"),
+        world.entity(alice).unwrap().divergence(),
+    );
+
+    // Who is visible near the shop entrance, in each space?
+    let entrance = Aabb::centered(Point::new(24.0, 10.0), 5.0);
+    println!(
+        "visible in physical space near the entrance: {:?}",
+        world.query_visible(Space::Physical, &entrance)
+    );
+    println!(
+        "visible in virtual space near the entrance:  {:?}",
+        world.query_visible(Space::Virtual, &entrance)
+    );
+
+    // A virtual flash-sale zone fires; physical shoppers inside the zone
+    // get a notification command relayed to their devices.
+    let commands = world.area_effect(
+        Space::Virtual,
+        "flash_sale",
+        Aabb::centered(Point::new(25.0, 10.0), 10.0),
+        "notify_discount",
+        false,
+        SimTime::from_millis(700),
+    );
+    for c in &commands {
+        println!("relayed command: {} → entity {} in {} space", c.action, c.entity, c.target_space);
+    }
+
+    // The event log records everything that crossed the boundary.
+    let events = world.drain_events();
+    println!("{} events on the co-space timeline; last 3:", events.len());
+    for e in events.iter().rev().take(3) {
+        println!("  {:?}", e.kind);
+    }
+    let _ = bot;
+}

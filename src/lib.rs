@@ -1,0 +1,22 @@
+//! `metaverse-deluge` — umbrella crate re-exporting the cospace platform.
+//!
+//! See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+//! experiment index. Start with [`mv_core::Metaverse`] (re-exported as
+//! [`core`] here) and the `examples/` directory.
+
+pub use mv_assets as assets;
+pub use mv_cloud as cloud;
+pub use mv_collab as collab;
+pub use mv_common as common;
+pub use mv_core as core;
+pub use mv_dissem as dissem;
+pub use mv_fusion as fusion;
+pub use mv_ledger as ledger;
+pub use mv_net as net;
+pub use mv_pubsub as pubsub;
+pub use mv_query as query;
+pub use mv_spatial as spatial;
+pub use mv_storage as storage;
+pub use mv_stream as stream;
+pub use mv_txn as txn;
+pub use mv_workloads as workloads;

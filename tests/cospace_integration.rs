@@ -1,0 +1,111 @@
+//! Cross-crate integration: the co-space engine driven by the workload
+//! generators, with dissemination-layer invariants checked end to end.
+
+use metaverse_deluge::common::geom::Aabb;
+use metaverse_deluge::common::time::{SimDuration, SimTime};
+use metaverse_deluge::common::Space;
+use metaverse_deluge::core::{EntityKind, EventKind, Metaverse, SyncPolicy};
+use metaverse_deluge::workloads::military::{ExerciseOp, ExerciseParams, MilitaryExercise};
+
+fn run_exercise(bound: f64) -> (Metaverse, usize, usize) {
+    let params = ExerciseParams {
+        physical_troops: 100,
+        virtual_units: 300,
+        duration: SimDuration::from_secs(30),
+        ..Default::default()
+    };
+    let exercise = MilitaryExercise::generate(&params);
+    let mut world = Metaverse::new(SyncPolicy { position_bound: bound, attr_bound: 0.0 }, 500.0);
+    let mut troops = Vec::new();
+    for i in 0..params.physical_troops {
+        troops.push(world.spawn(
+            format!("troop-{i}"),
+            EntityKind::Person,
+            exercise.physical_bounds.center(),
+            SimTime::ZERO,
+        ));
+    }
+    let mut units = Vec::new();
+    for i in 0..params.virtual_units {
+        units.push(world.spawn(
+            format!("unit-{i}"),
+            EntityKind::Avatar,
+            exercise.theatre_bounds.center(),
+            SimTime::ZERO,
+        ));
+    }
+    let mut strikes = 0;
+    let mut casualties = 0;
+    for (ts, op) in &exercise.timeline {
+        match op {
+            ExerciseOp::PhysicalReport(i, p) => {
+                if !world.entity(troops[*i]).unwrap().retired {
+                    world.update_position(troops[*i], *p, *ts).unwrap();
+                }
+            }
+            ExerciseOp::VirtualMove(i, p) => {
+                if !world.entity(units[*i]).unwrap().retired {
+                    world.update_position(units[*i], *p, *ts).unwrap();
+                }
+            }
+            ExerciseOp::Strike(target) => {
+                strikes += 1;
+                casualties += world
+                    .area_effect(
+                        Space::Virtual,
+                        "air_raid",
+                        Aabb::centered(*target, exercise.blast_radius),
+                        "perish",
+                        true,
+                        *ts,
+                    )
+                    .len();
+            }
+        }
+    }
+    (world, strikes, casualties)
+}
+
+#[test]
+fn military_exercise_end_to_end() {
+    let (world, strikes, casualties) = run_exercise(25.0);
+    assert!(strikes >= 1, "a 30 s exercise should include a strike");
+    // Conservation: live + retired == spawned.
+    let live = world.query_truth(Space::Physical, &Aabb::everything()).len()
+        + world.query_truth(Space::Virtual, &Aabb::everything()).len();
+    assert_eq!(live + casualties, 400);
+    // Divergence invariant holds for every live entity.
+    assert!(world.max_divergence() <= 25.0 + 1e-9);
+}
+
+#[test]
+fn coherency_bound_trades_messages_for_divergence() {
+    let (tight, _, _) = run_exercise(1.0);
+    let (loose, _, _) = run_exercise(100.0);
+    assert!(
+        loose.stats.get("sync_msgs") < tight.stats.get("sync_msgs"),
+        "loose bound must send fewer sync messages ({} vs {})",
+        loose.stats.get("sync_msgs"),
+        tight.stats.get("sync_msgs"),
+    );
+    assert!(
+        loose.mean_divergence() >= tight.mean_divergence(),
+        "loose bound must tolerate at least as much divergence"
+    );
+}
+
+#[test]
+fn event_log_records_cross_space_traffic() {
+    let (mut world, strikes, casualties) = run_exercise(25.0);
+    let events = world.drain_events();
+    let area_effects =
+        events.iter().filter(|e| matches!(e.kind, EventKind::AreaEffect { .. })).count();
+    let retirements =
+        events.iter().filter(|e| matches!(e.kind, EventKind::Retired)).count();
+    let syncs = events.iter().filter(|e| matches!(e.kind, EventKind::TwinSynced)).count();
+    assert_eq!(area_effects, strikes);
+    assert_eq!(retirements, casualties);
+    assert_eq!(syncs as u64, world.stats.get("sync_msgs"));
+    // Events are in timestamp order.
+    assert!(events.windows(2).all(|w| w[0].ts <= w[1].ts));
+}

@@ -1,0 +1,157 @@
+//! Shape assertions for the EXPERIMENTS.md claims: each test re-derives a
+//! headline conclusion directly from the library crates, so a regression
+//! that flips a paper-claim reproduction fails the suite. (The tables
+//! themselves are produced by `mv-bench`'s `experiments` binary.)
+
+use metaverse_deluge::common::time::SimDuration;
+
+#[test]
+fn e2_fusion_beats_every_single_source() {
+    use metaverse_deluge::fusion::library::{LibraryParams, LibraryScenario};
+    let r = LibraryScenario::new(LibraryParams::default(), 42).run_fusion();
+    assert!(r.fused_acc > r.rfid_acc);
+    assert!(r.fused_acc > r.camera_acc);
+    assert!(r.fused_acc > r.social_acc);
+}
+
+#[test]
+fn e6_single_round_commits_faster_and_aborts_less_than_2pc() {
+    use metaverse_deluge::txn::{CommitProtocol, DistributedSim, SimParams};
+    let sim = DistributedSim::new(SimParams {
+        zipf_alpha: 1.0,
+        keys: 500,
+        inter_dc_latency: SimDuration::from_millis(40),
+        ..Default::default()
+    });
+    let mut two = sim.run(CommitProtocol::TwoPhase);
+    let mut one = sim.run(CommitProtocol::SingleRound);
+    assert!(one.latency_ms.p50() < two.latency_ms.p50());
+    assert!(one.abort_rate() <= two.abort_rate());
+}
+
+#[test]
+fn e7_offload_cuts_uplink_an_order_of_magnitude() {
+    use metaverse_deluge::cloud::offload::{run, OffloadParams};
+    let (raw, off) = run(&OffloadParams::default());
+    assert!(off.uplink_bytes * 10 <= raw.uplink_bytes);
+    assert!(off.cloud_cpu_us * 5 <= raw.cloud_cpu_us);
+}
+
+#[test]
+fn e9_space_aware_cache_protects_physical_pages() {
+    use metaverse_deluge::common::{seeded_rng, Space};
+    use metaverse_deluge::storage::{BufferPool, EvictionPolicy, PageId};
+    use rand::Rng;
+    let run = |policy| {
+        let mut pool = BufferPool::new(256, policy);
+        let mut rng = seeded_rng(5);
+        let (mut hits, mut total) = (0u64, 0u64);
+        for _ in 0..30_000 {
+            let page = if rng.gen_bool(0.4) {
+                PageId::new(Space::Physical, rng.gen_range(0..300))
+            } else {
+                PageId::new(Space::Virtual, rng.gen_range(0..10_000))
+            };
+            let (hit, _) = pool.access(page);
+            if page.space == Space::Physical {
+                total += 1;
+                hits += hit as u64;
+            }
+        }
+        hits as f64 / total as f64
+    };
+    let lru = run(EvictionPolicy::Lru);
+    let aware = run(EvictionPolicy::SpaceAware);
+    assert!(aware > lru, "space-aware {aware} must beat lru {lru} on physical hits");
+}
+
+#[test]
+fn e10_grid_sustains_updates_the_rtree_cannot() {
+    use metaverse_deluge::common::geom::Point;
+    use metaverse_deluge::common::id::EntityId;
+    use metaverse_deluge::common::seeded_rng;
+    use metaverse_deluge::spatial::{GridIndex, RTree, SpatialIndex};
+    use rand::Rng;
+    let mut rng = seeded_rng(3);
+    let pts: Vec<Point> = (0..3_000)
+        .map(|_| Point::new(rng.gen_range(0.0..1e4), rng.gen_range(0.0..1e4)))
+        .collect();
+    let time_updates = |idx: &mut dyn SpatialIndex| {
+        for (i, p) in pts.iter().enumerate() {
+            idx.insert(EntityId::new(i as u64), *p);
+        }
+        let t = std::time::Instant::now();
+        for round in 0..5 {
+            for i in 0..pts.len() {
+                let p = pts[(i + round * 7) % pts.len()];
+                idx.update(EntityId::new(i as u64), p);
+            }
+        }
+        t.elapsed()
+    };
+    let mut grid = GridIndex::new(100.0);
+    let mut rtree = RTree::new();
+    let g = time_updates(&mut grid);
+    let r = time_updates(&mut rtree);
+    assert!(g < r, "grid {g:?} must beat r-tree {r:?} on updates");
+}
+
+#[test]
+fn e12_shapley_ranks_free_riders_last() {
+    use metaverse_deluge::collab::federated::{FedParams, FederatedSim};
+    use metaverse_deluge::collab::incentive::shapley_scores;
+    let sim = FederatedSim::generate(&FedParams { honest: 8, free_riders: 2, ..Default::default() });
+    let scores = shapley_scores(&sim, 25, 3);
+    let mut ranked: Vec<usize> = (0..scores.len()).collect();
+    ranked.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap());
+    // The two lowest-ranked parties should be mostly riders.
+    let riders_in_bottom2 =
+        ranked[..2].iter().filter(|&&i| sim.parties[i].free_rider).count();
+    assert!(riders_in_bottom2 >= 1, "bottom-2 contains {riders_in_bottom2} riders");
+}
+
+#[test]
+fn e13_shared_representation_dedupes() {
+    use metaverse_deluge::assets::{AssetCatalog, ReprStrategy};
+    let mut ind = AssetCatalog::new(ReprStrategy::Independent);
+    let mut sh = AssetCatalog::new(ReprStrategy::Shared);
+    for i in 0..500 {
+        ind.ingest(i % 10);
+        sh.ingest(i % 10);
+    }
+    assert!(sh.physical_bytes() * 5 < ind.physical_bytes());
+}
+
+#[test]
+fn e15_indexed_matcher_is_equivalent_and_prunes() {
+    use metaverse_deluge::common::id::ClientId;
+    use metaverse_deluge::common::time::SimTime;
+    use metaverse_deluge::pubsub::{IndexedMatcher, LinearMatcher, Matcher, Publication, Subscription};
+    let mut lin = LinearMatcher::new();
+    let mut idx = IndexedMatcher::new();
+    for i in 0..3_000u64 {
+        let s = Subscription::new(ClientId::new(i))
+            .with_term(["sale", "game", "vr", "nft"][i as usize % 4]);
+        lin.add(s.clone());
+        idx.add(s);
+    }
+    let p = Publication::new(SimTime::ZERO).term("sale");
+    assert_eq!(lin.match_pub(&p), idx.match_pub(&p));
+    assert!(
+        (idx.evaluations.get() as usize) < 1_000,
+        "indexed matcher evaluated {} of 3000",
+        idx.evaluations.get()
+    );
+}
+
+#[test]
+fn experiment_registry_smoke() {
+    // Cheap experiments produce well-formed tables through the registry.
+    for id in ["e4", "e12b"] {
+        let tables = mv_bench::run(id);
+        assert!(!tables.is_empty());
+        for t in tables {
+            assert!(!t.render().is_empty());
+        }
+    }
+}

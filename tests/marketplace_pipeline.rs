@@ -1,0 +1,114 @@
+//! The flash-sale pipeline across four crates: workload → serverless
+//! pool → space-aware allocation → verifiable ledger.
+
+use metaverse_deluge::cloud::{ServerlessPool, WorkloadSpec};
+use metaverse_deluge::common::id::ClientId;
+use metaverse_deluge::common::time::SimDuration;
+use metaverse_deluge::common::Space;
+use metaverse_deluge::ledger::VerifiableKv;
+use metaverse_deluge::query::{AllocPolicy, ContendedAllocator, PurchaseRequest};
+use metaverse_deluge::workloads::marketplace::{FlashSale, MarketParams};
+
+fn sale() -> FlashSale {
+    FlashSale::generate(&MarketParams::default())
+}
+
+#[test]
+fn serverless_absorbs_the_burst_cheaper_than_peak() {
+    let sale = sale();
+    let pool = ServerlessPool {
+        cold_start: SimDuration::from_millis(150),
+        keep_alive: SimDuration::from_secs(30),
+        max_instances: None,
+    };
+    let spec = WorkloadSpec { requests: sale.requests.iter().map(|r| (r.ts, r.service)).collect() };
+    let mut report = pool.run(&spec);
+    // Everyone served.
+    assert_eq!(
+        (report.cold_starts + report.warm_starts) as usize,
+        sale.requests.len()
+    );
+    // Elasticity: the pool scaled well beyond the baseline need…
+    assert!(report.peak_instances > 10);
+    // …but pay-per-use cost stays far below holding the peak fleet.
+    assert!(report.cost_ratio() < 0.5, "cost ratio {}", report.cost_ratio());
+    // Cold starts are the price; most requests are warm.
+    assert!(report.cold_fraction() < 0.3, "cold fraction {}", report.cold_fraction());
+    assert!(report.latency_ms.p50() < 200.0);
+}
+
+#[test]
+fn capped_pool_queues_where_serverless_scales() {
+    let sale = sale();
+    let spec = WorkloadSpec { requests: sale.requests.iter().map(|r| (r.ts, r.service)).collect() };
+    let elastic = ServerlessPool {
+        cold_start: SimDuration::from_millis(150),
+        keep_alive: SimDuration::from_secs(30),
+        max_instances: None,
+    };
+    let capped = ServerlessPool {
+        cold_start: SimDuration::from_millis(150),
+        keep_alive: SimDuration::from_secs(3600),
+        max_instances: Some(4),
+    };
+    let mut e = elastic.run(&spec);
+    let mut c = capped.run(&spec);
+    assert!(
+        c.latency_ms.p99() > 5.0 * e.latency_ms.p99(),
+        "capped p99 {} must blow up vs elastic {}",
+        c.latency_ms.p99(),
+        e.latency_ms.p99()
+    );
+}
+
+#[test]
+fn physical_shoppers_win_contested_items_and_sales_are_auditable() {
+    let sale = sale();
+    let mut alloc = ContendedAllocator::new(AllocPolicy::PhysicalFirst {
+        window: SimDuration::from_millis(20),
+    });
+    let mut ledger = VerifiableKv::new(b"it-key");
+    // Single unit of the hottest product; collect its first contested batch.
+    alloc.stock(0, 1);
+    let contenders: Vec<PurchaseRequest> = sale
+        .requests
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.product == 0)
+        .take(8)
+        .map(|(i, r)| PurchaseRequest {
+            client: ClientId::new(i as u64),
+            space: r.space,
+            item: 0,
+            ts: r.ts,
+        })
+        .collect();
+    assert!(contenders.len() >= 2, "hot product must be contested");
+    let outcomes = alloc.resolve(&contenders);
+    let winners: Vec<usize> = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| matches!(o, metaverse_deluge::query::space_aware::PurchaseOutcome::Won))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(winners.len(), 1, "one unit, one winner");
+    // If any physical shopper raced in the winner's window, a physical
+    // shopper must hold the item.
+    if contenders.iter().any(|c| c.space == Space::Physical) {
+        let any_phys_won = winners.iter().any(|&i| contenders[i].space == Space::Physical);
+        let first_window = contenders[winners[0]].ts;
+        let phys_in_window = contenders.iter().any(|c| {
+            c.space == Space::Physical
+                && c.ts.as_micros() / 20_000 == first_window.as_micros() / 20_000
+        });
+        if phys_in_window {
+            assert!(any_phys_won, "physical shopper in-window must win");
+        }
+    }
+    // Commit and audit the sale.
+    let idx = ledger.put("sale/contested-0", b"sold");
+    assert_eq!(idx, 0);
+    assert_eq!(ledger.get_verified("sale/contested-0").unwrap(), b"sold");
+    ledger.tamper_store("sale/contested-0", b"refunded-quietly");
+    assert!(ledger.get_verified("sale/contested-0").is_err());
+}

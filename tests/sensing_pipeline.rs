@@ -1,0 +1,73 @@
+//! Sensing pipeline across crates: smart-city sensors → stream engine →
+//! coherency-bounded dissemination; and healthcare vitals → detection.
+
+use metaverse_deluge::common::id::{ClientId, ObjectId};
+use metaverse_deluge::common::time::{SimDuration, SimTime};
+use metaverse_deluge::dissem::{Bound, CoherencyServer};
+use metaverse_deluge::stream::{AggKind, InterpolateOp, Pipeline, WindowAggOp, WindowKind};
+use metaverse_deluge::workloads::healthcare::{HealthParams, VitalsStream};
+use metaverse_deluge::workloads::smartcity::{SensorField, SmartCityParams};
+
+#[test]
+fn sensors_to_dashboards_respect_coherency() {
+    let params = SmartCityParams {
+        sensors: 200,
+        duration: SimDuration::from_secs(30),
+        ..Default::default()
+    };
+    let field = SensorField::generate(&params);
+    let mut pipeline = Pipeline::new()
+        .then(InterpolateOp::new(SimDuration::from_millis(500), SimDuration::from_secs(2)))
+        .then(WindowAggOp::new(WindowKind::Tumbling(SimDuration::from_secs(5)), AggKind::Avg));
+    let mut aggregates = pipeline.push_batch(field.readings.iter().copied());
+    aggregates.extend(pipeline.flush(SimTime::from_secs(30)));
+    assert!(!aggregates.is_empty());
+    // Aggregates land on window boundaries.
+    assert!(aggregates.iter().all(|a| a.ts.as_micros() % 5_000_000 == 0));
+
+    let mut server = CoherencyServer::new();
+    let dash = ClientId::new(1);
+    for s in 0..params.sensors as u64 {
+        server.subscribe(dash, ObjectId::new(s), Bound::Absolute(1.0));
+    }
+    for a in &aggregates {
+        server.update(ObjectId::new(a.key), a.value);
+    }
+    // Invariant: every dashboard copy is within the bound of the source.
+    for s in 0..params.sensors as u64 {
+        if let (Some(src), Some(copy)) =
+            (server.value(ObjectId::new(s)), server.client_copy(dash, ObjectId::new(s)))
+        {
+            assert!((src - copy).abs() <= 1.0 + 1e-9, "sensor {s}: {src} vs {copy}");
+        }
+    }
+    // And suppression actually happened (diurnal drift is slow).
+    assert!(server.stats.get("suppressed") > 0);
+}
+
+#[test]
+fn vitals_monitoring_detects_episodes_through_the_stream_engine() {
+    let v = VitalsStream::generate(&HealthParams::default());
+    // Run detection through a window-average pipeline rather than the
+    // built-in detector: 5-sample tumbling means above 110 flag patients.
+    let mut pipeline = Pipeline::new().then(WindowAggOp::new(
+        WindowKind::Tumbling(SimDuration::from_secs(5)),
+        AggKind::Avg,
+    ));
+    let mut out = pipeline.push_batch(v.records.iter().copied());
+    out.extend(pipeline.flush(SimTime::from_secs(600)));
+    let mut flagged: Vec<u64> =
+        out.iter().filter(|r| r.value > 110.0).map(|r| r.key).collect();
+    flagged.sort_unstable();
+    flagged.dedup();
+    let truth: std::collections::BTreeSet<u64> =
+        v.episodes.iter().map(|e| e.patient as u64).collect();
+    let tp = flagged.iter().filter(|p| truth.contains(p)).count();
+    assert!(
+        tp as f64 / truth.len() as f64 > 0.9,
+        "stream-engine recall {tp}/{}",
+        truth.len()
+    );
+    let fp = flagged.iter().filter(|p| !truth.contains(p)).count();
+    assert!(fp <= 2, "false positives {fp}");
+}
