@@ -19,6 +19,7 @@ pub mod exp_fusion;
 pub mod exp_ledger;
 pub mod exp_pubsub;
 pub mod exp_query;
+pub mod exp_shard;
 pub mod exp_spatial;
 pub mod exp_storage;
 pub mod exp_stream;
@@ -28,9 +29,9 @@ pub mod exp_txn;
 use mv_common::table::Table;
 
 /// All experiment ids, in DESIGN.md order.
-pub const ALL_IDS: [&str; 16] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e12b", "e13",
-    "e14", "e15",
+pub const ALL_IDS: [&str; 17] = [
+    "e1", "e1d", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e12b",
+    "e13", "e14", "e15",
 ];
 
 /// Run one experiment by id.
@@ -40,6 +41,7 @@ pub const ALL_IDS: [&str; 16] = [
 pub fn run(id: &str) -> Vec<Table> {
     match id {
         "e1" => exp_sync::e1(),
+        "e1d" => exp_shard::e1d(),
         "e2" => exp_fusion::e2(),
         "e3" => exp_dissem::e3(),
         "e4" => exp_dissem::e4(),

@@ -58,7 +58,11 @@ impl Histogram {
 
     /// Largest sample (0 when empty).
     pub fn max(&self) -> f64 {
-        self.samples.iter().cloned().fold(0.0, f64::max)
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        }
     }
 
     /// Smallest sample (0 when empty).
@@ -214,6 +218,21 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.min(), 0.0);
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn histogram_max_of_all_negative_samples() {
+        // Regression: max() used to fold from 0.0, so a histogram holding
+        // only negative samples (e.g. signed divergence deltas) reported a
+        // phantom maximum of 0.0 instead of its true largest sample.
+        let mut h = Histogram::new();
+        h.record(-5.0);
+        h.record(-2.0);
+        h.record(-9.0);
+        assert_eq!(h.max(), -2.0);
+        assert_eq!(h.min(), -9.0);
+        // Empty stays 0, mirroring min()/mean().
+        assert_eq!(Histogram::new().max(), 0.0);
     }
 
     #[test]

@@ -96,15 +96,25 @@ impl Metaverse {
         position: Point,
         now: SimTime,
     ) -> EntityId {
-        self.advance(now);
         let id: EntityId = self.ids.next();
-        let entity = Entity::new(id, name, kind, position);
-        let auth = kind.authoritative_space();
+        self.insert_prebuilt(Entity::new(id, name, kind, position), now);
+        id
+    }
+
+    /// Insert an entity whose id was allocated elsewhere (the sharded
+    /// engine allocates ids globally, then routes each entity to its
+    /// owner shard). Identical materialization semantics to [`spawn`].
+    ///
+    /// [`spawn`]: Metaverse::spawn
+    pub(crate) fn insert_prebuilt(&mut self, entity: Entity, now: SimTime) {
+        self.advance(now);
+        let id = entity.id;
+        let position = entity.position;
+        let auth = entity.kind.authoritative_space();
         self.truth_index[space_slot(auth)].insert(id, position);
         self.twin_index[space_slot(auth.other())].insert(id, position);
         self.entities.insert(id, entity);
         self.bus.emit(now, auth, Some(id), EventKind::Moved);
-        id
     }
 
     /// Access an entity.
@@ -146,17 +156,24 @@ impl Metaverse {
     }
 
     /// Update an attribute of the entity (authoritative-space write);
-    /// always relayed when it moves more than the attr bound.
-    pub fn update_attr(&mut self, id: EntityId, name: &str, value: f64, now: SimTime) -> MvResult<()> {
+    /// relayed when it moves more than the attr bound. Returns true when
+    /// a sync message crossed the boundary (mirrors [`update_position`]).
+    ///
+    /// [`update_position`]: Metaverse::update_position
+    pub fn update_attr(&mut self, id: EntityId, name: &str, value: f64, now: SimTime) -> MvResult<bool> {
         self.advance(now);
         let policy = self.policy;
         let entity = self
             .entities
             .get_mut(&id)
             .ok_or(MvError::not_found("entity", id.raw()))?;
+        if entity.retired {
+            return Err(MvError::IllegalState(format!("entity {id} is retired")));
+        }
         let old = entity.attr(name);
         entity.set_attr(name, value);
-        if (value - old).abs() > policy.attr_bound {
+        let relayed = (value - old).abs() > policy.attr_bound;
+        if relayed {
             let auth = entity.kind.authoritative_space();
             self.stats.incr("sync_msgs");
             self.bus.emit(
@@ -168,7 +185,7 @@ impl Metaverse {
         } else {
             self.stats.incr("suppressed_syncs");
         }
-        Ok(())
+        Ok(relayed)
     }
 
     /// Ground-truth entities of `space` within `area` (its authoritative
@@ -213,6 +230,22 @@ impl Metaverse {
         retire: bool,
         now: SimTime,
     ) -> Vec<Command> {
+        self.note_area_effect(space, effect, region, now);
+        let mut sorted = self.affected_twins(space, &region);
+        sorted.sort_unstable();
+        let mut commands = Vec::with_capacity(sorted.len());
+        for id in sorted {
+            commands.push(self.relay_command(id, action, retire, now));
+        }
+        commands
+    }
+
+    /// Record the area-effect fact on the timeline (first half of
+    /// [`area_effect`]; split out so the sharded engine can emit it once
+    /// while fanning the target scan out across shards).
+    ///
+    /// [`area_effect`]: Metaverse::area_effect
+    pub(crate) fn note_area_effect(&mut self, space: Space, effect: &str, region: Aabb, now: SimTime) {
         self.advance(now);
         self.bus.emit(
             now,
@@ -220,29 +253,36 @@ impl Metaverse {
             None,
             EventKind::AreaEffect { effect: effect.to_string(), region },
         );
-        // Twins materialized in `space` whose truth lives in the other space.
-        let affected: Vec<EntityId> = self.twin_index[space_slot(space)]
-            .range(&region)
+    }
+
+    /// Live twins materialized in `space` inside `region` — the targets an
+    /// area effect raised in that space would hit (unsorted).
+    pub(crate) fn affected_twins(&self, space: Space, region: &Aabb) -> Vec<EntityId> {
+        self.twin_index[space_slot(space)]
+            .range(region)
             .into_iter()
             .filter(|id| !self.entities[id].retired)
-            .collect();
-        let mut commands = Vec::with_capacity(affected.len());
-        let mut sorted = affected;
-        sorted.sort_unstable();
-        for id in sorted {
-            let target_space = self.entities[&id].kind.authoritative_space();
-            commands.push(Command {
-                target_space,
-                entity: id,
-                action: action.to_string(),
-                ts: now,
-            });
-            self.stats.incr("commands");
-            if retire {
-                self.retire(id, now).expect("entity exists and is live");
-            }
+            .collect()
+    }
+
+    /// Relay one area-effect command to a live entity owned by this
+    /// engine, retiring it when requested (second half of
+    /// [`area_effect`]).
+    ///
+    /// [`area_effect`]: Metaverse::area_effect
+    pub(crate) fn relay_command(&mut self, id: EntityId, action: &str, retire: bool, now: SimTime) -> Command {
+        let target_space = self.entities[&id].kind.authoritative_space();
+        let command = Command {
+            target_space,
+            entity: id,
+            action: action.to_string(),
+            ts: now,
+        };
+        self.stats.incr("commands");
+        if retire {
+            self.retire(id, now).expect("entity exists and is live");
         }
-        commands
+        command
     }
 
     /// Retire an entity from both spaces.
@@ -266,20 +306,34 @@ impl Metaverse {
     /// Mean divergence between truth and twins over live entities — the
     /// §IV-C consistency metric E1 reports.
     pub fn mean_divergence(&self) -> f64 {
-        let live: Vec<&Entity> = self.entities.values().filter(|e| !e.retired).collect();
-        if live.is_empty() {
-            return 0.0;
+        let (sum, _, count) = self.divergence_parts();
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
         }
-        live.iter().map(|e| e.divergence()).sum::<f64>() / live.len() as f64
     }
 
     /// Maximum divergence over live entities.
     pub fn max_divergence(&self) -> f64 {
+        self.divergence_parts().1
+    }
+
+    /// `(sum, max, live count)` of twin divergences — the shard-mergeable
+    /// form of [`mean_divergence`]/[`max_divergence`] (sums and maxima
+    /// combine across shards; means do not). Max is 0 with no live
+    /// entities, mirroring the public accessors.
+    ///
+    /// [`mean_divergence`]: Metaverse::mean_divergence
+    /// [`max_divergence`]: Metaverse::max_divergence
+    pub(crate) fn divergence_parts(&self) -> (f64, f64, usize) {
         self.entities
             .values()
             .filter(|e| !e.retired)
-            .map(Entity::divergence)
-            .fold(0.0, f64::max)
+            .fold((0.0, 0.0, 0), |(sum, max, count), e| {
+                let d = e.divergence();
+                (sum + d, f64::max(max, d), count + 1)
+            })
     }
 
     /// Drain the event log.
@@ -410,6 +464,70 @@ mod tests {
         mv.retire(id, t(2)).unwrap();
         assert!(mv.update_position(id, Point::new(1.0, 1.0), t(3)).is_err());
         assert!(mv.retire(id, t(4)).is_err());
+    }
+
+    #[test]
+    fn identical_positions_across_spaces_stay_distinct() {
+        // A physical person and a virtual avatar at the exact same
+        // coordinates: truth queries keep them apart (each is resident
+        // in its own space), while both spaces *see* both of them.
+        let mut mv = Metaverse::with_defaults();
+        let p = Point::new(7.0, 7.0);
+        let person = mv.spawn("p", EntityKind::Person, p, t(0));
+        let avatar = mv.spawn("a", EntityKind::Avatar, p, t(0));
+        let sensor = mv.spawn("s", EntityKind::Sensor, p, t(0));
+        let area = Aabb::centered(p, 1.0);
+        assert_eq!(mv.query_truth(Space::Physical, &area), vec![person, sensor]);
+        assert_eq!(mv.query_truth(Space::Virtual, &area), vec![avatar]);
+        for space in Space::ALL {
+            assert_eq!(mv.query_visible(space, &area), vec![person, avatar, sensor]);
+        }
+    }
+
+    #[test]
+    fn area_effect_without_retire_leaves_entities_queryable() {
+        let mut mv = Metaverse::with_defaults();
+        let id = mv.spawn("t", EntityKind::Person, Point::new(10.0, 10.0), t(0));
+        let zone = Aabb::centered(Point::new(10.0, 10.0), 5.0);
+        let cmds = mv.area_effect(Space::Virtual, "warning_siren", zone, "take_cover", false, t(1));
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].entity, id);
+        assert!(!mv.entity(id).unwrap().retired);
+        assert_eq!(mv.live_count(), 1);
+        assert_eq!(mv.query_visible(Space::Virtual, &zone), vec![id]);
+        // A second effect hits the same (still live) target again.
+        let again = mv.area_effect(Space::Virtual, "warning_siren", zone, "take_cover", false, t(2));
+        assert_eq!(again.len(), 1);
+        assert_eq!(mv.stats.get("commands"), 2);
+    }
+
+    #[test]
+    fn update_attr_on_retired_entity_errors() {
+        let mut mv = Metaverse::with_defaults();
+        let id = mv.spawn("p", EntityKind::Product, Point::ORIGIN, t(0));
+        mv.update_attr(id, "stock", 5.0, t(1)).unwrap();
+        mv.retire(id, t(2)).unwrap();
+        let err = mv.update_attr(id, "stock", 7.0, t(3)).unwrap_err();
+        assert!(matches!(err, MvError::IllegalState(_)), "got {err:?}");
+        // The write was rejected, not half-applied.
+        assert_eq!(mv.entity(id).unwrap().attr("stock"), 5.0);
+    }
+
+    #[test]
+    fn divergence_metrics_are_zero_when_all_entities_retired() {
+        let mut mv = Metaverse::new(SyncPolicy { position_bound: 100.0, attr_bound: 0.0 }, 50.0);
+        let a = mv.spawn("a", EntityKind::Person, Point::ORIGIN, t(0));
+        let b = mv.spawn("b", EntityKind::Vehicle, Point::ORIGIN, t(0));
+        // Build up real divergence first (under the loose bound, no sync).
+        mv.update_position(a, Point::new(30.0, 0.0), t(1)).unwrap();
+        mv.update_position(b, Point::new(0.0, 40.0), t(1)).unwrap();
+        assert!(mv.mean_divergence() > 0.0);
+        assert!(mv.max_divergence() > 0.0);
+        mv.retire(a, t(2)).unwrap();
+        mv.retire(b, t(2)).unwrap();
+        assert_eq!(mv.live_count(), 0);
+        assert_eq!(mv.mean_divergence(), 0.0);
+        assert_eq!(mv.max_divergence(), 0.0);
     }
 
     #[test]

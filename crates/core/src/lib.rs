@@ -18,7 +18,13 @@
 //!   divergence accounting;
 //! * [`interest`] — per-user area-of-interest management so each user's
 //!   update stream scales with local density, not world population (the
-//!   MMO "consistency across multiple virtual views" problem).
+//!   MMO "consistency across multiple virtual views" problem);
+//! * [`sharded`] — [`sharded::ShardedMetaverse`]: the same engine
+//!   partitioned across hash-owned shards with parallel batched writes
+//!   and deterministic event-log merging (§IV-C at ingest scale);
+//! * [`ops`] — a replayable operation model and generator used to prove
+//!   the sharded engine observationally equivalent to the sequential
+//!   one (`tests/sharded_differential.rs`).
 //!
 //! The examples in the repository root (`examples/`) drive this façade
 //! through the paper's five §II scenarios.
@@ -27,8 +33,11 @@ pub mod engine;
 pub mod entity;
 pub mod events;
 pub mod interest;
+pub mod ops;
+pub mod sharded;
 
 pub use engine::{Metaverse, SyncPolicy};
 pub use entity::{Entity, EntityKind};
 pub use events::{Command, CoEvent, EventKind};
 pub use interest::{InterestManager, InterestUpdate};
+pub use sharded::{shard_of, ShardedMetaverse, WriteOp};

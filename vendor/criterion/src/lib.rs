@@ -1,0 +1,192 @@
+//! Offline substitute for `criterion` (API subset).
+//!
+//! Preserves the authoring surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `black_box`, `Bencher::iter`) but replaces the statistical engine with
+//! a warmup pass plus mean-of-batches wall-clock timing — enough for the
+//! per-op magnitudes EXPERIMENTS.md quotes, with no external deps.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation (printed, not analyzed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A bench identifier: function name + parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Parameter-only id (used inside a named group).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Times closures handed to [`Bencher::iter`].
+pub struct Bencher {
+    /// Mean wall time per iteration, filled by `iter`.
+    mean_ns: f64,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record its mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: let caches/allocators settle and estimate per-op cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < Duration::from_millis(50) {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let est_ns =
+            (warmup_start.elapsed().as_nanos() as f64 / warmup_iters.max(1) as f64).max(1.0);
+        // Measure for ~200 ms in one timed batch.
+        let iters = ((200e6 / est_ns) as u64).clamp(10, 50_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        self.iters_done = iters;
+    }
+}
+
+/// A named group of related benches.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is time-based here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Record the group's throughput annotation.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        println!("  (throughput: {t:?})");
+        self
+    }
+
+    /// Run one bench.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { mean_ns: 0.0, iters_done: 0 };
+        f(&mut b);
+        println!(
+            "{}/{}: {:>12.1} ns/iter  ({} iters)",
+            self.name, id, b.mean_ns, b.iters_done
+        );
+        self
+    }
+
+    /// Run one bench that borrows an input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The bench driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { name, _parent: self }
+    }
+
+    /// Run one stand-alone bench.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Collect bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { mean_ns: 0.0, iters_done: 0 };
+        b.iter(|| black_box(3u64).wrapping_mul(5));
+        assert!(b.mean_ns > 0.0);
+        assert!(b.iters_done >= 10);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).throughput(Throughput::Elements(1));
+        g.bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| black_box(1)));
+        g.bench_with_input(BenchmarkId::from_parameter(2), &2, |b, &x| {
+            b.iter(|| black_box(x))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,96 @@
+//! Offline substitute for `crossbeam` (API subset).
+//!
+//! Scoped spawns delegate to `std::thread::scope` (stable since 1.63,
+//! which made crossbeam's scoped threads largely redundant); channels are
+//! thin wrappers over `std::sync::mpsc`. Only the surface the workspace
+//! uses is provided.
+
+/// Scoped threads.
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}
+
+/// Multi-producer channels (mpsc-backed; upstream is also multi-consumer,
+/// which the workspace does not rely on).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    /// Receiving half.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error: the receiving half disconnected.
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    impl<T> Sender<T> {
+        /// Send a value, blocking if bounded and full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive, blocking until a value or disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Receive without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Iterate until the channel disconnects.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// An unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    /// A "bounded" channel — backpressure is not modeled; this is an
+    /// unbounded channel, which is the only behaviour the workspace
+    /// relies on.
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|c| s.spawn(move || c.iter().sum::<u64>())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = crate::channel::unbounded();
+        tx.send(7).unwrap();
+        drop(tx);
+        let got: Vec<i32> = rx.into_iter().collect();
+        assert_eq!(got, vec![7]);
+    }
+}

@@ -1,0 +1,546 @@
+//! Offline substitute for `proptest` (API subset).
+//!
+//! Provides what the workspace's property tests use: the [`proptest!`]
+//! macro (including `#![proptest_config(...)]`), [`prop_assert!`] /
+//! [`prop_assert_eq!`], numeric range strategies, tuple strategies,
+//! [`collection::vec`], and string strategies from a small regex subset
+//! (`[a-z]` classes, `{m,n}` repetition, literals, `(...)?` optional
+//! groups). Differences from upstream: cases are generated from a fixed
+//! deterministic seed per test (reproducible by construction, no
+//! persistence files) and failing cases are reported but **not shrunk**.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Strategy trait: something that can generate values from an RNG.
+pub trait Strategy {
+    /// Generated value type.
+    type Value: std::fmt::Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+numeric_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A fixed value is its own strategy (upstream `Just` for the sizes the
+/// collection module takes, e.g. `collection::vec(strat, 8)`).
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// String strategies from a regex subset.
+pub mod string_regex {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// One parsed regex element.
+    #[derive(Debug, Clone)]
+    enum Node {
+        /// A literal character.
+        Literal(char),
+        /// A character class; generation picks uniformly.
+        Class(Vec<char>),
+        /// A grouped sequence.
+        Group(Vec<(Node, Rep)>),
+    }
+
+    /// Repetition attached to a node.
+    #[derive(Debug, Clone, Copy)]
+    struct Rep {
+        min: u32,
+        max: u32,
+    }
+
+    const ONCE: Rep = Rep { min: 1, max: 1 };
+
+    /// A compiled generator for a regex-subset pattern.
+    #[derive(Debug, Clone)]
+    pub struct RegexGen {
+        seq: Vec<(Node, Rep)>,
+    }
+
+    impl RegexGen {
+        /// Compile `pattern`.
+        ///
+        /// # Panics
+        /// Panics on syntax outside the supported subset (alternation,
+        /// anchors, escapes, `*`/`+` unbounded repetition).
+        pub fn compile(pattern: &str) -> RegexGen {
+            let chars: Vec<char> = pattern.chars().collect();
+            let (seq, rest) = parse_seq(&chars, 0, false);
+            assert_eq!(rest, chars.len(), "unbalanced group in pattern {pattern:?}");
+            RegexGen { seq }
+        }
+
+        /// Generate one matching string.
+        pub fn generate(&self, rng: &mut StdRng) -> String {
+            let mut out = String::new();
+            gen_seq(&self.seq, rng, &mut out);
+            out
+        }
+    }
+
+    fn gen_seq(seq: &[(Node, Rep)], rng: &mut StdRng, out: &mut String) {
+        for (node, rep) in seq {
+            let count = if rep.min == rep.max {
+                rep.min
+            } else {
+                rng.gen_range(rep.min..=rep.max)
+            };
+            for _ in 0..count {
+                match node {
+                    Node::Literal(c) => out.push(*c),
+                    Node::Class(chars) => out.push(chars[rng.gen_range(0..chars.len())]),
+                    Node::Group(inner) => gen_seq(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    /// Parse a sequence until end (or `)` when `in_group`); returns the
+    /// nodes and the index just past what was consumed.
+    fn parse_seq(chars: &[char], mut i: usize, in_group: bool) -> (Vec<(Node, Rep)>, usize) {
+        let mut seq = Vec::new();
+        while i < chars.len() {
+            let node = match chars[i] {
+                ')' if in_group => return (seq, i),
+                '[' => {
+                    let (class, next) = parse_class(chars, i + 1);
+                    i = next;
+                    Node::Class(class)
+                }
+                '(' => {
+                    let (inner, close) = parse_seq(chars, i + 1, true);
+                    assert!(
+                        close < chars.len() && chars[close] == ')',
+                        "unterminated group in pattern"
+                    );
+                    i = close + 1;
+                    Node::Group(inner)
+                }
+                c => {
+                    assert!(
+                        !"\\^$.|*+".contains(c),
+                        "unsupported regex syntax {c:?} in pattern"
+                    );
+                    i += 1;
+                    Node::Literal(c)
+                }
+            };
+            let rep = match chars.get(i) {
+                Some('{') => {
+                    let (rep, next) = parse_counts(chars, i + 1);
+                    i = next;
+                    rep
+                }
+                Some('?') => {
+                    i += 1;
+                    Rep { min: 0, max: 1 }
+                }
+                _ => ONCE,
+            };
+            seq.push((node, rep));
+        }
+        assert!(!in_group, "unterminated group in pattern");
+        (seq, i)
+    }
+
+    /// Parse `[...]` starting after the `[`; supports literals and `a-z`
+    /// ranges.
+    fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+        let mut class = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                let (lo, hi) = (chars[i], chars[i + 2]);
+                assert!(lo <= hi, "bad class range {lo}-{hi}");
+                for c in lo..=hi {
+                    class.push(c);
+                }
+                i += 3;
+            } else {
+                class.push(chars[i]);
+                i += 1;
+            }
+        }
+        assert!(i < chars.len(), "unterminated character class");
+        assert!(!class.is_empty(), "empty character class");
+        (class, i + 1)
+    }
+
+    /// Parse `{m}` or `{m,n}` starting after the `{`.
+    fn parse_counts(chars: &[char], mut i: usize) -> (Rep, usize) {
+        let read_num = |i: &mut usize| -> u32 {
+            let start = *i;
+            while *i < chars.len() && chars[*i].is_ascii_digit() {
+                *i += 1;
+            }
+            assert!(*i > start, "expected digits in repetition");
+            chars[start..*i].iter().collect::<String>().parse().expect("digits")
+        };
+        let min = read_num(&mut i);
+        let max = if chars.get(i) == Some(&',') {
+            i += 1;
+            read_num(&mut i)
+        } else {
+            min
+        };
+        assert_eq!(chars.get(i), Some(&'}'), "unterminated repetition");
+        assert!(min <= max, "bad repetition {{{min},{max}}}");
+        (Rep { min, max }, i + 1)
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            RegexGen::compile(self).generate(rng)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Acceptable vec-length specifications: a fixed size or a range.
+    pub trait SizeRange {
+        /// Draw a length.
+        fn pick(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `vec(strategy, len)` — upstream `proptest::collection::vec`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Test-runner plumbing used by the [`proptest!`] macro.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config with a custom case count.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the (single-core) test
+            // suite quick while still exercising varied inputs.
+            Config { cases: 64 }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        /// Human-readable reason.
+        pub message: String,
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.message)
+        }
+    }
+
+    /// Drives the cases of one property.
+    pub struct TestRunner {
+        config: Config,
+        name_seed: u64,
+    }
+
+    impl TestRunner {
+        /// Build from a config and the property's name (for seed
+        /// diversity across properties).
+        pub fn new(config: Config, name: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRunner { config, name_seed: seed }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// The deterministic RNG for `case`.
+        pub fn rng_for(&self, case: u32) -> StdRng {
+            StdRng::seed_from_u64(self.name_seed ^ (0x9E37_79B9_7F4A_7C15u64
+                .wrapping_mul(case as u64 + 1)))
+        }
+    }
+}
+
+/// Everything a property test module needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+/// Define property tests (upstream macro subset: optional
+/// `#![proptest_config(...)]` followed by `#[test] fn name(arg in strategy, …) { … }`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+/// Internal: expands each property fn. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    // `$arg:tt` admits both plain identifiers and parenthesized tuple
+    // patterns of identifiers, which read back as expressions too (needed
+    // for the debug-args formatting below).
+    (($cfg:expr); $($(#[$meta:meta])+ fn $name:ident($($arg:tt in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let runner = $crate::test_runner::TestRunner::new($cfg, stringify!($name));
+                for __case in 0..runner.cases() {
+                    let mut __rng = runner.rng_for(__case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let __debug_args = format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)+),
+                        $(&$arg),+
+                    );
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        panic!(
+                            "property {} failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name), __case, runner.cases(), e, __debug_args,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a property; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError {
+                message: format!($($fmt)*),
+            });
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::string_regex::RegexGen;
+    use rand::SeedableRng;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(
+            x in 0u64..100,
+            (a, b) in (-1.0f64..1.0, 0usize..5),
+            v in collection::vec(0u8..=255, 1..10),
+        ) {
+            prop_assert!(x < 100);
+            prop_assert!((-1.0..1.0).contains(&a));
+            prop_assert!(b < 5);
+            prop_assert!(!v.is_empty() && v.len() < 10);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_cases_applies(s in "[a-c]{1,6}( [a-c]{1,6})?") {
+            let head = s.split(' ').next().expect("nonempty");
+            prop_assert!((1..=6).contains(&head.len()), "head {:?}", head);
+            prop_assert!(head.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn second_fn_in_same_block(n in 1usize..4) {
+            prop_assert!((1..4).contains(&n));
+        }
+    }
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for pattern in ["[a-d]{1,3}", "[x-z]{0,3}", "[a-z ]{0,12}", "x(y)?z"] {
+            let g = RegexGen::compile(pattern);
+            for _ in 0..50 {
+                let s = g.generate(&mut rng);
+                match pattern {
+                    "[a-d]{1,3}" => {
+                        assert!((1..=3).contains(&s.len()));
+                        assert!(s.chars().all(|c| ('a'..='d').contains(&c)));
+                    }
+                    "[x-z]{0,3}" => assert!(s.len() <= 3),
+                    "[a-z ]{0,12}" => assert!(s.len() <= 12),
+                    "x(y)?z" => assert!(s == "xz" || s == "xyz"),
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        #[should_panic(expected = "property")]
+        fn failing_property_panics_with_inputs(x in 0u32..10) {
+            prop_assert!(x < 5, "x too big: {}", x);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let runner = crate::test_runner::TestRunner::new(
+            crate::test_runner::Config::with_cases(4),
+            "det",
+        );
+        let a: Vec<u64> = (0..4)
+            .map(|c| crate::Strategy::generate(&(0u64..1000), &mut runner.rng_for(c)))
+            .collect();
+        let b: Vec<u64> = (0..4)
+            .map(|c| crate::Strategy::generate(&(0u64..1000), &mut runner.rng_for(c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,35 @@
+//! Offline substitute for `serde`: marker traits only.
+//!
+//! The workspace hand-rolls the little serialization it needs
+//! (DESIGN.md §2) and uses the serde derives purely as forward-compatible
+//! annotations, so this substitute provides the trait *names* with
+//! blanket impls and a no-op derive (`serde_derive`). If real
+//! serialization is ever needed, swap this vendored crate for upstream
+//! serde — call sites won't change.
+
+/// Marker: the type is (conceptually) serializable.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker: the type is (conceptually) deserializable.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker: owned deserialization (upstream's `DeserializeOwned`).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn blanket_impls_cover_arbitrary_types() {
+        fn takes_serialize<T: crate::Serialize>(_: &T) {}
+        fn takes_deserialize<T: for<'de> crate::Deserialize<'de>>(_: &T) {}
+        takes_serialize(&42u8);
+        takes_serialize(&vec!["x"]);
+        takes_deserialize(&(1, 2.0));
+    }
+}

@@ -1,0 +1,20 @@
+//! No-op serde derives.
+//!
+//! The vendored `serde` crate blanket-implements its marker traits for
+//! every type, so `#[derive(Serialize, Deserialize)]` only needs to be
+//! *accepted*, not expanded. Both derives also accept (and ignore)
+//! `#[serde(...)]` attributes.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]`; emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]`; emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
