@@ -113,9 +113,11 @@ pub struct ShardedMetaverse {
 
 impl ShardedMetaverse {
     /// Build with `shards` owner shards (each a full engine with the
-    /// given policy and grid cell size). Panics if `shards` is zero.
+    /// given policy and grid cell size). A shard count of zero is
+    /// clamped to one — a sweep written as `0..n` should degrade to the
+    /// unsharded engine, not panic.
     pub fn new(policy: SyncPolicy, cell_size: f64, shards: usize) -> Self {
-        assert!(shards > 0, "need at least one shard");
+        let shards = shards.max(1);
         ShardedMetaverse {
             shards: (0..shards).map(|_| Metaverse::new(policy, cell_size)).collect(),
             ids: IdGen::new(),
@@ -581,6 +583,17 @@ mod tests {
             vec![id(1), id(7)],
         ]);
         assert_eq!(merged, [0, 1, 2, 3, 5, 7, 9].map(id).to_vec());
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one_instead_of_panicking() {
+        let mut mv = ShardedMetaverse::with_defaults(0);
+        assert_eq!(mv.shard_count(), 1);
+        // And the clamped engine actually works.
+        let id = mv.spawn("e", EntityKind::Avatar, Point::ORIGIN, t(0));
+        let ops = [WriteOp::Position { id, position: Point::new(1.0, 2.0), ts: t(1) }];
+        mv.apply_batch(&ops);
+        assert_eq!(mv.live_count(), 1);
     }
 
     #[test]

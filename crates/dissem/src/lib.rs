@@ -22,13 +22,19 @@
 //!   bandwidth-limited uplink (E4).
 //! * [`resume`] — disruption-tolerant client outboxes with
 //!   newest-value-wins merging, after ICeDB (the paper's reference \[92\]).
+//! * [`reliable`] — outbox pushes carried over `mv-net`'s reliable
+//!   transport, with a client-side [`reliable::Replica`] deduplicating
+//!   by outbox sequence so a flapping client converges to exactly the
+//!   retained state.
 
 pub mod coherency;
 pub mod payload;
+pub mod reliable;
 pub mod resume;
 pub mod sched;
 
 pub use coherency::{Bound, CoherencyServer, PushMsg};
 pub use payload::{DeltaCodec, MediaResolution, StateVector};
+pub use reliable::{PushServer, Replica};
 pub use resume::OutboxManager;
 pub use sched::{LinkScheduler, Priority, SchedPolicy, TxRequest};

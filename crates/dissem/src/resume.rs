@@ -94,8 +94,36 @@ impl OutboxManager {
         }
     }
 
-    /// Reconnect a client: returns the backlog, most critical first
-    /// (ties: object id), and marks the client connected.
+    /// Take back a message whose delivery failed (e.g. the reliable
+    /// transport gave up on it): the client is marked disconnected and
+    /// the message re-buffered — unless a newer value for the same
+    /// object is already waiting, in which case the stale one dies
+    /// (newest-wins, judged by `seq`).
+    pub fn rebuffer(&mut self, client: ClientId, msg: OutMsg) {
+        let Some(outbox) = self.clients.get_mut(&client) else {
+            return;
+        };
+        outbox.connected = false;
+        match outbox.pending.get(&msg.object) {
+            Some(existing) if existing.seq >= msg.seq => {
+                self.stats.incr("merged");
+            }
+            _ => {
+                if outbox.pending.insert(msg.object, msg).is_some() {
+                    self.stats.incr("merged");
+                } else {
+                    self.stats.incr("buffered");
+                }
+            }
+        }
+    }
+
+    /// Reconnect a client: returns the backlog and marks the client
+    /// connected. Replay order is **pinned**: ascending `(priority,
+    /// object id)` — most critical first, ties broken by object id.
+    /// Object keys are unique within an outbox, so this is a total
+    /// order: two runs that buffered the same messages (in any
+    /// insertion order) replay them identically.
     pub fn reconnect(&mut self, client: ClientId) -> Vec<OutMsg> {
         let Some(outbox) = self.clients.get_mut(&client) else {
             return Vec::new();
@@ -167,6 +195,49 @@ mod tests {
         assert!(m.push(c(9), o(1), 1.0, Priority::Normal).is_none());
         assert!(m.reconnect(c(9)).is_empty());
         assert!(!m.is_connected(c(9)));
+    }
+
+    #[test]
+    fn equal_priority_replay_order_is_pinned_across_insertion_orders() {
+        // The documented tie-break is ascending object id. Buffer the
+        // same equal-priority messages in three different insertion
+        // orders; every reconnect must drain them identically.
+        let objects = [7u64, 3, 9, 1, 5];
+        let orders: [Vec<usize>; 3] =
+            [vec![0, 1, 2, 3, 4], vec![4, 3, 2, 1, 0], vec![2, 0, 4, 1, 3]];
+        let mut replays = Vec::new();
+        for order in &orders {
+            let mut m = OutboxManager::new();
+            m.register(c(1));
+            m.disconnect(c(1));
+            for &i in order {
+                m.push(c(1), o(objects[i]), objects[i] as f64, Priority::Normal);
+            }
+            let replay: Vec<u64> = m.reconnect(c(1)).iter().map(|r| r.object.raw()).collect();
+            replays.push(replay);
+        }
+        assert_eq!(replays[0], vec![1, 3, 5, 7, 9], "ascending object id");
+        assert_eq!(replays[0], replays[1]);
+        assert_eq!(replays[0], replays[2]);
+    }
+
+    #[test]
+    fn rebuffer_keeps_the_newest_value_and_disconnects() {
+        let mut m = OutboxManager::new();
+        m.register(c(1));
+        // A delivered message later bounces (transport gave up on it).
+        let stale = m.push(c(1), o(1), 1.0, Priority::Normal).unwrap();
+        let fresh = m.push(c(1), o(1), 2.0, Priority::Normal).unwrap();
+        m.rebuffer(c(1), fresh);
+        assert!(!m.is_connected(c(1)));
+        // The older bounce must not clobber the newer buffered value.
+        m.rebuffer(c(1), stale);
+        let replay = m.reconnect(c(1));
+        assert_eq!(replay.len(), 1);
+        assert_eq!(replay[0].value, 2.0);
+        // Unknown clients are ignored.
+        m.rebuffer(c(9), stale);
+        assert_eq!(m.backlog(c(9)), 0);
     }
 
     #[test]

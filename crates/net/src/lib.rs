@@ -19,16 +19,27 @@
 //!   meshes (§IV-E1) and the device–cloud–storage disaggregation of
 //!   Fig. 7 (§IV-E2);
 //! * [`p2p`] — a Chord-style structured overlay for the P2P search
-//!   methods §IV-E points at (O(log n) key lookup vs. ring walking).
+//!   methods §IV-E points at (O(log n) key lookup vs. ring walking);
+//! * [`fault`] — deterministic fault injection: a [`fault::FaultPlan`]
+//!   scripts link degradation, partitions and node crash/restart as
+//!   ordinary scheduler events, counted in `Network::stats`;
+//! * [`reliable`] — at-least-once delivery over the lossy network:
+//!   sender sequence numbers, timeouts with capped exponential backoff
+//!   and deterministic jitter, bounded retries, receiver-side dedup and
+//!   crash epochs (§IV-C's "disruptive networks" machinery).
 
+pub mod fault;
 pub mod link;
 pub mod network;
 pub mod p2p;
+pub mod reliable;
 pub mod sim;
 pub mod topology;
 
+pub use fault::{Fault, FaultPlan, FaultTarget};
 pub use link::{LinkClass, LinkSpec};
 pub use network::{Delivery, Network};
 pub use p2p::ChordRing;
+pub use reliable::{Event as ReliableEvent, ReliableTransport, RetryPolicy};
 pub use sim::Sim;
 pub use topology::{DisaggTopology, MultiDcTopology};

@@ -43,6 +43,8 @@ struct NodeInfo {
 #[derive(Debug, Clone)]
 struct LinkState {
     spec: LinkSpec,
+    /// The healthy spec, restored after a fault window ends.
+    base: LinkSpec,
     busy_until: SimTime,
 }
 
@@ -55,7 +57,10 @@ pub struct Network {
     route_cache: FastMap<(NodeId, NodeId), Option<Vec<NodeId>>>,
     /// Pairs of partition groups that cannot currently reach each other.
     severed: FastSet<(u32, u32)>,
-    /// Message/byte accounting.
+    /// Nodes that are currently crashed (refuse all traffic).
+    down: FastSet<NodeId>,
+    /// Message/byte accounting, plus one `faults_*` counter per injected
+    /// fault kind (the fault layer's audit trail).
     pub stats: Counters,
 }
 
@@ -88,7 +93,8 @@ impl Network {
 
     /// Add a *directed* link. Use [`Self::add_link_bidi`] for the common case.
     pub fn add_link(&mut self, from: NodeId, to: NodeId, spec: LinkSpec) {
-        self.links.insert((from, to), LinkState { spec, busy_until: SimTime::ZERO });
+        self.links
+            .insert((from, to), LinkState { spec, base: spec, busy_until: SimTime::ZERO });
         self.adjacency.entry(from).or_default().push(to);
         self.route_cache.clear();
     }
@@ -103,12 +109,77 @@ impl Network {
     pub fn sever(&mut self, group_a: u32, group_b: u32) {
         self.severed.insert((group_a, group_b));
         self.severed.insert((group_b, group_a));
+        self.stats.incr("faults_severed");
     }
 
     /// Heal a previously severed pair of groups.
     pub fn heal(&mut self, group_a: u32, group_b: u32) {
         self.severed.remove(&(group_a, group_b));
         self.severed.remove(&(group_b, group_a));
+        self.stats.incr("faults_healed");
+    }
+
+    /// Crash a node: until [`Self::restart_node`], every transfer whose
+    /// route touches it fails with [`MvError::Unreachable`]. Whatever state
+    /// the node held is the *caller's* problem (see `fault::FaultTarget`'s
+    /// crash hook) — the network only models reachability.
+    pub fn crash_node(&mut self, id: NodeId) -> MvResult<()> {
+        if !self.nodes.contains_key(&id) {
+            return Err(MvError::not_found("node", id.raw()));
+        }
+        self.down.insert(id);
+        self.stats.incr("faults_node_crash");
+        Ok(())
+    }
+
+    /// Restart a crashed node (a no-op reachability-wise if it was up).
+    pub fn restart_node(&mut self, id: NodeId) -> MvResult<()> {
+        if !self.nodes.contains_key(&id) {
+            return Err(MvError::not_found("node", id.raw()));
+        }
+        self.down.remove(&id);
+        self.stats.incr("faults_node_restart");
+        Ok(())
+    }
+
+    /// Is the node registered and not crashed?
+    pub fn is_up(&self, id: NodeId) -> bool {
+        self.nodes.contains_key(&id) && !self.down.contains(&id)
+    }
+
+    /// Replace a directed link's spec for a fault window (the healthy spec
+    /// is remembered and comes back on [`Self::restore_link`]).
+    pub fn degrade_link(&mut self, from: NodeId, to: NodeId, spec: LinkSpec) -> MvResult<()> {
+        let link = self
+            .links
+            .get_mut(&(from, to))
+            .ok_or(MvError::Unreachable { node: to.raw() })?;
+        link.spec = spec;
+        self.stats.incr("faults_link_degraded");
+        Ok(())
+    }
+
+    /// Restore a degraded directed link to its healthy spec.
+    pub fn restore_link(&mut self, from: NodeId, to: NodeId) -> MvResult<()> {
+        let link = self
+            .links
+            .get_mut(&(from, to))
+            .ok_or(MvError::Unreachable { node: to.raw() })?;
+        link.spec = link.base;
+        self.stats.incr("faults_link_restored");
+        Ok(())
+    }
+
+    /// [`Self::degrade_link`] in both directions.
+    pub fn degrade_link_bidi(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> MvResult<()> {
+        self.degrade_link(a, b, spec)?;
+        self.degrade_link(b, a, spec)
+    }
+
+    /// [`Self::restore_link`] in both directions.
+    pub fn restore_link_bidi(&mut self, a: NodeId, b: NodeId) -> MvResult<()> {
+        self.restore_link(a, b)?;
+        self.restore_link(b, a)
     }
 
     fn groups_connected(&self, a: NodeId, b: NodeId) -> bool {
@@ -193,6 +264,12 @@ impl Network {
         if !self.nodes.contains_key(&src) {
             return Err(MvError::not_found("node", src.raw()));
         }
+        if self.down.contains(&src) {
+            return Err(MvError::Unreachable { node: src.raw() });
+        }
+        if self.down.contains(&dst) {
+            return Err(MvError::Unreachable { node: dst.raw() });
+        }
         if !self.groups_connected(src, dst) {
             return Err(MvError::Unreachable { node: dst.raw() });
         }
@@ -202,6 +279,9 @@ impl Network {
         let mut t = now;
         for hop in path.windows(2) {
             let (a, b) = (hop[0], hop[1]);
+            if self.down.contains(&b) {
+                return Err(MvError::Unreachable { node: b.raw() });
+            }
             if !self.groups_connected(a, b) {
                 return Err(MvError::Unreachable { node: b.raw() });
             }
@@ -336,6 +416,44 @@ mod tests {
         }
         assert!(lost > 20 && lost < 80, "lost {lost}/100");
         assert_eq!(net.stats.get("msgs_lost"), lost);
+    }
+
+    #[test]
+    fn crashed_nodes_refuse_traffic_until_restart() {
+        let mut net = simple_net();
+        let mut rng = seeded_rng(1);
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        // Crash the relay: endpoints are up, the route through b is not.
+        net.crash_node(b).unwrap();
+        assert!(!net.is_up(b) && net.is_up(a));
+        assert!(net.transfer(a, c, 10, SimTime::ZERO, &mut rng).is_err());
+        assert!(net.transfer(a, b, 10, SimTime::ZERO, &mut rng).is_err());
+        net.restart_node(b).unwrap();
+        assert!(net.transfer(a, c, 10, SimTime::ZERO, &mut rng).is_ok());
+        assert_eq!(net.stats.get("faults_node_crash"), 1);
+        assert_eq!(net.stats.get("faults_node_restart"), 1);
+        // Unknown nodes are a typed error, not silent state.
+        assert!(net.crash_node(NodeId::new(99)).is_err());
+        assert!(!net.is_up(NodeId::new(99)));
+    }
+
+    #[test]
+    fn degraded_links_come_back_with_their_base_spec() {
+        let mut net = simple_net();
+        let mut rng = seeded_rng(1);
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let healthy = net.transfer(a, b, 0, SimTime::ZERO, &mut rng).unwrap();
+        assert_eq!(healthy, Delivery::At(SimTime::from_millis(1)));
+        net.degrade_link_bidi(a, b, LinkSpec::new(SimDuration::from_millis(50), 1e6)).unwrap();
+        let slow = net.transfer(a, b, 0, SimTime::ZERO, &mut rng).unwrap();
+        assert_eq!(slow, Delivery::At(SimTime::from_millis(50)));
+        net.restore_link_bidi(a, b).unwrap();
+        let again = net.transfer(a, b, 0, SimTime::ZERO, &mut rng).unwrap();
+        assert_eq!(again, Delivery::At(SimTime::from_millis(1)));
+        assert_eq!(net.stats.get("faults_link_degraded"), 2);
+        assert_eq!(net.stats.get("faults_link_restored"), 2);
+        // Degrading a non-existent link is an error.
+        assert!(net.degrade_link(a, NodeId::new(2), LinkClass::Wan.spec()).is_err());
     }
 
     #[test]

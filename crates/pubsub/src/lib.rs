@@ -15,14 +15,19 @@
 //!   (inverted term index + spatial grid + attribute catch-all), shown
 //!   equivalent by property tests and ~orders faster in E15;
 //! * [`broker`] — a broker tree with subscription covering so events only
-//!   travel toward interested subtrees (the P2P overlay sketch).
+//!   travel toward interested subtrees (the P2P overlay sketch);
+//! * [`reliable`] — a matcher-backed broker delivering over `mv-net`'s
+//!   reliable transport, with per-client retention for disconnected
+//!   subscribers and client-side `pub_id` dedup ([`reliable::InboxDedup`]).
 
 pub mod broker;
 pub mod matcher;
 pub mod publication;
+pub mod reliable;
 pub mod subscription;
 
 pub use broker::BrokerTree;
 pub use matcher::{IndexedMatcher, LinearMatcher, Matcher};
+pub use reliable::{InboxDedup, PubMsg, ReliableBroker};
 pub use publication::Publication;
 pub use subscription::{AttrPredicate, CmpOp, Subscription};

@@ -1,0 +1,416 @@
+//! A single matcher-backed broker delivering over the reliable transport.
+//!
+//! [`crate::broker::BrokerTree`] studies *routing* (which subtrees an
+//! event must visit); this module studies *delivery*: once the matcher
+//! says a client is interested, the notification still has to cross a
+//! lossy, partitioning network. Each matched publication is assigned a
+//! monotone `pub_id` and either shipped over
+//! [`mv_net::ReliableTransport`] (connected clients) or retained in a
+//! per-client queue (disconnected clients, and messages the transport
+//! gave up on). Reconnect replays the retained queue in ascending
+//! `pub_id` order — a total, pinned order — and the client-side
+//! [`InboxDedup`] drops `pub_id`s it has already seen, so a flapping
+//! client processes every retained publication exactly once even when
+//! transport-level retries or replays duplicate the bytes.
+
+use crate::matcher::{IndexedMatcher, Matcher};
+use crate::publication::Publication;
+use crate::subscription::Subscription;
+use mv_common::hash::{FastMap, FastSet};
+use mv_common::id::{ClientId, NodeId};
+use mv_common::metrics::Counters;
+use mv_common::time::SimTime;
+use mv_net::reliable::Event;
+use mv_net::{Network, ReliableTransport, RetryPolicy};
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One matched notification in flight (or retained).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PubMsg {
+    /// Broker-assigned monotone id: the app-level dedup key and the
+    /// replay order.
+    pub pub_id: u64,
+    /// The matched publication.
+    pub publication: Publication,
+}
+
+#[derive(Debug)]
+struct ClientState {
+    node: NodeId,
+    connected: bool,
+    /// pub_id → message, kept while the client is unreachable.
+    /// BTreeMap so replay is ascending-`pub_id` by construction.
+    retained: BTreeMap<u64, PubMsg>,
+}
+
+/// Broker: matcher + reliable delivery + per-client retention.
+#[derive(Debug)]
+pub struct ReliableBroker {
+    node: NodeId,
+    msg_bytes: u64,
+    matcher: IndexedMatcher,
+    clients: FastMap<ClientId, ClientState>,
+    by_node: FastMap<NodeId, ClientId>,
+    /// Delivery machinery (retries, transport dedup, expiry).
+    pub transport: ReliableTransport<PubMsg>,
+    next_pub_id: u64,
+    /// `matched`, `shipped`, `retained`, `replayed` counters.
+    pub stats: Counters,
+}
+
+impl ReliableBroker {
+    /// A broker at `node`, charging `msg_bytes` per notification;
+    /// `seed` pins the transport's retry jitter.
+    pub fn new(node: NodeId, policy: RetryPolicy, seed: u64, msg_bytes: u64) -> Self {
+        ReliableBroker {
+            node,
+            msg_bytes,
+            matcher: IndexedMatcher::new(),
+            clients: FastMap::default(),
+            by_node: FastMap::default(),
+            transport: ReliableTransport::new(policy, seed),
+            next_pub_id: 0,
+            stats: Counters::new(),
+        }
+    }
+
+    /// Register a client living at `client_node` (starts connected).
+    pub fn register(&mut self, client: ClientId, client_node: NodeId) {
+        self.clients.insert(
+            client,
+            ClientState { node: client_node, connected: true, retained: BTreeMap::new() },
+        );
+        self.by_node.insert(client_node, client);
+    }
+
+    /// Attach a subscription (routed by its `client` field).
+    pub fn subscribe(&mut self, sub: Subscription) {
+        self.matcher.add(sub);
+    }
+
+    /// Mark a client disconnected: its notifications retain from now on.
+    pub fn disconnect(&mut self, client: ClientId) {
+        if let Some(c) = self.clients.get_mut(&client) {
+            c.connected = false;
+        }
+    }
+
+    /// Publications a client has waiting.
+    pub fn retained(&self, client: ClientId) -> usize {
+        self.clients.get(&client).map_or(0, |c| c.retained.len())
+    }
+
+    /// Publish: match, assign a `pub_id`, and ship or retain per client.
+    /// Returns the `pub_id` (also when nothing matched).
+    pub fn publish<R: Rng + ?Sized>(
+        &mut self,
+        net: &mut Network,
+        rng: &mut R,
+        p: Publication,
+        now: SimTime,
+    ) -> u64 {
+        let pub_id = self.next_pub_id;
+        self.next_pub_id += 1;
+        // A client with several matching subscriptions gets the event
+        // once; BTreeSet keeps the fan-out order deterministic.
+        let matched: BTreeSet<ClientId> = self
+            .matcher
+            .match_pub(&p)
+            .into_iter()
+            .map(|i| self.matcher.get(i).client)
+            .collect();
+        for client in matched {
+            self.stats.incr("matched");
+            let msg = PubMsg { pub_id, publication: p.clone() };
+            self.dispatch(net, rng, client, msg, now);
+        }
+        pub_id
+    }
+
+    fn dispatch<R: Rng + ?Sized>(
+        &mut self,
+        net: &mut Network,
+        rng: &mut R,
+        client: ClientId,
+        msg: PubMsg,
+        now: SimTime,
+    ) {
+        let Some(state) = self.clients.get_mut(&client) else {
+            return;
+        };
+        if state.connected {
+            let dst = state.node;
+            self.stats.incr("shipped");
+            self.transport.send(net, rng, self.node, dst, msg, self.msg_bytes, now);
+        } else {
+            self.stats.incr("retained");
+            state.retained.insert(msg.pub_id, msg);
+        }
+    }
+
+    /// Reconnect a client and replay everything retained for it, in
+    /// ascending `pub_id` order. Returns how many were replayed.
+    pub fn reconnect<R: Rng + ?Sized>(
+        &mut self,
+        net: &mut Network,
+        rng: &mut R,
+        client: ClientId,
+        now: SimTime,
+    ) -> usize {
+        let Some(state) = self.clients.get_mut(&client) else {
+            return 0;
+        };
+        state.connected = true;
+        let backlog: Vec<PubMsg> = std::mem::take(&mut state.retained).into_values().collect();
+        let dst = state.node;
+        let n = backlog.len();
+        for msg in backlog {
+            self.stats.incr("replayed");
+            self.transport.send(net, rng, self.node, dst, msg, self.msg_bytes, now);
+        }
+        n
+    }
+
+    /// Earliest pending transport work; drive the clock here and `poll`.
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        self.transport.next_wakeup()
+    }
+
+    /// Pump the transport up to `now`. Arrivals are returned for the
+    /// client side ([`InboxDedup::accept`] decides whether to process);
+    /// expired messages are retained again and the client marked
+    /// disconnected, so the next reconnect redelivers them.
+    pub fn poll<R: Rng + ?Sized>(
+        &mut self,
+        net: &mut Network,
+        rng: &mut R,
+        now: SimTime,
+    ) -> Vec<(ClientId, PubMsg)> {
+        let mut arrived = Vec::new();
+        for ev in self.transport.poll(net, rng, now) {
+            match ev {
+                Event::Delivered { dst, payload, .. } => {
+                    if let Some(&client) = self.by_node.get(&dst) {
+                        arrived.push((client, payload));
+                    }
+                }
+                Event::Expired { dst, payload, .. } => {
+                    if let Some(&client) = self.by_node.get(&dst) {
+                        if let Some(state) = self.clients.get_mut(&client) {
+                            state.connected = false;
+                            self.stats.incr("retained");
+                            state.retained.insert(payload.pub_id, payload);
+                        }
+                    }
+                }
+            }
+        }
+        arrived
+    }
+
+    /// A node crashed: drop the transport's volatile state for it and,
+    /// if a client lived there, retain for it. Call from
+    /// `FaultTarget::on_node_crash`.
+    pub fn on_node_crash(&mut self, node: NodeId) {
+        self.transport.on_node_crash(node);
+        if let Some(&client) = self.by_node.get(&node) {
+            self.disconnect(client);
+        }
+    }
+}
+
+/// Client-side inbox dedup: processes each `pub_id` once, however many
+/// times the bytes arrive (transport retries, reconnect replays).
+#[derive(Debug, Default)]
+pub struct InboxDedup {
+    seen: FastSet<u64>,
+    /// `accepted` / `duplicates` counters.
+    pub stats: Counters,
+}
+
+impl InboxDedup {
+    /// An empty inbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True exactly once per `pub_id`; repeats count as `duplicates`.
+    pub fn accept(&mut self, pub_id: u64) -> bool {
+        if self.seen.insert(pub_id) {
+            self.stats.incr("accepted");
+            true
+        } else {
+            self.stats.incr("duplicates");
+            false
+        }
+    }
+
+    /// Distinct publications processed.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// True when nothing has been processed.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_common::seeded_rng;
+    use mv_common::time::SimDuration;
+    use mv_net::LinkSpec;
+
+    fn world(loss: f64) -> (Network, NodeId, NodeId) {
+        let mut net = Network::new();
+        let (broker, client) = (NodeId::new(0), NodeId::new(1));
+        net.add_node(broker, "broker");
+        net.add_node(client, "client");
+        net.add_link_bidi(
+            broker,
+            client,
+            LinkSpec::new(SimDuration::from_millis(8), 1e8).with_loss(loss),
+        );
+        net.set_group(client, 1).unwrap();
+        (net, broker, client)
+    }
+
+    fn drain(
+        broker: &mut ReliableBroker,
+        inbox: &mut InboxDedup,
+        net: &mut Network,
+        rng: &mut rand::rngs::StdRng,
+    ) -> Vec<u64> {
+        let mut processed = Vec::new();
+        while let Some(at) = broker.next_wakeup() {
+            for (_client, msg) in broker.poll(net, rng, at) {
+                if inbox.accept(msg.pub_id) {
+                    processed.push(msg.pub_id);
+                }
+            }
+        }
+        processed
+    }
+
+    fn sale(i: u64) -> Publication {
+        Publication::new(SimTime::from_millis(i)).term("sale").attr("n", i as f64)
+    }
+
+    #[test]
+    fn matched_publications_reach_the_subscriber() {
+        let (mut net, bnode, cnode) = world(0.0);
+        let mut broker = ReliableBroker::new(bnode, RetryPolicy::default(), 1, 128);
+        let mut rng = seeded_rng(1);
+        let client = ClientId::new(1);
+        broker.register(client, cnode);
+        broker.subscribe(Subscription::new(client).with_term("sale"));
+        broker.publish(&mut net, &mut rng, sale(0), SimTime::ZERO);
+        broker.publish(&mut net, &mut rng, Publication::new(SimTime::ZERO).term("game"), SimTime::ZERO);
+        let mut inbox = InboxDedup::new();
+        let processed = drain(&mut broker, &mut inbox, &mut net, &mut rng);
+        assert_eq!(processed, vec![0], "only the matching publication arrives");
+        assert_eq!(broker.stats.get("matched"), 1);
+    }
+
+    #[test]
+    fn overlapping_subscriptions_deliver_once_per_publication() {
+        let (mut net, bnode, cnode) = world(0.0);
+        let mut broker = ReliableBroker::new(bnode, RetryPolicy::default(), 2, 128);
+        let mut rng = seeded_rng(2);
+        let client = ClientId::new(1);
+        broker.register(client, cnode);
+        broker.subscribe(Subscription::new(client).with_term("sale"));
+        broker.subscribe(Subscription::new(client)); // unfiltered — also matches
+        broker.publish(&mut net, &mut rng, sale(0), SimTime::ZERO);
+        let mut inbox = InboxDedup::new();
+        let processed = drain(&mut broker, &mut inbox, &mut net, &mut rng);
+        assert_eq!(processed, vec![0]);
+        assert_eq!(inbox.stats.get("duplicates"), 0, "broker collapses per-client fan-out");
+    }
+
+    #[test]
+    fn flapping_client_processes_every_retained_publication_exactly_once() {
+        let (mut net, bnode, cnode) = world(0.25);
+        let mut broker = ReliableBroker::new(bnode, RetryPolicy::default(), 8, 128);
+        let mut rng = seeded_rng(8);
+        let client = ClientId::new(1);
+        broker.register(client, cnode);
+        broker.subscribe(Subscription::new(client).with_term("sale"));
+        let mut inbox = InboxDedup::new();
+
+        // Phase 1: connected, lossy — some publications flow.
+        for i in 0..5 {
+            broker.publish(&mut net, &mut rng, sale(i), SimTime::from_millis(i));
+        }
+        drain(&mut broker, &mut inbox, &mut net, &mut rng);
+
+        // Phase 2: client flaps off; publications retain.
+        broker.disconnect(client);
+        net.sever(0, 1);
+        for i in 5..12 {
+            broker.publish(&mut net, &mut rng, sale(i), SimTime::from_millis(i));
+        }
+        assert_eq!(broker.retained(client), 7);
+
+        // Phase 3: heal + reconnect; the retained backlog is re-sent in
+        // ascending pub_id order (arrival order may still shuffle under
+        // loss — the guarantee is exactly-once, not ordered delivery).
+        net.heal(0, 1);
+        assert_eq!(broker.reconnect(&mut net, &mut rng, client, SimTime::from_secs(1)), 7);
+        let mut replayed = drain(&mut broker, &mut inbox, &mut net, &mut rng);
+        replayed.sort_unstable();
+        assert_eq!(replayed, (5..12).collect::<Vec<u64>>(), "every retained pub, none twice");
+
+        // Every matched publication processed exactly once.
+        assert_eq!(inbox.len(), 12);
+        assert_eq!(inbox.stats.get("accepted"), 12);
+        assert_eq!(broker.retained(client), 0);
+    }
+
+    #[test]
+    fn expired_notifications_survive_via_retention() {
+        let (mut net, bnode, cnode) = world(0.0);
+        let policy = RetryPolicy { max_attempts: 2, ..RetryPolicy::default() };
+        let mut broker = ReliableBroker::new(bnode, policy, 3, 128);
+        let mut rng = seeded_rng(3);
+        let client = ClientId::new(1);
+        broker.register(client, cnode);
+        broker.subscribe(Subscription::new(client).with_term("sale"));
+
+        // Partition strikes before the broker learns of it.
+        net.sever(0, 1);
+        broker.publish(&mut net, &mut rng, sale(0), SimTime::ZERO);
+        let mut inbox = InboxDedup::new();
+        drain(&mut broker, &mut inbox, &mut net, &mut rng);
+        assert!(inbox.is_empty());
+        assert_eq!(broker.transport.stats.get("expired"), 1);
+        assert_eq!(broker.retained(client), 1, "expired notification retained");
+
+        net.heal(0, 1);
+        broker.reconnect(&mut net, &mut rng, client, SimTime::from_secs(10));
+        let processed = drain(&mut broker, &mut inbox, &mut net, &mut rng);
+        assert_eq!(processed, vec![0]);
+    }
+
+    #[test]
+    fn two_runs_same_seed_are_identical() {
+        let run = || {
+            let (mut net, bnode, cnode) = world(0.3);
+            let mut broker = ReliableBroker::new(bnode, RetryPolicy::default(), 42, 128);
+            let mut rng = seeded_rng(42);
+            let client = ClientId::new(1);
+            broker.register(client, cnode);
+            broker.subscribe(Subscription::new(client).with_term("sale"));
+            let mut inbox = InboxDedup::new();
+            for i in 0..15 {
+                broker.publish(&mut net, &mut rng, sale(i), SimTime::from_millis(i));
+            }
+            let processed = drain(&mut broker, &mut inbox, &mut net, &mut rng);
+            (processed, format!("{:?}", broker.transport.stats), format!("{:?}", broker.stats))
+        };
+        assert_eq!(run(), run());
+    }
+}
