@@ -15,6 +15,7 @@ pub mod exp_assets;
 pub mod exp_cloud;
 pub mod exp_collab;
 pub mod exp_dissem;
+pub mod exp_durable;
 pub mod exp_fault;
 pub mod exp_fusion;
 pub mod exp_ledger;
@@ -30,9 +31,9 @@ pub mod exp_txn;
 use mv_common::table::Table;
 
 /// All experiment ids, in DESIGN.md order.
-pub const ALL_IDS: [&str; 18] = [
+pub const ALL_IDS: [&str; 19] = [
     "e1", "e1d", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e12b",
-    "e13", "e14", "e15", "e16",
+    "e13", "e14", "e15", "e16", "e17",
 ];
 
 /// Run one experiment by id.
@@ -59,6 +60,7 @@ pub fn run(id: &str) -> Vec<Table> {
         "e14" => exp_stream::e14(),
         "e15" => exp_pubsub::e15(),
         "e16" => exp_fault::e16(),
+        "e17" => exp_durable::e17(),
         other => panic!("unknown experiment id {other}"),
     }
 }

@@ -22,6 +22,10 @@
 //! * [`sharded`] — [`sharded::ShardedMetaverse`]: the same engine
 //!   partitioned across hash-owned shards with parallel batched writes
 //!   and deterministic event-log merging (§IV-C at ingest scale);
+//! * [`durable`] — [`durable::DurableMetaverse`]: the sharded engine
+//!   wired to `mv-storage` (log-then-apply through a group-commit WAL,
+//!   event-log drain into a sharded LSM, replay-based crash recovery —
+//!   the §IV-F durable ingest path, measured in E17);
 //! * [`ops`] — a replayable operation model and generator used to prove
 //!   the sharded engine observationally equivalent to the sequential
 //!   one (`tests/sharded_differential.rs`).
@@ -29,6 +33,7 @@
 //! The examples in the repository root (`examples/`) drive this façade
 //! through the paper's five §II scenarios.
 
+pub mod durable;
 pub mod engine;
 pub mod entity;
 pub mod events;
@@ -36,6 +41,7 @@ pub mod interest;
 pub mod ops;
 pub mod sharded;
 
+pub use durable::{DurableMetaverse, DurableOp};
 pub use engine::{Metaverse, SyncPolicy};
 pub use entity::{Entity, EntityKind};
 pub use events::{Command, CoEvent, EventKind};

@@ -74,9 +74,12 @@ pub struct BufferPool {
 }
 
 impl BufferPool {
-    /// A pool holding up to `capacity` pages.
+    /// A pool holding up to `capacity` pages. A zero capacity is clamped
+    /// to one — a cache-size sweep written as `0..n` should degrade to a
+    /// single-frame pool, not panic (same convention as
+    /// `ShardedMetaverse::new`).
     pub fn new(capacity: usize, policy: EvictionPolicy) -> Self {
-        assert!(capacity > 0);
+        let capacity = capacity.max(1);
         BufferPool {
             capacity,
             policy,
@@ -236,5 +239,46 @@ mod tests {
         }
         assert_eq!(bp.len(), 4);
         assert_eq!(bp.stats.get("evictions"), 96);
+    }
+
+    /// Satellite edge case: a SpaceAware pool holding *only* physical
+    /// pages has no virtual victims to sacrifice — eviction must fall
+    /// back to LRU among the physical pages (never panic, never fail to
+    /// pick a victim and overfill the pool).
+    #[test]
+    fn space_aware_all_physical_pool_evicts_lru_physical() {
+        let capacity = 8;
+        let mut bp = BufferPool::new(capacity, EvictionPolicy::SpaceAware);
+        for i in 0..capacity as u64 {
+            bp.access(phys(i));
+        }
+        // Refresh page 0 so phys(1) is the LRU.
+        bp.access(phys(0));
+        let (hit, victim) = bp.access(phys(100));
+        assert!(!hit);
+        assert_eq!(victim, Some(phys(1)), "LRU fallback among physical pages");
+        assert_eq!(bp.len(), capacity, "capacity still respected");
+        // Sustained all-physical churn: every miss picks exactly one
+        // victim, the pool never overfills or underfills.
+        for i in 200..400u64 {
+            let (hit, victim) = bp.access(phys(i));
+            assert!(!hit);
+            assert!(victim.is_some(), "a full pool must always find a victim");
+            assert_eq!(bp.len(), capacity);
+        }
+    }
+
+    /// Satellite edge case: zero capacity is clamped, not a panic.
+    #[test]
+    fn zero_capacity_is_clamped_to_one_frame() {
+        let mut bp = BufferPool::new(0, EvictionPolicy::SpaceAware);
+        assert_eq!(bp.access(virt(1)), (false, None));
+        assert_eq!(bp.len(), 1);
+        // The single frame thrashes but never overfills.
+        let (hit, victim) = bp.access(phys(1));
+        assert!(!hit);
+        assert_eq!(victim, Some(virt(1)));
+        assert_eq!(bp.len(), 1);
+        assert_eq!(bp.access(phys(1)), (true, None), "resident page still hits");
     }
 }

@@ -1,0 +1,500 @@
+//! Group-commit write-ahead logging.
+//!
+//! The record-at-a-time [`crate::wal::Wal`] pays a full frame header, a
+//! checksum pass, and — on real hardware — a device flush *per record*.
+//! At deluge ingest rates the flush dominates: §IV-F's "massive volumes
+//! of data … generated continuously at rapid speed" cannot be made
+//! durable one fsync at a time. [`GroupCommitWal`] coalesces appended
+//! records into an in-memory batch and seals the whole batch into a
+//! single checksum-framed unit per `sync()` — one header, one checksum
+//! pass, one (simulated) device flush, amortized over the batch
+//! (GlassDB-style batching, applied to the log; cf. E5b).
+//!
+//! **Atomicity unit = the batch.** A batch frame is
+//! `[count u32][len u32][checksum u64][records…]`; recovery validates
+//! whole frames, so a crash mid-batch (torn write, bit rot) loses the
+//! *entire* batch — never a prefix of it. The unsynced pending tail is
+//! lost wholesale on crash, exactly like the record WAL's unsynced tail.
+//!
+//! Sealing is driven by a [`GroupCommitPolicy`]: a batch closes when it
+//! reaches `max_records`, `max_bytes`, or its oldest pending record has
+//! waited `max_delay` of virtual time — the classic throughput/latency
+//! trigger triple — or when the caller forces `sync()`.
+
+use crate::wal::{checksum, decode_payload, encode_payload, Corruption, RecoveryReport, WalRecord};
+use mv_common::metrics::Counters;
+use mv_common::time::{SimDuration, SimTime};
+
+/// Batch frame header: record count + payload length + payload checksum.
+const BATCH_HEADER: usize = 4 + 4 + 8;
+
+/// When a pending batch seals.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupCommitPolicy {
+    /// Seal after this many pending records.
+    pub max_records: usize,
+    /// Seal once the pending payload reaches this many bytes.
+    pub max_bytes: usize,
+    /// Seal once the oldest pending record has waited this long
+    /// (virtual time; checked on `append`/`tick`).
+    pub max_delay: SimDuration,
+}
+
+impl Default for GroupCommitPolicy {
+    fn default() -> Self {
+        GroupCommitPolicy {
+            max_records: 256,
+            max_bytes: 64 << 10,
+            max_delay: SimDuration::from_millis(5),
+        }
+    }
+}
+
+impl GroupCommitPolicy {
+    /// A policy that seals on record count alone (byte/deadline triggers
+    /// effectively off) — what the E17 batch-size sweep uses.
+    pub fn by_records(max_records: usize) -> Self {
+        GroupCommitPolicy {
+            max_records: max_records.max(1),
+            max_bytes: usize::MAX,
+            max_delay: SimDuration(u64::MAX),
+        }
+    }
+}
+
+/// The group-commit log.
+#[derive(Debug, Default)]
+pub struct GroupCommitWal {
+    policy: GroupCommitPolicy,
+    /// Records made durable by sealed batches, in append order.
+    sealed: Vec<WalRecord>,
+    /// Record count of each sealed batch, in seal order (batch
+    /// boundaries inside `sealed`).
+    batch_sizes: Vec<usize>,
+    /// Appended but not yet sealed — lost wholesale on crash.
+    pending: Vec<WalRecord>,
+    /// Encoded payload bytes of the pending batch (records are encoded
+    /// on append; sealing only frames + checksums the accumulated
+    /// payload — the per-batch, not per-record, commit cost).
+    pending_payload: Vec<u8>,
+    /// Virtual arrival time of the oldest pending record.
+    pending_since: Option<SimTime>,
+    /// Byte-encoded image of the sealed batches (checksummed frames).
+    log: Vec<u8>,
+    last_recovery: Option<RecoveryReport>,
+    /// `batches`, `records_synced`, `synced_bytes`, and per-trigger
+    /// counts (`trigger_records`, `trigger_bytes`, `trigger_deadline`,
+    /// `trigger_explicit`).
+    pub stats: Counters,
+}
+
+impl GroupCommitWal {
+    /// An empty log with the default policy.
+    pub fn new() -> Self {
+        Self::with_policy(GroupCommitPolicy::default())
+    }
+
+    /// An empty log with an explicit trigger policy.
+    pub fn with_policy(policy: GroupCommitPolicy) -> Self {
+        GroupCommitWal { policy, ..Default::default() }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> GroupCommitPolicy {
+        self.policy
+    }
+
+    /// Append a record at virtual time `now` (not yet durable). Returns
+    /// true when this append sealed a batch (count/byte/deadline
+    /// trigger). The record is encoded into the pending payload here, so
+    /// the later seal costs one frame + one checksum regardless of how
+    /// many records the batch holds.
+    pub fn append(&mut self, rec: WalRecord, now: SimTime) -> bool {
+        self.pending_since.get_or_insert(now);
+        let start = self.pending_payload.len();
+        self.pending_payload.extend_from_slice(&[0u8; 4]);
+        encode_payload(&rec, &mut self.pending_payload);
+        let rec_len = (self.pending_payload.len() - start - 4) as u32;
+        self.pending_payload[start..start + 4].copy_from_slice(&rec_len.to_le_bytes());
+        self.pending.push(rec);
+        self.maybe_seal(now)
+    }
+
+    /// Check the deadline trigger without appending (call on timer
+    /// ticks). Returns true when a batch sealed.
+    pub fn tick(&mut self, now: SimTime) -> bool {
+        self.maybe_seal(now)
+    }
+
+    fn maybe_seal(&mut self, now: SimTime) -> bool {
+        let Some(since) = self.pending_since else {
+            return false;
+        };
+        let trigger = if self.pending.len() >= self.policy.max_records {
+            "trigger_records"
+        } else if self.pending_payload.len() >= self.policy.max_bytes {
+            "trigger_bytes"
+        } else if now.since(since) >= self.policy.max_delay {
+            "trigger_deadline"
+        } else {
+            return false;
+        };
+        self.stats.incr(trigger);
+        self.seal();
+        true
+    }
+
+    /// Force-seal whatever is pending (the explicit group commit).
+    /// No-op on an empty pending set.
+    pub fn sync(&mut self) {
+        if !self.pending.is_empty() {
+            self.stats.incr("trigger_explicit");
+            self.seal();
+        }
+    }
+
+    /// Seal the pending records into one checksummed batch frame.
+    fn seal(&mut self) {
+        let count = self.pending.len();
+        debug_assert!(count > 0, "seal() requires pending records");
+        let payload = std::mem::take(&mut self.pending_payload);
+        self.log.extend_from_slice(&(count as u32).to_le_bytes());
+        self.log.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.log.extend_from_slice(&checksum(&payload).to_le_bytes());
+        self.log.extend_from_slice(&payload);
+        self.sealed.append(&mut self.pending);
+        self.batch_sizes.push(count);
+        self.pending_since = None;
+        self.stats.incr("batches");
+        self.stats.add("records_synced", count as u64);
+        self.stats.add("synced_bytes", (BATCH_HEADER + payload.len()) as u64);
+    }
+
+    /// Records that would survive a crash (whole sealed batches).
+    pub fn durable(&self) -> &[WalRecord] {
+        &self.sealed
+    }
+
+    /// Record counts of the sealed batches, in seal order.
+    pub fn batch_sizes(&self) -> &[usize] {
+        &self.batch_sizes
+    }
+
+    /// Appended-but-unsealed record count (lost wholesale on crash).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total appended records (sealed + pending).
+    pub fn len(&self) -> usize {
+        self.sealed.len() + self.pending.len()
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of the durable byte log (injection offsets index into this).
+    pub fn encoded_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Flip bit `bit` (0–7) of byte `offset` in the durable log.
+    /// Returns false (no-op) when `offset` is out of range.
+    pub fn inject_bit_flip(&mut self, offset: usize, bit: u8) -> bool {
+        match self.log.get_mut(offset) {
+            Some(byte) => {
+                *byte ^= 1 << (bit & 7);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Tear the durable log down to its first `keep` bytes, as an
+    /// interrupted batch write would.
+    pub fn inject_torn_write(&mut self, keep: usize) {
+        self.log.truncate(keep);
+    }
+
+    /// Simulate a crash: the pending tail is lost, and the sealed
+    /// batches are re-read from the (possibly corrupted) byte log. The
+    /// log is truncated at the first corrupt *batch*; a damaged batch is
+    /// dropped in full along with everything after it.
+    pub fn crash_with_report(&mut self) -> RecoveryReport {
+        let (batches, report) = decode_batches(&self.log);
+        self.log.truncate(report.valid_bytes);
+        self.batch_sizes = batches.iter().map(Vec::len).collect();
+        self.sealed = batches.into_iter().flatten().collect();
+        self.pending.clear();
+        self.pending_payload.clear();
+        self.pending_since = None;
+        self.last_recovery = Some(report);
+        report
+    }
+
+    /// Report of the most recent recovery, if any.
+    pub fn last_recovery(&self) -> Option<RecoveryReport> {
+        self.last_recovery
+    }
+}
+
+/// Scan a batch log, returning the intact batch prefix and a report.
+/// Validation is all-or-nothing per batch frame: a torn tail, checksum
+/// mismatch, or undecodable record drops the whole batch and stops.
+fn decode_batches(log: &[u8]) -> (Vec<Vec<WalRecord>>, RecoveryReport) {
+    let mut batches = Vec::new();
+    let mut replayed = 0usize;
+    let mut at = 0usize;
+    let mut corruption = None;
+    'scan: while at < log.len() {
+        let Some(header) = log.get(at..at + BATCH_HEADER) else {
+            corruption = Some(Corruption::TornTail { at });
+            break;
+        };
+        let count = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+        let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+        let sum = u64::from_le_bytes(header[8..].try_into().expect("8 bytes"));
+        let Some(payload) = log.get(at + BATCH_HEADER..at + BATCH_HEADER + len) else {
+            corruption = Some(Corruption::TornTail { at });
+            break;
+        };
+        if checksum(payload) != sum {
+            corruption = Some(Corruption::ChecksumMismatch { at });
+            break;
+        }
+        // Split the payload back into records. The count field sits
+        // outside the checksummed payload, so clamp the preallocation by
+        // what the payload could possibly hold (≥ 4 bytes per record);
+        // a damaged count then fails the record walk below instead of
+        // provoking a monster allocation.
+        let mut records = Vec::with_capacity(count.min(payload.len() / 4 + 1));
+        let mut cursor = 0usize;
+        for _ in 0..count {
+            let Some(len_bytes) = payload.get(cursor..cursor + 4) else {
+                corruption = Some(Corruption::ChecksumMismatch { at });
+                break 'scan;
+            };
+            let rec_len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+            let Some(rec) =
+                payload.get(cursor + 4..cursor + 4 + rec_len).and_then(decode_payload)
+            else {
+                corruption = Some(Corruption::ChecksumMismatch { at });
+                break 'scan;
+            };
+            records.push(rec);
+            cursor += 4 + rec_len;
+        }
+        if cursor != payload.len() {
+            corruption = Some(Corruption::ChecksumMismatch { at });
+            break;
+        }
+        replayed += records.len();
+        batches.push(records);
+        at += BATCH_HEADER + len;
+    }
+    let report = RecoveryReport {
+        replayed,
+        valid_bytes: at,
+        dropped_bytes: log.len() - at,
+        corruption,
+    };
+    (batches, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn put(i: u32) -> WalRecord {
+        WalRecord::Put { key: format!("k{i}").into_bytes(), value: format!("v{i}").into_bytes() }
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn record_count_trigger_seals_batches() {
+        let mut wal = GroupCommitWal::with_policy(GroupCommitPolicy::by_records(4));
+        for i in 0..10 {
+            let sealed = wal.append(put(i), t(0));
+            assert_eq!(sealed, i % 4 == 3, "append {i}");
+        }
+        assert_eq!(wal.durable().len(), 8);
+        assert_eq!(wal.pending_len(), 2);
+        assert_eq!(wal.batch_sizes(), &[4, 4]);
+        assert_eq!(wal.stats.get("trigger_records"), 2);
+        wal.sync();
+        assert_eq!(wal.durable().len(), 10);
+        assert_eq!(wal.batch_sizes(), &[4, 4, 2]);
+        assert_eq!(wal.stats.get("trigger_explicit"), 1);
+    }
+
+    #[test]
+    fn byte_trigger_seals_on_payload_size() {
+        let mut wal = GroupCommitWal::with_policy(GroupCommitPolicy {
+            max_records: usize::MAX,
+            max_bytes: 64,
+            max_delay: SimDuration(u64::MAX),
+        });
+        let mut sealed = false;
+        for i in 0..20 {
+            sealed |= wal.append(put(i), t(0));
+            if sealed {
+                break;
+            }
+        }
+        assert!(sealed, "64-byte trigger must fire well before 20 records");
+        assert_eq!(wal.stats.get("trigger_bytes"), 1);
+    }
+
+    #[test]
+    fn deadline_trigger_seals_aged_batches() {
+        let mut wal = GroupCommitWal::with_policy(GroupCommitPolicy {
+            max_records: usize::MAX,
+            max_bytes: usize::MAX,
+            max_delay: SimDuration::from_millis(5),
+        });
+        assert!(!wal.append(put(0), t(0)));
+        assert!(!wal.tick(t(4)), "deadline not yet reached");
+        assert!(wal.tick(t(5)), "5 ms deadline seals the batch");
+        assert_eq!(wal.durable().len(), 1);
+        assert_eq!(wal.stats.get("trigger_deadline"), 1);
+        // Empty pending: ticks are no-ops.
+        assert!(!wal.tick(t(100)));
+    }
+
+    #[test]
+    fn unsynced_pending_tail_is_lost_on_crash() {
+        let mut wal = GroupCommitWal::with_policy(GroupCommitPolicy::by_records(4));
+        for i in 0..6 {
+            wal.append(put(i), t(0));
+        }
+        // One sealed batch of 4, two pending.
+        let report = wal.crash_with_report();
+        assert_eq!(report.replayed, 4);
+        assert_eq!(report.corruption, None);
+        assert_eq!(wal.durable().len(), 4);
+        assert_eq!(wal.pending_len(), 0);
+    }
+
+    /// The satellite claim: crash mid-batch loses the whole batch, never
+    /// a prefix of it — `durable()` only ever shrinks by whole batches.
+    #[test]
+    fn torn_write_mid_batch_drops_the_whole_batch() {
+        let mut wal = GroupCommitWal::with_policy(GroupCommitPolicy::by_records(4));
+        for i in 0..8 {
+            wal.append(put(i), t(0));
+        }
+        assert_eq!(wal.batch_sizes(), &[4, 4]);
+        let full = wal.encoded_len();
+        // Tear inside the *second* batch frame (anywhere past the first).
+        let first_batch_end = full / 2;
+        wal.inject_torn_write(full - 3);
+        let report = wal.crash_with_report();
+        assert_eq!(report.replayed, 4, "second batch dropped in full");
+        assert_eq!(wal.durable().len(), 4);
+        assert_eq!(wal.batch_sizes(), &[4]);
+        assert!(matches!(report.corruption, Some(Corruption::TornTail { at }) if at <= first_batch_end));
+        // Never a prefix of a batch: replayed is a sum of whole batches.
+        assert_eq!(report.replayed % 4, 0);
+    }
+
+    #[test]
+    fn bit_flip_in_a_batch_truncates_at_that_batch() {
+        let mut wal = GroupCommitWal::with_policy(GroupCommitPolicy::by_records(2));
+        for i in 0..6 {
+            wal.append(put(i), t(0));
+        }
+        assert_eq!(wal.batch_sizes(), &[2, 2, 2]);
+        // Find the second frame's offset by decoding lengths.
+        let log_len = wal.encoded_len();
+        assert!(wal.inject_bit_flip(log_len / 2, 1));
+        let report = wal.crash_with_report();
+        assert!(report.corruption.is_some());
+        assert_eq!(report.replayed % 2, 0, "only whole batches replay");
+        assert!(report.replayed < 6);
+        // Second crash is a fixed point (damage excised).
+        let again = wal.crash_with_report();
+        assert_eq!(again.replayed, report.replayed);
+        assert_eq!(again.corruption, None);
+        assert_eq!(wal.last_recovery(), Some(again));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn prop_any_single_bit_flip_loses_only_whole_batches(
+            n_records in 1usize..40,
+            batch in 1usize..8,
+            offset_frac in 0.0f64..1.0,
+            bit in 0u8..8,
+        ) {
+            let mut wal = GroupCommitWal::with_policy(GroupCommitPolicy::by_records(batch));
+            let records: Vec<WalRecord> = (0..n_records as u32).map(put).collect();
+            for rec in &records {
+                wal.append(rec.clone(), t(0));
+            }
+            wal.sync();
+            let sizes = wal.batch_sizes().to_vec();
+            prop_assert_eq!(sizes.iter().sum::<usize>(), n_records);
+            let offset = ((wal.encoded_len() as f64 - 1.0) * offset_frac) as usize;
+            prop_assert!(wal.inject_bit_flip(offset, bit));
+            let report = wal.crash_with_report();
+            // Detected, and the surviving records are exactly the
+            // concatenation of some prefix of whole batches.
+            prop_assert!(report.corruption.is_some());
+            let mut acc = 0usize;
+            let valid_boundaries: Vec<usize> = std::iter::once(0)
+                .chain(sizes.iter().map(|s| { acc += s; acc }))
+                .collect();
+            prop_assert!(
+                valid_boundaries.contains(&report.replayed),
+                "replayed {} must fall on a batch boundary {:?}",
+                report.replayed, valid_boundaries
+            );
+            prop_assert_eq!(wal.durable(), &records[..report.replayed]);
+        }
+    }
+
+    #[test]
+    fn empty_and_never_synced_logs_recover_clean() {
+        let mut wal = GroupCommitWal::new();
+        let report = wal.crash_with_report();
+        assert_eq!(
+            report,
+            RecoveryReport { replayed: 0, valid_bytes: 0, dropped_bytes: 0, corruption: None }
+        );
+        wal.append(put(1), t(0));
+        wal.append(put(2), t(0));
+        // Never sealed: the crash wipes everything, cleanly.
+        let report = wal.crash_with_report();
+        assert_eq!(report.replayed, 0);
+        assert!(wal.is_empty());
+    }
+
+    #[test]
+    fn batch_framing_amortizes_header_bytes() {
+        // One 64-record batch spends one header; 64 single-record
+        // batches spend 64. The byte log shows the amortization.
+        let mut grouped = GroupCommitWal::with_policy(GroupCommitPolicy::by_records(64));
+        let mut single = GroupCommitWal::with_policy(GroupCommitPolicy::by_records(1));
+        for i in 0..64 {
+            grouped.append(put(i), t(0));
+            single.append(put(i), t(0));
+        }
+        grouped.sync();
+        assert_eq!(grouped.durable().len(), 64);
+        assert_eq!(single.durable().len(), 64);
+        assert_eq!(grouped.stats.get("batches"), 1);
+        assert_eq!(single.stats.get("batches"), 64);
+        assert_eq!(
+            single.encoded_len() - grouped.encoded_len(),
+            63 * BATCH_HEADER,
+            "per-batch framing overhead"
+        );
+    }
+}

@@ -7,8 +7,16 @@
 //! caching schemes … conscious of the semantics"*.
 //!
 //! * [`kv`] — a log-structured KV store: mutable memtable, immutable
-//!   sorted runs, merge compaction, range scans, tombstones;
+//!   sorted runs, per-run [`bloom`] filters, size-tiered compaction,
+//!   range scans, tombstones;
+//! * [`sharded_kv`] — the KV store partitioned across key-hash shards
+//!   with the `mv_core::sharded` ownership discipline (durable ingest
+//!   fast path, E17);
 //! * [`wal`] — a write-ahead log with crash/recovery simulation;
+//! * [`group_commit`] — the batched WAL: records coalesce into one
+//!   checksum-framed batch per sync, with byte/record/deadline triggers
+//!   and whole-batch crash atomicity;
+//! * [`bloom`] — double-hashed bloom filters for the LSM read path;
 //! * [`object`] — a content-addressed object store with refcounted
 //!   deduplication (shared avatar assets land here in E13);
 //! * [`block`] — a fixed-size block store with a free bitmap and extent
@@ -20,15 +28,21 @@
 //!   measurable against single-space and cross-space access mixes (E9).
 
 pub mod block;
+pub mod bloom;
 pub mod bufferpool;
+pub mod group_commit;
 pub mod kv;
 pub mod object;
 pub mod organization;
+pub mod sharded_kv;
 pub mod wal;
 
 pub use block::BlockStore;
+pub use bloom::Bloom;
 pub use bufferpool::{BufferPool, EvictionPolicy, PageId};
-pub use kv::KvStore;
+pub use group_commit::{GroupCommitPolicy, GroupCommitWal};
+pub use kv::{KvConfig, KvStore};
 pub use object::ObjectStore;
 pub use organization::{DataOrganization, Layout};
-pub use wal::{Wal, WalRecord};
+pub use sharded_kv::ShardedKv;
+pub use wal::{RecoveryReport, Wal, WalRecord};

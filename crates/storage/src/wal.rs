@@ -71,13 +71,13 @@ pub struct RecoveryReport {
 /// Frame header: payload length + payload checksum.
 const FRAME_HEADER: usize = 4 + 8;
 
-fn checksum(payload: &[u8]) -> u64 {
+pub(crate) fn checksum(payload: &[u8]) -> u64 {
     let mut h = FxHasher::default();
     h.write(payload);
     h.finish()
 }
 
-fn encode_payload(rec: &WalRecord, out: &mut Vec<u8>) {
+pub(crate) fn encode_payload(rec: &WalRecord, out: &mut Vec<u8>) {
     match rec {
         WalRecord::Put { key, value } => {
             out.push(1);
@@ -105,7 +105,7 @@ fn append_frame(log: &mut Vec<u8>, rec: &WalRecord) {
 /// Decode one payload; `None` on any structural damage (a checksum that
 /// still matched makes this vanishingly rare, but recovery must never
 /// panic on hostile bytes).
-fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+pub(crate) fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
     let (&tag, rest) = payload.split_first()?;
     let read_chunk = |bytes: &[u8]| -> Option<(Vec<u8>, usize)> {
         let len = u32::from_le_bytes(bytes.get(..4)?.try_into().ok()?) as usize;
