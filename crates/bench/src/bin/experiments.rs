@@ -1,23 +1,31 @@
 //! The experiment runner: prints the tables recorded in EXPERIMENTS.md.
 //!
 //! ```text
-//! cargo run --release -p mv-bench --bin experiments -- all
+//! cargo run --release -p mv-bench --bin experiments -- --all
 //! cargo run --release -p mv-bench --bin experiments -- e3 e10
+//! cargo run --release -p mv-bench --bin experiments -- --jsonl e18
 //! ```
+//!
+//! `--jsonl` additionally emits each table as machine-readable JSONL
+//! (one `{"kind":"table",…}` object per row, via `mv_obs::export`)
+//! after its pretty-printed form.
 
 use std::io::Write as _;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        eprintln!("usage: experiments <all | e1 e2 … e15>");
+    let jsonl = args.iter().any(|a| a == "--jsonl");
+    let ids: Vec<String> =
+        args.into_iter().filter(|a| a != "--jsonl").collect();
+    if ids.is_empty() {
+        eprintln!("usage: experiments [--jsonl] <--all | e1 e2 …>");
         eprintln!("known ids: {}", mv_bench::ALL_IDS.join(" "));
         std::process::exit(2);
     }
-    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+    let ids: Vec<&str> = if ids.iter().any(|a| a == "all" || a == "--all") {
         mv_bench::ALL_IDS.to_vec()
     } else {
-        args.iter().map(String::as_str).collect()
+        ids.iter().map(String::as_str).collect()
     };
     for id in &ids {
         if !mv_bench::ALL_IDS.contains(id) {
@@ -35,6 +43,9 @@ fn main() {
             .expect("stdout");
         for t in tables {
             writeln!(out, "{t}").expect("stdout");
+            if jsonl {
+                write!(out, "{}", mv_obs::export::table_to_jsonl(&t)).expect("stdout");
+            }
         }
     }
 }

@@ -19,6 +19,7 @@ pub mod exp_durable;
 pub mod exp_fault;
 pub mod exp_fusion;
 pub mod exp_ledger;
+pub mod exp_obs;
 pub mod exp_pubsub;
 pub mod exp_query;
 pub mod exp_shard;
@@ -31,9 +32,9 @@ pub mod exp_txn;
 use mv_common::table::Table;
 
 /// All experiment ids, in DESIGN.md order.
-pub const ALL_IDS: [&str; 19] = [
+pub const ALL_IDS: [&str; 20] = [
     "e1", "e1d", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e12b",
-    "e13", "e14", "e15", "e16", "e17",
+    "e13", "e14", "e15", "e16", "e17", "e18",
 ];
 
 /// Run one experiment by id.
@@ -61,6 +62,7 @@ pub fn run(id: &str) -> Vec<Table> {
         "e15" => exp_pubsub::e15(),
         "e16" => exp_fault::e16(),
         "e17" => exp_durable::e17(),
+        "e18" => exp_obs::e18(),
         other => panic!("unknown experiment id {other}"),
     }
 }

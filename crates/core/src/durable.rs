@@ -28,6 +28,7 @@ use mv_common::hash::FxHasher;
 use mv_common::id::EntityId;
 use mv_common::time::SimTime;
 use mv_common::{MvResult, Space};
+use mv_obs::{SharedTracer, TraceCtx};
 use mv_storage::kv::KvConfig;
 use mv_storage::wal::{RecoveryReport, WalRecord};
 use mv_storage::{GroupCommitPolicy, GroupCommitWal, ShardedKv};
@@ -348,6 +349,9 @@ pub struct DurableMetaverse {
     engine_shards: usize,
     kv_config: KvConfig,
     kv_shards: usize,
+    /// Span collector; ops without a caller-supplied context mint a
+    /// (possibly sampled) `core.durable.ingest` root here.
+    tracer: Option<SharedTracer>,
 }
 
 impl DurableMetaverse {
@@ -373,7 +377,23 @@ impl DurableMetaverse {
             engine_shards,
             kv_config,
             kv_shards,
+            tracer: None,
         }
+    }
+
+    /// Install a span collector. Ops arriving *with* a [`TraceCtx`]
+    /// (e.g. delivered over the reliable transport) keep it; ops
+    /// arriving without one mint a `core.durable.ingest` root, subject
+    /// to the tracer's sampling rate. The WAL shares the tracer so each
+    /// logged op gets a `storage.wal.group_commit` span.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.wal.set_tracer(tracer.clone());
+        self.tracer = Some(tracer);
+    }
+
+    /// The installed span collector, if any.
+    pub fn tracer(&self) -> Option<&SharedTracer> {
+        self.tracer.as_ref()
     }
 
     /// The wrapped engine (read-only: mutations must go through the
@@ -402,9 +422,44 @@ impl DurableMetaverse {
 
     /// Log one op (not yet durable — `commit` seals the batch).
     fn log(&mut self, op: &DurableOp) {
+        self.log_with(op, None);
+    }
+
+    /// Log one op carrying its causal context: the WAL opens a
+    /// `storage.wal.group_commit` span that closes when the op's batch
+    /// seals (its duration is the group-commit wait the op paid).
+    fn log_with(&mut self, op: &DurableOp, ctx: Option<TraceCtx>) {
         let key = self.lsn.to_le_bytes().to_vec();
         self.lsn += 1;
-        self.wal.append(WalRecord::Put { key, value: op.encode() }, op.ts());
+        self.wal.append_traced(WalRecord::Put { key, value: op.encode() }, op.ts(), ctx);
+    }
+
+    /// Resolve the context for one ingested op: adopt the caller's, or
+    /// mint a sampled `core.durable.ingest` root. Returns `(ctx,
+    /// minted_root)` — a minted root is owned here and closed by
+    /// [`Self::finish_ingest`].
+    fn ingest_ctx(&self, ctx: Option<TraceCtx>, now: SimTime) -> (Option<TraceCtx>, Option<u64>) {
+        if ctx.is_some() {
+            return (ctx, None);
+        }
+        let Some(tr) = &self.tracer else { return (None, None) };
+        match tr.maybe_trace("core.durable.ingest", now) {
+            Some(c) => (Some(c), Some(c.span)),
+            None => (None, None),
+        }
+    }
+
+    /// Mark the apply instant under `ctx` and close a root this engine
+    /// minted (caller-supplied roots stay open — the caller owns their
+    /// end-to-end lifetime).
+    fn finish_ingest(&self, ctx: Option<TraceCtx>, minted: Option<u64>, now: SimTime, ok: bool) {
+        let Some(tr) = &self.tracer else { return };
+        if let Some(c) = ctx {
+            tr.event(c, "core.durable.apply", now, if ok { "ok" } else { "err" });
+        }
+        if let Some(root) = minted {
+            tr.close(root, now, "applied");
+        }
     }
 
     /// Logged spawn.
@@ -439,8 +494,24 @@ impl DurableMetaverse {
         position: Point,
         now: SimTime,
     ) -> MvResult<bool> {
-        self.log(&DurableOp::Position { id, position, ts: now });
-        self.engine.update_position(id, position, now)
+        self.update_position_traced(id, position, now, None)
+    }
+
+    /// [`Self::update_position`] carrying (or minting) a causal context:
+    /// the WAL span, the apply event, and — for minted roots — the
+    /// ingest root all land in the installed tracer.
+    pub fn update_position_traced(
+        &mut self,
+        id: EntityId,
+        position: Point,
+        now: SimTime,
+        ctx: Option<TraceCtx>,
+    ) -> MvResult<bool> {
+        let (ctx, minted) = self.ingest_ctx(ctx, now);
+        self.log_with(&DurableOp::Position { id, position, ts: now }, ctx);
+        let r = self.engine.update_position(id, position, now);
+        self.finish_ingest(ctx, minted, now, r.is_ok());
+        r
     }
 
     /// Logged attribute write.
@@ -451,8 +522,23 @@ impl DurableMetaverse {
         value: f64,
         now: SimTime,
     ) -> MvResult<bool> {
-        self.log(&DurableOp::Attr { id, name: name.to_string(), value, ts: now });
-        self.engine.update_attr(id, name, value, now)
+        self.update_attr_traced(id, name, value, now, None)
+    }
+
+    /// [`Self::update_attr`] carrying (or minting) a causal context.
+    pub fn update_attr_traced(
+        &mut self,
+        id: EntityId,
+        name: &str,
+        value: f64,
+        now: SimTime,
+        ctx: Option<TraceCtx>,
+    ) -> MvResult<bool> {
+        let (ctx, minted) = self.ingest_ctx(ctx, now);
+        self.log_with(&DurableOp::Attr { id, name: name.to_string(), value, ts: now }, ctx);
+        let r = self.engine.update_attr(id, name, value, now);
+        self.finish_ingest(ctx, minted, now, r.is_ok());
+        r
     }
 
     /// Logged retire.
@@ -680,6 +766,38 @@ mod tests {
         assert_eq!(dm.state_digest(), committed_digest);
         assert_eq!(dm.engine().live_count(), 31);
         assert_eq!(dm.engine().entity(ids[2]).unwrap().position, p(2.0, 4.0));
+    }
+
+    #[test]
+    fn traced_ops_mint_ingest_roots_and_wal_spans() {
+        let tracer = mv_obs::SharedTracer::new();
+        let mut dm = DurableMetaverse::with_defaults(2);
+        dm.set_tracer(tracer.clone());
+        let id = dm.spawn("a", EntityKind::Person, p(0.0, 0.0), t(1));
+
+        // Context-less updates mint their own ingest roots and close
+        // them at apply; the WAL spans close when `commit` seals.
+        dm.update_position(id, p(1.0, 1.0), t(2)).unwrap();
+        dm.update_attr_traced(id, "hp", 0.5, t(3), None).unwrap();
+        dm.commit(t(3));
+        assert_eq!(tracer.open_count(), 0, "no leaked spans");
+        let recs = tracer.records();
+        let count = |name: &str, status: &str| {
+            recs.iter().filter(|r| r.name == name && r.status == status).count()
+        };
+        assert_eq!(count("core.durable.ingest", "applied"), 2);
+        assert_eq!(count("core.durable.apply", "ok"), 2);
+        assert_eq!(count("storage.wal.group_commit", "sealed"), 2);
+
+        // A caller-supplied root is adopted, not closed: the caller owns
+        // the update's end-to-end lifetime.
+        let root = tracer.start_trace("test.e2e", t(4));
+        dm.update_position_traced(id, p(2.0, 2.0), t(4), Some(root)).unwrap();
+        assert_eq!(tracer.open_count(), 2, "caller root + pending wal span");
+        dm.commit(t(4));
+        tracer.close(root.span, t(5), "ok");
+        assert_eq!(tracer.open_count(), 0);
+        assert_eq!(tracer.trace_count(), 3);
     }
 
     #[test]

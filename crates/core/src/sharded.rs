@@ -36,6 +36,7 @@ use mv_common::metrics::Counters;
 use mv_common::time::SimTime;
 use mv_common::Space;
 use mv_common::MvResult;
+use mv_obs::SharedTracer;
 use std::time::Instant;
 
 /// Owner shard of an entity: a SplitMix64 finalizer over the raw id,
@@ -109,6 +110,9 @@ pub struct ShardedMetaverse {
     /// clocks include descheduling, so per-shard costs are only honest
     /// when shards run one at a time).
     parallel_apply: bool,
+    /// Span collector: each (sampled) `apply_batch` call mints a
+    /// `core.sharded.apply_batch` root marking the batch's ingest.
+    tracer: Option<SharedTracer>,
 }
 
 impl ShardedMetaverse {
@@ -125,6 +129,7 @@ impl ShardedMetaverse {
             next_event: 0,
             last_shard_walls: vec![0.0; shards],
             parallel_apply: true,
+            tracer: None,
         }
     }
 
@@ -151,6 +156,14 @@ impl ShardedMetaverse {
     /// [`last_shard_walls`]: ShardedMetaverse::last_shard_walls
     pub fn set_parallel_apply(&mut self, on: bool) {
         self.parallel_apply = on;
+    }
+
+    /// Install a span collector: each (sampled) [`apply_batch`] call
+    /// records a `core.sharded.apply_batch` ingest root.
+    ///
+    /// [`apply_batch`]: ShardedMetaverse::apply_batch
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
     }
 
     /// Wall seconds each shard spent applying its queue in the last
@@ -231,6 +244,13 @@ impl ShardedMetaverse {
         let n = self.shards.len();
         if let Some(max_ts) = ops.iter().map(WriteOp::ts).max() {
             self.advance(max_ts);
+        }
+        // One sampled root per batch (not per op): the ingest marker the
+        // observability layer keys on, at one Option check when untraced.
+        if let Some(tr) = &self.tracer {
+            if let Some(ctx) = tr.maybe_trace("core.sharded.apply_batch", self.clock) {
+                tr.close(ctx.span, self.clock, "applied");
+            }
         }
         let mut queues: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (i, op) in ops.iter().enumerate() {

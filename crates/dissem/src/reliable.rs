@@ -24,6 +24,7 @@ use mv_common::metrics::Counters;
 use mv_common::time::SimTime;
 use mv_net::reliable::Event;
 use mv_net::{Network, ReliableTransport, RetryPolicy};
+use mv_obs::{SharedTracer, TraceCtx};
 use rand::Rng;
 
 /// Server side: outbox retention wired onto reliable delivery.
@@ -64,6 +65,12 @@ impl PushServer {
         self.clients_by_node.insert(node, client);
     }
 
+    /// Collect spans for traced pushes: the underlying transport gets
+    /// the tracer, and outbox replays/rebuffers log events on it.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.transport.set_tracer(tracer);
+    }
+
     /// Push a value to a client: delivered over the transport when the
     /// outbox says the client is connected, buffered otherwise.
     #[allow(clippy::too_many_arguments)]
@@ -77,7 +84,26 @@ impl PushServer {
         priority: Priority,
         now: SimTime,
     ) {
-        if let Some(msg) = self.outbox.push(client, object, value, priority) {
+        self.push_traced(net, rng, client, object, value, priority, now, None);
+    }
+
+    /// [`Self::push`] carrying the update's causal context: the context
+    /// rides in the [`OutMsg`] through outbox buffering, newest-wins
+    /// merges, expiry rebuffers, and reconnect replays, so every
+    /// transport attempt for this value hangs off the same trace.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_traced<R: Rng + ?Sized>(
+        &mut self,
+        net: &mut Network,
+        rng: &mut R,
+        client: ClientId,
+        object: ObjectId,
+        value: f64,
+        priority: Priority,
+        now: SimTime,
+        ctx: Option<TraceCtx>,
+    ) {
+        if let Some(msg) = self.outbox.push_traced(client, object, value, priority, ctx) {
             self.ship(net, rng, client, msg, now);
         }
     }
@@ -100,6 +126,11 @@ impl PushServer {
         let backlog = self.outbox.reconnect(client);
         let n = backlog.len();
         for msg in backlog {
+            // Replay is a visible causal step: the value sat in the
+            // outbox between its original push and this ship.
+            if let (Some(tr), Some(c)) = (self.transport.tracer().cloned(), msg.ctx) {
+                tr.event(c, "dissem.outbox.replay", now, "ok");
+            }
             self.ship(net, rng, client, msg, now);
         }
         n
@@ -116,7 +147,8 @@ impl PushServer {
         let Some(&node) = self.routes.get(&client) else {
             return;
         };
-        self.transport.send(net, rng, self.server, node, msg, self.msg_bytes, now);
+        let ctx = msg.ctx;
+        self.transport.send_traced(net, rng, self.server, node, msg, self.msg_bytes, now, ctx);
     }
 
     /// Earliest pending transport work; drive the clock here and `poll`.
@@ -143,8 +175,12 @@ impl PushServer {
                         arrived.push((client, payload));
                     }
                 }
-                Event::Expired { dst, payload, .. } => {
+                Event::Expired { dst, payload, at, .. } => {
                     if let Some(&client) = self.clients_by_node.get(&dst) {
+                        if let (Some(tr), Some(c)) = (self.transport.tracer().cloned(), payload.ctx)
+                        {
+                            tr.event(c, "dissem.outbox.rebuffer", at, "ok");
+                        }
                         self.outbox.rebuffer(client, payload);
                     }
                 }

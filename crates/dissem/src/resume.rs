@@ -11,6 +11,7 @@ use crate::sched::Priority;
 use mv_common::hash::FastMap;
 use mv_common::id::{ClientId, ObjectId};
 use mv_common::metrics::Counters;
+use mv_obs::TraceCtx;
 
 /// One buffered (or delivered) outbox message.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,6 +24,9 @@ pub struct OutMsg {
     pub priority: Priority,
     /// Monotone sequence number of the *latest* absorbed update.
     pub seq: u64,
+    /// Causal context of the *latest* absorbed update (newest-wins
+    /// merges keep the winner's context, like its value).
+    pub ctx: Option<TraceCtx>,
 }
 
 #[derive(Debug, Default)]
@@ -78,8 +82,21 @@ impl OutboxManager {
         value: f64,
         priority: Priority,
     ) -> Option<OutMsg> {
+        self.push_traced(client, object, value, priority, None)
+    }
+
+    /// [`Self::push`] carrying the update's causal context; the context
+    /// rides in the [`OutMsg`] through buffering, merges, and replay.
+    pub fn push_traced(
+        &mut self,
+        client: ClientId,
+        object: ObjectId,
+        value: f64,
+        priority: Priority,
+        ctx: Option<TraceCtx>,
+    ) -> Option<OutMsg> {
         self.seq += 1;
-        let msg = OutMsg { object, value, priority, seq: self.seq };
+        let msg = OutMsg { object, value, priority, seq: self.seq, ctx };
         let outbox = self.clients.get_mut(&client)?;
         if outbox.connected {
             self.stats.incr("delivered");

@@ -29,8 +29,8 @@
 use crate::network::{Delivery, Network};
 use mv_common::hash::FastMap;
 use mv_common::id::NodeId;
-use mv_common::metrics::Counters;
 use mv_common::time::{SimDuration, SimTime};
+use mv_obs::{SharedRegistry, SharedTracer, StatSet, TraceCtx};
 use rand::Rng;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
@@ -112,6 +112,9 @@ pub enum Event<P> {
         at: SimTime,
         /// The payload.
         payload: P,
+        /// Causal context the message carried, for the application to
+        /// continue the trace downstream.
+        ctx: Option<TraceCtx>,
     },
     /// A message exhausted its retries without an ack. The payload is
     /// handed back so the application can retain/re-route it.
@@ -126,6 +129,9 @@ pub enum Event<P> {
         at: SimTime,
         /// The payload, returned to the sender's application layer.
         payload: P,
+        /// Causal context the message carried, so the application's
+        /// retain/re-route path stays on the same trace.
+        ctx: Option<TraceCtx>,
     },
 }
 
@@ -135,6 +141,12 @@ struct InFlight<P> {
     bytes: u64,
     /// Transmissions performed so far (≥ 1 once sent).
     attempts: u32,
+    /// Causal context the payload carries (propagated on every retry).
+    ctx: Option<TraceCtx>,
+    /// Open `net.transport.send` span, closed at ack/expiry/crash.
+    send_span: Option<u64>,
+    /// Open span of the current transmission attempt.
+    attempt_span: Option<u64>,
 }
 
 #[derive(Debug)]
@@ -175,7 +187,7 @@ impl ReceiverStream {
 
 #[derive(Debug, Clone)]
 enum Wire<P> {
-    Data { src: NodeId, dst: NodeId, seq: u64, epoch: u32, payload: P },
+    Data { src: NodeId, dst: NodeId, seq: u64, epoch: u32, payload: P, ctx: Option<TraceCtx> },
     Ack { src: NodeId, dst: NodeId, seq: u64, epoch: u32 },
     RetryTimer { src: NodeId, dst: NodeId, seq: u64, epoch: u32 },
 }
@@ -217,9 +229,11 @@ pub struct ReliableTransport<P> {
     epochs: FastMap<NodeId, u32>,
     queue: BinaryHeap<Reverse<Pending<P>>>,
     tick: u64,
+    /// Span collector (off by default; see [`Self::set_tracer`]).
+    tracer: Option<SharedTracer>,
     /// Delivery/retry accounting (`sent`, `retransmits`, `delivered`,
-    /// `duplicates`, `expired`, …).
-    pub stats: Counters,
+    /// `duplicates`, `expired`, …). Registry-backed (`net.transport.*`).
+    pub stats: StatSet,
 }
 
 impl<P: Clone> ReliableTransport<P> {
@@ -233,8 +247,28 @@ impl<P: Clone> ReliableTransport<P> {
             epochs: FastMap::default(),
             queue: BinaryHeap::new(),
             tick: 0,
-            stats: Counters::new(),
+            tracer: None,
+            stats: StatSet::new("net.transport"),
         }
+    }
+
+    /// Collect spans for traced messages into `tracer`. Messages sent
+    /// via [`Self::send_traced`] with a context then get a
+    /// `net.transport.send` span per message, an
+    /// `attempt`/`retry` child per transmission, and deliver/duplicate
+    /// events at the receiver.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The tracer, if one is attached.
+    pub fn tracer(&self) -> Option<&SharedTracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Re-home this transport's counters onto a shared registry.
+    pub fn attach_registry(&mut self, registry: &SharedRegistry) {
+        self.stats.attach(registry);
     }
 
     /// The configured policy.
@@ -282,14 +316,47 @@ impl<P: Clone> ReliableTransport<P> {
         bytes: u64,
         now: SimTime,
     ) -> u64 {
+        self.send_traced(net, rng, src, dst, payload, bytes, now, None)
+    }
+
+    /// [`Self::send`] carrying a causal context. With a tracer attached,
+    /// opens a `net.transport.send` span (child of `ctx`) that stays
+    /// open until the message is acked, expires, or dies with a crash,
+    /// plus one `attempt`/`retry` child per transmission — so the span
+    /// log shows exactly where a message's latency went.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_traced<R: Rng + ?Sized>(
+        &mut self,
+        net: &mut Network,
+        rng: &mut R,
+        src: NodeId,
+        dst: NodeId,
+        payload: P,
+        bytes: u64,
+        now: SimTime,
+        ctx: Option<TraceCtx>,
+    ) -> u64 {
         let epoch = self.epochs.get(&src).copied().unwrap_or(0);
+        let (ctx, send_span, attempt_span) = match (&self.tracer, ctx) {
+            (Some(tr), Some(parent)) => {
+                let send_span = tr.child(parent, "net.transport.send", now);
+                let sub = parent.with_span(send_span);
+                let attempt = tr.child(sub, "net.transport.attempt", now);
+                // Downstream (receiver side) hangs off the send span.
+                (Some(sub), Some(send_span), Some(attempt))
+            }
+            (_, ctx) => (ctx, None, None),
+        };
         let stream = self.senders.entry((src, dst)).or_default();
         stream.epoch = epoch;
         let seq = stream.next_seq;
         stream.next_seq += 1;
-        stream.window.insert(seq, InFlight { payload: payload.clone(), bytes, attempts: 1 });
+        stream.window.insert(
+            seq,
+            InFlight { payload: payload.clone(), bytes, attempts: 1, ctx, send_span, attempt_span },
+        );
         self.stats.incr("sent");
-        self.transmit(net, rng, src, dst, seq, epoch, payload, bytes, now);
+        self.transmit(net, rng, src, dst, seq, epoch, payload, bytes, now, ctx);
         let rto = self.policy.rto(0, self.jitter_key(src, dst, seq));
         self.push(now + rto, Wire::RetryTimer { src, dst, seq, epoch });
         seq
@@ -307,11 +374,12 @@ impl<P: Clone> ReliableTransport<P> {
         payload: P,
         bytes: u64,
         now: SimTime,
+        ctx: Option<TraceCtx>,
     ) {
         self.stats.incr("transmissions");
         match net.transfer(src, dst, bytes, now, rng) {
             Ok(Delivery::At(t)) => {
-                self.push(t, Wire::Data { src, dst, seq, epoch, payload });
+                self.push(t, Wire::Data { src, dst, seq, epoch, payload, ctx });
             }
             Ok(Delivery::Lost) => self.stats.incr("data_lost"),
             Err(_) => self.stats.incr("data_unreachable"),
@@ -334,11 +402,11 @@ impl<P: Clone> ReliableTransport<P> {
             }
             let Reverse(Pending { at, wire, .. }) = self.queue.pop().expect("peeked");
             match wire {
-                Wire::Data { src, dst, seq, epoch, payload, .. } => {
-                    self.on_data(net, rng, src, dst, seq, epoch, payload, at, &mut events);
+                Wire::Data { src, dst, seq, epoch, payload, ctx } => {
+                    self.on_data(net, rng, src, dst, seq, epoch, payload, at, ctx, &mut events);
                 }
                 Wire::Ack { src, dst, seq, epoch } => {
-                    self.on_ack(src, dst, seq, epoch);
+                    self.on_ack(src, dst, seq, epoch, at);
                 }
                 Wire::RetryTimer { src, dst, seq, epoch } => {
                     self.on_timer(net, rng, src, dst, seq, epoch, at, &mut events);
@@ -359,6 +427,7 @@ impl<P: Clone> ReliableTransport<P> {
         epoch: u32,
         payload: P,
         at: SimTime,
+        ctx: Option<TraceCtx>,
         events: &mut Vec<Event<P>>,
     ) {
         if !net.is_up(dst) {
@@ -378,10 +447,16 @@ impl<P: Clone> ReliableTransport<P> {
         let duplicate = stream.already_delivered(seq);
         if duplicate {
             self.stats.incr("duplicates");
+            if let (Some(tr), Some(c)) = (&self.tracer, ctx) {
+                tr.event(c, "net.transport.deliver", at, "duplicate");
+            }
         } else {
             stream.mark_delivered(seq);
             self.stats.incr("delivered");
-            events.push(Event::Delivered { src, dst, seq, at, payload });
+            if let (Some(tr), Some(c)) = (&self.tracer, ctx) {
+                tr.event(c, "net.transport.deliver", at, "ok");
+            }
+            events.push(Event::Delivered { src, dst, seq, at, payload, ctx });
         }
         // Always (re-)ack — the sender may have missed the first ack.
         self.stats.incr("acks_sent");
@@ -392,7 +467,7 @@ impl<P: Clone> ReliableTransport<P> {
         }
     }
 
-    fn on_ack(&mut self, src: NodeId, dst: NodeId, seq: u64, epoch: u32) {
+    fn on_ack(&mut self, src: NodeId, dst: NodeId, seq: u64, epoch: u32, at: SimTime) {
         let Some(stream) = self.senders.get_mut(&(src, dst)) else {
             return; // sender crashed since
         };
@@ -400,8 +475,16 @@ impl<P: Clone> ReliableTransport<P> {
             self.stats.incr("stale_epoch");
             return;
         }
-        if stream.window.remove(&seq).is_some() {
+        if let Some(inflight) = stream.window.remove(&seq) {
             self.stats.incr("acked");
+            if let Some(tr) = &self.tracer {
+                if let Some(span) = inflight.attempt_span {
+                    tr.close(span, at, "acked");
+                }
+                if let Some(span) = inflight.send_span {
+                    tr.close(span, at, "acked");
+                }
+            }
         } else {
             self.stats.incr("dup_acks");
         }
@@ -429,14 +512,40 @@ impl<P: Clone> ReliableTransport<P> {
         if attempts >= self.policy.max_attempts {
             let inflight = stream.window.remove(&seq).expect("checked");
             self.stats.incr("expired");
-            events.push(Event::Expired { src, dst, seq, at, payload: inflight.payload });
+            if let Some(tr) = &self.tracer {
+                if let Some(span) = inflight.attempt_span {
+                    tr.close(span, at, "timeout");
+                }
+                if let Some(span) = inflight.send_span {
+                    tr.close(span, at, "expired");
+                }
+            }
+            events.push(Event::Expired {
+                src,
+                dst,
+                seq,
+                at,
+                payload: inflight.payload,
+                ctx: inflight.ctx,
+            });
             return;
         }
         let entry = stream.window.get_mut(&seq).expect("checked");
         entry.attempts += 1;
-        let (payload, bytes) = (entry.payload.clone(), entry.bytes);
+        let (payload, bytes, ctx) = (entry.payload.clone(), entry.bytes, entry.ctx);
+        // The previous attempt timed out; its successor is a `retry`
+        // child of the same send span.
+        if let Some(tr) = &self.tracer {
+            if let Some(span) = entry.attempt_span.take() {
+                tr.close(span, at, "timeout");
+            }
+            if let (Some(c), Some(send_span)) = (ctx, entry.send_span) {
+                entry.attempt_span =
+                    Some(tr.child(c.with_span(send_span), "net.transport.retry", at));
+            }
+        }
         self.stats.incr("retransmits");
-        self.transmit(net, rng, src, dst, seq, epoch, payload, bytes, at);
+        self.transmit(net, rng, src, dst, seq, epoch, payload, bytes, at, ctx);
         let rto = self.policy.rto(attempts, self.jitter_key(src, dst, seq));
         self.push(at + rto, Wire::RetryTimer { src, dst, seq, epoch });
     }
@@ -447,7 +556,26 @@ impl<P: Clone> ReliableTransport<P> {
     /// traffic discarded). Call this from `FaultTarget::on_node_crash`.
     pub fn on_node_crash(&mut self, node: NodeId) {
         *self.epochs.entry(node).or_insert(0) += 1;
-        self.senders.retain(|(src, _), _| *src != node);
+        let tracer = self.tracer.clone();
+        self.senders.retain(|(src, _), stream| {
+            if *src != node {
+                return true;
+            }
+            // The window dies with the node: abort its open spans so
+            // nothing leaks (no meaningful end time exists — the state
+            // that would have closed them is gone).
+            if let Some(tr) = &tracer {
+                for inflight in stream.window.values_mut() {
+                    if let Some(span) = inflight.attempt_span.take() {
+                        tr.abort(span, "crashed");
+                    }
+                    if let Some(span) = inflight.send_span.take() {
+                        tr.abort(span, "crashed");
+                    }
+                }
+            }
+            false
+        });
         self.receivers.retain(|(_, dst), _| *dst != node);
         self.stats.incr("endpoint_resets");
     }
@@ -613,6 +741,54 @@ mod tests {
             "fresh epoch restarts the sequence space: {events:?}"
         );
         assert_eq!(t.stats.get("duplicates"), 0);
+    }
+
+    #[test]
+    fn traced_send_closes_spans_on_ack_and_crash() {
+        use mv_obs::SharedTracer;
+        let (mut net, a, b) = pair(0.0);
+        let mut t = ReliableTransport::new(RetryPolicy::default(), 1);
+        let tracer = SharedTracer::new();
+        t.set_tracer(tracer.clone());
+        let mut rng = seeded_rng(1);
+
+        // Acked message: send + attempt spans close with "acked", and the
+        // receiver logs a deliver event carrying the downstream context.
+        let root = tracer.start_trace("test.op", SimTime::ZERO);
+        t.send_traced(&mut net, &mut rng, a, b, 1u64, 64, SimTime::ZERO, Some(root));
+        let events = drain(&mut t, &mut net, &mut rng);
+        assert!(matches!(
+            events[0],
+            Event::Delivered { payload: 1, ctx: Some(c), .. } if c.trace == root.trace
+        ));
+        tracer.close(root.span, SimTime::from_millis(20), "ok");
+        assert_eq!(tracer.open_count(), 0, "ack path must close every span");
+        let names: Vec<&str> = tracer.records().iter().map(|r| r.name).collect();
+        assert!(names.contains(&"net.transport.send"));
+        assert!(names.contains(&"net.transport.attempt"));
+        assert!(names.contains(&"net.transport.deliver"));
+
+        // Crashed sender: the window dies, but its spans are aborted —
+        // never leaked.
+        let root2 = tracer.start_trace("test.op2", SimTime::from_secs(1));
+        net.sever(0, 1); // keep it in flight
+        t.send_traced(&mut net, &mut rng, a, b, 2u64, 64, SimTime::from_secs(1), Some(root2));
+        assert!(tracer.open_count() > 1);
+        t.on_node_crash(a);
+        tracer.close(root2.span, SimTime::from_secs(1), "crashed");
+        assert_eq!(tracer.open_count(), 0, "crash path must abort every span");
+        let crashed = tracer
+            .records()
+            .iter()
+            .filter(|r| r.trace == root2.trace && r.status == "crashed")
+            .count();
+        assert!(crashed >= 2, "send + attempt aborted: {crashed}");
+
+        // Untraced sends on a traced transport stay span-free.
+        net.heal(0, 1);
+        t.send(&mut net, &mut rng, a, b, 3u64, 64, SimTime::from_secs(2));
+        drain(&mut t, &mut net, &mut rng);
+        assert_eq!(tracer.open_count(), 0);
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! JSONL export for experiment artifacts.
+//!
+//! The `experiments` binary renders pretty tables for humans; this
+//! module emits the same data as JSON Lines for machines (one JSON
+//! object per line — trivially greppable, diffable, and appendable).
+//! The encoder is hand-rolled and tiny: metric names and table cells
+//! are plain strings and numbers, so a full JSON stack is not worth a
+//! dependency.
+//!
+//! Line shapes:
+//! * table row — `{"kind":"table","table":<title>,"<header>":<cell>,…}`
+//! * span — `{"kind":"span","trace":…,"span":…,"parent":…,"name":…,
+//!   "start_us":…,"end_us":…,"status":…}`
+//! * counter / gauge — `{"kind":"counter","name":…,"value":…}`
+//! * histogram — `{"kind":"histogram","name":…,"count":…,"mean":…,
+//!   "p50":…,"p95":…,"max":…}`
+
+use crate::registry::Registry;
+use crate::trace::SpanRecord;
+use mv_common::table::Table;
+use std::fmt::Write as _;
+
+/// Escape a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A cell rendered as a bare JSON number when it parses as one, else as
+/// a quoted string — so `"12.5"` exports as `12.5` but `"3.42x"` stays
+/// a string.
+fn json_value(cell: &str) -> String {
+    if !cell.is_empty() && cell.parse::<f64>().is_ok_and(f64::is_finite) {
+        cell.to_string()
+    } else {
+        format!("\"{}\"", json_escape(cell))
+    }
+}
+
+/// Export a rendered [`Table`] as JSONL: one object per data row, keyed
+/// by the column headers.
+pub fn table_to_jsonl(table: &Table) -> String {
+    let mut out = String::new();
+    for row in table.rows() {
+        let mut line = format!("{{\"kind\":\"table\",\"table\":\"{}\"", json_escape(table.title()));
+        for (header, cell) in table.headers().iter().zip(row) {
+            let _ = write!(line, ",\"{}\":{}", json_escape(header), json_value(cell));
+        }
+        line.push('}');
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Export span records as JSONL, one span per line, in the order given.
+/// Feed it `Tracer::trace_records` output (sorted) for deterministic
+/// files.
+pub fn spans_to_jsonl(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"span\",\"trace\":{},\"span\":{},\"parent\":{},\"name\":\"{}\",\
+             \"start_us\":{},\"end_us\":{},\"status\":\"{}\"}}",
+            s.trace,
+            s.span,
+            s.parent,
+            json_escape(s.name),
+            s.start.as_micros(),
+            s.end.as_micros(),
+            json_escape(s.status),
+        );
+    }
+    out
+}
+
+/// Export a registry snapshot as JSONL: counters, gauges, then
+/// histogram summaries, each name-sorted.
+pub fn registry_to_jsonl(reg: &Registry) -> String {
+    let mut out = String::new();
+    for (name, v) in reg.counters() {
+        let _ = writeln!(out, "{{\"kind\":\"counter\",\"name\":\"{}\",\"value\":{v}}}", json_escape(name));
+    }
+    for (name, v) in reg.gauges() {
+        let _ = writeln!(out, "{{\"kind\":\"gauge\",\"name\":\"{}\",\"value\":{v}}}", json_escape(name));
+    }
+    for (name, h) in reg.histograms() {
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"histogram\",\"name\":\"{}\",\"count\":{},\"mean\":{},\"p50\":{},\
+             \"p95\":{},\"max\":{}}}",
+            json_escape(name),
+            h.count(),
+            h.mean(),
+            h.quantile(0.5),
+            h.quantile(0.95),
+            h.max(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+    use mv_common::time::SimTime;
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn table_rows_become_objects() {
+        let mut t = Table::new("e18 stages", &["stage", "mean_ms", "note"]);
+        t.row(&["wal".into(), "1.25".into(), "3.42x".into()]);
+        let j = table_to_jsonl(&t);
+        assert_eq!(
+            j,
+            "{\"kind\":\"table\",\"table\":\"e18 stages\",\"stage\":\"wal\",\
+             \"mean_ms\":1.25,\"note\":\"3.42x\"}\n"
+        );
+    }
+
+    #[test]
+    fn spans_export_in_given_order() {
+        let mut tr = Tracer::new();
+        let ctx = tr.start_trace("root", SimTime::from_millis(1));
+        tr.close(ctx.span, SimTime::from_millis(3), "ok");
+        let j = spans_to_jsonl(&tr.trace_records(ctx.trace));
+        assert_eq!(
+            j,
+            "{\"kind\":\"span\",\"trace\":1,\"span\":1,\"parent\":0,\"name\":\"root\",\
+             \"start_us\":1000,\"end_us\":3000,\"status\":\"ok\"}\n"
+        );
+    }
+
+    #[test]
+    fn registry_snapshot_exports_all_kinds() {
+        let mut r = Registry::new();
+        let c = r.counter("net.sent");
+        r.add(c, 7);
+        let g = r.gauge("core.live");
+        r.set_gauge(g, 2.5);
+        let h = r.histo("lat");
+        r.record(h, 4.0);
+        let j = registry_to_jsonl(&r);
+        assert!(j.contains("{\"kind\":\"counter\",\"name\":\"net.sent\",\"value\":7}"));
+        assert!(j.contains("{\"kind\":\"gauge\",\"name\":\"core.live\",\"value\":2.5}"));
+        assert!(j.contains("\"kind\":\"histogram\",\"name\":\"lat\",\"count\":1"));
+    }
+}

@@ -1,0 +1,39 @@
+//! `mv-obs` — the observability layer for the cospace platform.
+//!
+//! The paper's §IV challenges all hinge on *measuring* the deluge: the
+//! device–cloud–storage disaggregation of Fig. 7 only works if every
+//! layer can report where time and bytes go, and edge/cloud placement
+//! decisions (Lim et al., "Realizing the Metaverse with Edge
+//! Intelligence") need per-hop latency accounting. This crate is the
+//! substrate every performance claim in EXPERIMENTS.md reports against:
+//!
+//! * [`registry`] — a mergeable [`registry::Registry`] of named
+//!   counters, gauges, and fixed-bucket log-scaled histograms
+//!   ([`registry::LogHistogram`]: bounded memory, mergeable across
+//!   shards), plus [`registry::StatSet`], the registry-backed drop-in
+//!   for the ad-hoc counter structs the lower crates used to carry.
+//!   Metric names follow `<crate>.<component>.<metric>` (DESIGN.md §8).
+//! * [`trace`] — causal span tracing on the *virtual* clock: a
+//!   [`trace::TraceCtx`] minted at op ingest rides every payload through
+//!   transport retries, outbox replays, broker delivery, and WAL group
+//!   commit; the collected [`trace::SpanRecord`]s are deterministic
+//!   (seed-stable ids, sim-time stamps), so a single update's critical
+//!   path is reconstructible — and two same-seed runs hash identically.
+//! * [`profile`] — a per-tick scoped wall-clock profiler for engine
+//!   loops ([`profile::TickProfiler`]), reporting into the same
+//!   log-scaled histograms.
+//! * [`export`] — JSONL + pretty-table export used by the `experiments`
+//!   binary for every `exp_*` bench.
+//!
+//! Everything here is deterministic where it touches simulation state
+//! (span ids, sim timestamps, counter iteration order) and wall-clock
+//! only where it measures real CPU (the profiler).
+
+pub mod export;
+pub mod profile;
+pub mod registry;
+pub mod trace;
+
+pub use profile::TickProfiler;
+pub use registry::{CounterId, GaugeId, HistoId, LogHistogram, Registry, SharedRegistry, StatSet};
+pub use trace::{SharedTracer, SpanRecord, TraceCtx, Tracer};

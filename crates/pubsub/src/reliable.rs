@@ -22,6 +22,7 @@ use mv_common::metrics::Counters;
 use mv_common::time::SimTime;
 use mv_net::reliable::Event;
 use mv_net::{Network, ReliableTransport, RetryPolicy};
+use mv_obs::{SharedRegistry, SharedTracer, StatSet, TraceCtx};
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -33,6 +34,9 @@ pub struct PubMsg {
     pub pub_id: u64,
     /// The matched publication.
     pub publication: Publication,
+    /// Causal context of the publish, carried through retention,
+    /// replay, and every transport attempt.
+    pub ctx: Option<TraceCtx>,
 }
 
 #[derive(Debug)]
@@ -56,7 +60,8 @@ pub struct ReliableBroker {
     pub transport: ReliableTransport<PubMsg>,
     next_pub_id: u64,
     /// `matched`, `shipped`, `retained`, `replayed` counters.
-    pub stats: Counters,
+    /// Registry-backed (`pubsub.broker.*`).
+    pub stats: StatSet,
 }
 
 impl ReliableBroker {
@@ -71,8 +76,21 @@ impl ReliableBroker {
             by_node: FastMap::default(),
             transport: ReliableTransport::new(policy, seed),
             next_pub_id: 0,
-            stats: Counters::new(),
+            stats: StatSet::new("pubsub.broker"),
         }
+    }
+
+    /// Collect spans for traced publishes (forwarded to the transport;
+    /// retention/replay steps log events on the same tracer).
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.transport.set_tracer(tracer);
+    }
+
+    /// Re-home the broker's and its transport's counters onto one
+    /// shared registry (values carry over).
+    pub fn attach_registry(&mut self, registry: &SharedRegistry) {
+        self.stats.attach(registry);
+        self.transport.attach_registry(registry);
     }
 
     /// Register a client living at `client_node` (starts connected).
@@ -110,6 +128,20 @@ impl ReliableBroker {
         p: Publication,
         now: SimTime,
     ) -> u64 {
+        self.publish_traced(net, rng, p, now, None)
+    }
+
+    /// [`Self::publish`] carrying the publish's causal context: every
+    /// matched client's delivery (including retention and replay) hangs
+    /// off the same trace.
+    pub fn publish_traced<R: Rng + ?Sized>(
+        &mut self,
+        net: &mut Network,
+        rng: &mut R,
+        p: Publication,
+        now: SimTime,
+        ctx: Option<TraceCtx>,
+    ) -> u64 {
         let pub_id = self.next_pub_id;
         self.next_pub_id += 1;
         // A client with several matching subscriptions gets the event
@@ -122,7 +154,7 @@ impl ReliableBroker {
             .collect();
         for client in matched {
             self.stats.incr("matched");
-            let msg = PubMsg { pub_id, publication: p.clone() };
+            let msg = PubMsg { pub_id, publication: p.clone(), ctx };
             self.dispatch(net, rng, client, msg, now);
         }
         pub_id
@@ -142,9 +174,13 @@ impl ReliableBroker {
         if state.connected {
             let dst = state.node;
             self.stats.incr("shipped");
-            self.transport.send(net, rng, self.node, dst, msg, self.msg_bytes, now);
+            let ctx = msg.ctx;
+            self.transport.send_traced(net, rng, self.node, dst, msg, self.msg_bytes, now, ctx);
         } else {
             self.stats.incr("retained");
+            if let (Some(tr), Some(c)) = (self.transport.tracer().cloned(), msg.ctx) {
+                tr.event(c, "pubsub.broker.retain", now, "ok");
+            }
             state.retained.insert(msg.pub_id, msg);
         }
     }
@@ -167,7 +203,11 @@ impl ReliableBroker {
         let n = backlog.len();
         for msg in backlog {
             self.stats.incr("replayed");
-            self.transport.send(net, rng, self.node, dst, msg, self.msg_bytes, now);
+            if let (Some(tr), Some(c)) = (self.transport.tracer().cloned(), msg.ctx) {
+                tr.event(c, "pubsub.broker.replay", now, "ok");
+            }
+            let ctx = msg.ctx;
+            self.transport.send_traced(net, rng, self.node, dst, msg, self.msg_bytes, now, ctx);
         }
         n
     }

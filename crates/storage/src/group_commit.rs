@@ -24,6 +24,7 @@
 use crate::wal::{checksum, decode_payload, encode_payload, Corruption, RecoveryReport, WalRecord};
 use mv_common::metrics::Counters;
 use mv_common::time::{SimDuration, SimTime};
+use mv_obs::{SharedTracer, TraceCtx};
 
 /// Batch frame header: record count + payload length + payload checksum.
 const BATCH_HEADER: usize = 4 + 4 + 8;
@@ -82,6 +83,15 @@ pub struct GroupCommitWal {
     /// Byte-encoded image of the sealed batches (checksummed frames).
     log: Vec<u8>,
     last_recovery: Option<RecoveryReport>,
+    /// Span collector for traced appends (see [`Self::set_tracer`]).
+    tracer: Option<SharedTracer>,
+    /// Latest virtual time this WAL has observed (append/tick). `sync()`
+    /// and `seal()` take no `now`, so traced spans close at this clock —
+    /// group commit never runs the clock backwards, it only coalesces.
+    clock: SimTime,
+    /// Open `storage.wal.group_commit` spans of the pending batch;
+    /// closed wholesale at seal ("sealed") or crash ("lost").
+    pending_spans: Vec<u64>,
     /// `batches`, `records_synced`, `synced_bytes`, and per-trigger
     /// counts (`trigger_records`, `trigger_bytes`, `trigger_deadline`,
     /// `trigger_explicit`).
@@ -104,12 +114,29 @@ impl GroupCommitWal {
         self.policy
     }
 
+    /// Collect a `storage.wal.group_commit` span per traced append: the
+    /// span opens at append time and closes when the record's batch
+    /// seals (status "sealed") — so the span's duration *is* the group
+    /// commit latency the record paid — or aborts on crash ("lost").
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
+    }
+
     /// Append a record at virtual time `now` (not yet durable). Returns
     /// true when this append sealed a batch (count/byte/deadline
     /// trigger). The record is encoded into the pending payload here, so
     /// the later seal costs one frame + one checksum regardless of how
     /// many records the batch holds.
     pub fn append(&mut self, rec: WalRecord, now: SimTime) -> bool {
+        self.append_traced(rec, now, None)
+    }
+
+    /// [`Self::append`] carrying the record's causal context.
+    pub fn append_traced(&mut self, rec: WalRecord, now: SimTime, ctx: Option<TraceCtx>) -> bool {
+        self.clock = self.clock.max(now);
+        if let (Some(tr), Some(c)) = (&self.tracer, ctx) {
+            self.pending_spans.push(tr.child(c, "storage.wal.group_commit", now));
+        }
         self.pending_since.get_or_insert(now);
         let start = self.pending_payload.len();
         self.pending_payload.extend_from_slice(&[0u8; 4]);
@@ -123,6 +150,7 @@ impl GroupCommitWal {
     /// Check the deadline trigger without appending (call on timer
     /// ticks). Returns true when a batch sealed.
     pub fn tick(&mut self, now: SimTime) -> bool {
+        self.clock = self.clock.max(now);
         self.maybe_seal(now)
     }
 
@@ -157,6 +185,15 @@ impl GroupCommitWal {
     fn seal(&mut self) {
         let count = self.pending.len();
         debug_assert!(count > 0, "seal() requires pending records");
+        // Every traced record in this batch becomes durable now: its
+        // group-commit wait ends at the seal instant.
+        if let Some(tr) = &self.tracer {
+            for span in self.pending_spans.drain(..) {
+                tr.close(span, self.clock, "sealed");
+            }
+        } else {
+            self.pending_spans.clear();
+        }
         let payload = std::mem::take(&mut self.pending_payload);
         self.log.extend_from_slice(&(count as u32).to_le_bytes());
         self.log.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -223,6 +260,14 @@ impl GroupCommitWal {
     /// log is truncated at the first corrupt *batch*; a damaged batch is
     /// dropped in full along with everything after it.
     pub fn crash_with_report(&mut self) -> RecoveryReport {
+        // The pending tail dies with the crash; its spans must not leak.
+        if let Some(tr) = &self.tracer {
+            for span in self.pending_spans.drain(..) {
+                tr.abort(span, "lost");
+            }
+        } else {
+            self.pending_spans.clear();
+        }
         let (batches, report) = decode_batches(&self.log);
         self.log.truncate(report.valid_bytes);
         self.batch_sizes = batches.iter().map(Vec::len).collect();
@@ -474,6 +519,45 @@ mod tests {
         let report = wal.crash_with_report();
         assert_eq!(report.replayed, 0);
         assert!(wal.is_empty());
+    }
+
+    #[test]
+    fn traced_appends_close_at_seal_and_abort_on_crash() {
+        let tracer = mv_obs::SharedTracer::new();
+        let mut wal = GroupCommitWal::with_policy(GroupCommitPolicy::by_records(2));
+        wal.set_tracer(tracer.clone());
+        let root = tracer.start_trace("test.root", t(0));
+
+        // Two traced appends fill a batch; both spans close "sealed" at
+        // the WAL clock of the sealing append.
+        wal.append_traced(put(1), t(1), Some(root));
+        assert_eq!(tracer.open_count(), 2, "root + one pending wal span");
+        wal.append_traced(put(2), t(3), Some(root));
+        assert_eq!(tracer.open_count(), 1, "only the root remains open");
+        let sealed: Vec<_> = tracer
+            .records()
+            .into_iter()
+            .filter(|r| r.name == "storage.wal.group_commit")
+            .collect();
+        assert_eq!(sealed.len(), 2);
+        assert!(sealed.iter().all(|r| r.status == "sealed" && r.end == t(3)));
+        assert_eq!(sealed[0].start, t(1));
+
+        // A pending (unsealed) traced record dies with the crash: its
+        // span aborts "lost" instead of leaking.
+        wal.append_traced(put(3), t(5), Some(root));
+        assert_eq!(tracer.open_count(), 2);
+        wal.crash_with_report();
+        assert_eq!(tracer.open_count(), 1);
+        let lost: Vec<_> =
+            tracer.records().into_iter().filter(|r| r.status == "lost").collect();
+        assert_eq!(lost.len(), 1);
+        assert_eq!(lost[0].end, lost[0].start, "aborted spans have no duration");
+
+        // Untraced appends never touch the tracer.
+        wal.append(put(4), t(6));
+        wal.sync();
+        assert_eq!(tracer.open_count(), 1);
     }
 
     #[test]

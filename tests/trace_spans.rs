@@ -1,0 +1,172 @@
+//! Span-lifecycle guarantees under injected faults.
+//!
+//! The observability contract (DESIGN.md §8): every span a stage opens
+//! is closed exactly once — by success, by expiry, or by a crash
+//! abort — so `Tracer::open_count()` is zero when a simulation ends.
+//! The interesting case is a message a `FaultPlan` partition drops on
+//! the wire: its `net.transport.send` span must not leak; it stays
+//! open across the retransmissions (each a closed `retry` child) and
+//! closes `"acked"` after the heal — or `"expired"` when the retry
+//! budget runs out first.
+
+use mv_common::id::NodeId;
+use mv_common::seeded_rng;
+use mv_common::time::{SimDuration, SimTime};
+use mv_net::{FaultPlan, FaultTarget, LinkSpec, Network, ReliableTransport, RetryPolicy, Sim};
+use mv_obs::{SharedTracer, TraceCtx};
+
+const A: NodeId = NodeId::new(0);
+const B: NodeId = NodeId::new(1);
+
+struct World {
+    net: Network,
+    rng: rand::rngs::StdRng,
+    transport: ReliableTransport<u64>,
+    tracer: SharedTracer,
+    /// (trace ctx, root span) of every send, so roots can be closed
+    /// when the transport reports an outcome.
+    roots: Vec<(TraceCtx, u64)>,
+    delivered: u64,
+    expired: u64,
+}
+
+impl FaultTarget for World {
+    fn fault_network(&mut self) -> &mut Network {
+        &mut self.net
+    }
+}
+
+impl World {
+    fn new(seed: u64, policy: RetryPolicy) -> Self {
+        let mut net = Network::new();
+        net.add_node(A, "a");
+        net.add_node(B, "b");
+        net.add_link_bidi(A, B, LinkSpec::new(SimDuration::from_millis(5), 1e8));
+        net.set_group(B, 1).unwrap();
+        let tracer = SharedTracer::new();
+        let mut transport = ReliableTransport::new(policy, seed);
+        transport.set_tracer(tracer.clone());
+        World {
+            net,
+            rng: seeded_rng(seed),
+            transport,
+            tracer,
+            roots: Vec::new(),
+            delivered: 0,
+            expired: 0,
+        }
+    }
+
+    fn send(&mut self, value: u64, now: SimTime) {
+        let ctx = self.tracer.start_trace("test.update", now);
+        self.roots.push((ctx, ctx.span));
+        self.transport.send_traced(&mut self.net, &mut self.rng, A, B, value, 64, now, Some(ctx));
+    }
+
+    fn pump(&mut self, now: SimTime) {
+        for ev in self.transport.poll(&mut self.net, &mut self.rng, now) {
+            match ev {
+                mv_net::reliable::Event::Delivered { at, ctx, .. } => {
+                    self.delivered += 1;
+                    self.close_root(ctx, at, "ok");
+                }
+                mv_net::reliable::Event::Expired { at, ctx, .. } => {
+                    self.expired += 1;
+                    self.close_root(ctx, at, "gave_up");
+                }
+            }
+        }
+    }
+
+    fn close_root(&mut self, ctx: Option<TraceCtx>, at: SimTime, status: &'static str) {
+        let ctx = ctx.expect("traced sends carry their context");
+        let root = self
+            .roots
+            .iter()
+            .find(|(c, _)| c.trace == ctx.trace)
+            .map(|(_, r)| *r)
+            .expect("root recorded at send");
+        self.tracer.close(root, at, status);
+    }
+}
+
+/// Drive `world` through a `[100 ms, 400 ms)` partition with one send
+/// at 150 ms (mid-partition — its first transmission is dropped on the
+/// severed link) and return it after a 3 s drain.
+fn run_partitioned(mut world: World) -> World {
+    let mut sim = Sim::new(world);
+    let sched = sim.scheduler();
+    FaultPlan::new()
+        .partition_between(0, 1, SimTime::from_millis(100), SimTime::from_millis(400))
+        .install(sched);
+    sched.at(SimTime::from_millis(50), |w: &mut World, s| w.send(1, s.now()));
+    sched.at(SimTime::from_millis(150), |w: &mut World, s| w.send(2, s.now()));
+    for ms in (0..3_000).step_by(10) {
+        sched.at(SimTime::from_millis(ms), |w: &mut World, s| w.pump(s.now()));
+    }
+    sim.run_to_completion();
+    world = sim.world;
+    assert!(world.transport.is_idle(), "transport drained");
+    world
+}
+
+#[test]
+fn partition_dropped_message_closes_with_retry_children_and_no_leaks() {
+    let w = run_partitioned(World::new(42, RetryPolicy::default()));
+    assert_eq!(w.delivered, 2, "both messages survive the partition");
+    assert_eq!(w.expired, 0);
+    assert_eq!(w.tracer.open_count(), 0, "zero open spans at sim end");
+
+    // Trace 2 is the mid-partition send: its first transmission died on
+    // the severed link, so its send span must contain at least one
+    // retry child — and still close "acked" after the heal.
+    let recs = w.tracer.trace_records(2);
+    let send = recs.iter().find(|r| r.name == "net.transport.send").expect("send span");
+    assert_eq!(send.status, "acked");
+    assert!(send.end > send.start, "the send span covers the partition wait");
+    let retries: Vec<_> = recs
+        .iter()
+        .filter(|r| r.name == "net.transport.retry" && r.parent == send.span)
+        .collect();
+    assert!(!retries.is_empty(), "a dropped first attempt forces retry children");
+    assert!(
+        retries.iter().all(|r| r.status == "timeout" || r.status == "acked"),
+        "every retry child is closed, none leaked: {retries:?}"
+    );
+
+    // The pre-partition send needed no retries.
+    let quick = w.tracer.trace_records(1);
+    assert!(quick.iter().all(|r| r.name != "net.transport.retry"));
+}
+
+#[test]
+fn exhausted_retries_close_the_span_as_expired_without_leaks() {
+    // Two attempts ≈ 300 ms of trying; the 300 ms partition outlives
+    // them, so the mid-partition message must expire.
+    let policy = RetryPolicy { max_attempts: 2, jitter_frac: 0.0, ..RetryPolicy::default() };
+    let w = run_partitioned(World::new(7, policy));
+    assert_eq!(w.delivered, 1, "only the pre-partition message arrives");
+    assert_eq!(w.expired, 1);
+    assert_eq!(w.tracer.open_count(), 0, "zero open spans at sim end");
+
+    let recs = w.tracer.trace_records(2);
+    let send = recs.iter().find(|r| r.name == "net.transport.send").expect("send span");
+    assert_eq!(send.status, "expired");
+    assert!(
+        recs.iter().any(|r| r.name == "net.transport.retry" && r.status == "timeout"),
+        "the final retry closed on its timeout"
+    );
+}
+
+#[test]
+fn same_seed_fault_runs_produce_identical_span_logs() {
+    let a = run_partitioned(World::new(9, RetryPolicy::default()));
+    let b = run_partitioned(World::new(9, RetryPolicy::default()));
+    assert_eq!(a.tracer.canonical_bytes(), b.tracer.canonical_bytes());
+    let c = run_partitioned(World::new(10, RetryPolicy::default()));
+    assert_ne!(
+        a.tracer.with(|t| t.log_hash()),
+        c.tracer.with(|t| t.log_hash()),
+        "different seeds jitter retries differently"
+    );
+}
