@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `mv-assets` — high-fidelity digital-asset management (§IV-I).
 //!
 //! §IV-I: *"a key challenge towards high-fidelity is data explosion …

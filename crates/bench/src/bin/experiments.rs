@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The experiment runner: prints the tables recorded in EXPERIMENTS.md.
 //!
 //! ```text

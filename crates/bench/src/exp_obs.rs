@@ -380,9 +380,7 @@ pub fn e18_sized(overhead_records: usize) -> Vec<Table> {
         .stages
         .iter()
         .max_by(|(ta, sa), (tb, sb)| {
-            (sa.retries, sa.total, *ta)
-                .partial_cmp(&(sb.retries, sb.total, *tb))
-                .expect("stage totals are finite")
+            sa.retries.cmp(&sb.retries).then(sa.total.total_cmp(&sb.total)).then(ta.cmp(tb))
         })
         .map(|(t, _)| *t)
         .expect("at least one durable update");

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `mv-bench` — the experiment harness.
 //!
 //! One function per experiment in DESIGN.md §5; each returns the

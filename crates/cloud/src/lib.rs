@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `mv-cloud` — the cloud-computing layer of Fig. 7.
 //!
 //! Three §IV-E concerns, each a module:

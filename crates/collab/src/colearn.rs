@@ -106,7 +106,7 @@ fn fit_threshold(labelled: &[(f64, bool)]) -> f64 {
     let mut candidates: Vec<f64> = labelled.iter().map(|(x, _)| *x).collect();
     candidates.push(0.0);
     candidates.push(1.0);
-    candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    candidates.sort_by(|a, b| a.total_cmp(b));
     for &t in &candidates {
         let err = labelled
             .iter()

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `mv-collab` — data collaboration, privacy, and co-learning.
 //!
 //! §IV-B: *"Privacy-preserving data and knowledge sharing mechanisms with

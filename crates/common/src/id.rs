@@ -104,6 +104,7 @@ impl IdGen {
     /// Allocate the next raw id.
     #[inline]
     pub fn next_raw(&self) -> u64 {
+        // lint:allow(relaxed-ordering): id allocation needs atomicity only — uniqueness holds under any ordering, and nothing is published via this counter
         self.next.fetch_add(1, Ordering::Relaxed)
     }
 
@@ -115,6 +116,7 @@ impl IdGen {
 
     /// How many ids have been allocated so far.
     pub fn allocated(&self) -> u64 {
+        // lint:allow(relaxed-ordering): monotonic statistic read; callers only need some recent value, not a synchronized snapshot
         self.next.load(Ordering::Relaxed)
     }
 }

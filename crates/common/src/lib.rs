@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `mv-common` — shared substrate for the cospace platform.
 //!
 //! Every other crate in the workspace builds on the primitives defined here:

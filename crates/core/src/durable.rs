@@ -207,19 +207,22 @@ impl<'a> Reader<'a> {
     }
 
     fn u8(&mut self) -> Option<u8> {
-        self.take(1).map(|b| b[0])
+        self.take(1).and_then(|b| b.first().copied())
     }
 
     fn u32(&mut self) -> Option<u32> {
-        self.take(4).map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+        let chunk: [u8; 4] = self.take(4)?.try_into().ok()?;
+        Some(u32::from_le_bytes(chunk))
     }
 
     fn u64(&mut self) -> Option<u64> {
-        self.take(8).map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        let chunk: [u8; 8] = self.take(8)?.try_into().ok()?;
+        Some(u64::from_le_bytes(chunk))
     }
 
     fn f64(&mut self) -> Option<f64> {
-        self.take(8).map(|b| f64::from_le_bytes(b.try_into().expect("8 bytes")))
+        let chunk: [u8; 8] = self.take(8)?.try_into().ok()?;
+        Some(f64::from_le_bytes(chunk))
     }
 
     fn str(&mut self) -> Option<String> {
@@ -731,6 +734,22 @@ mod tests {
             }
         }
         assert_eq!(DurableOp::decode(&[99]), None, "unknown tag");
+    }
+
+    #[test]
+    fn hostile_string_lengths_decode_to_none_not_panic() {
+        // A Spawn op whose name length field claims u32::MAX bytes: the
+        // reader must refuse it, not index past the buffer.
+        let mut bytes = vec![1u8];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(b"x");
+        assert_eq!(DurableOp::decode(&bytes), None);
+
+        // Valid op with trailing garbage: `done()` rejects it.
+        let op = DurableOp::Retire { id: EntityId::new(9), ts: t(10) };
+        let mut bytes = op.encode();
+        bytes.push(0);
+        assert_eq!(DurableOp::decode(&bytes), None);
     }
 
     #[test]

@@ -327,13 +327,18 @@ impl Metaverse {
     /// [`mean_divergence`]: Metaverse::mean_divergence
     /// [`max_divergence`]: Metaverse::max_divergence
     pub(crate) fn divergence_parts(&self) -> (f64, f64, usize) {
-        self.entities
-            .values()
-            .filter(|e| !e.retired)
-            .fold((0.0, 0.0, 0), |(sum, max, count), e| {
-                let d = e.divergence();
-                (sum + d, f64::max(max, d), count + 1)
-            })
+        // f64 addition is not associative, so fold in ascending-id order —
+        // otherwise the sum's low bits depend on the map's iteration order.
+        let mut parts: Vec<(EntityId, f64)> = self
+            .entities
+            .iter()
+            .filter(|(_, e)| !e.retired)
+            .map(|(id, e)| (*id, e.divergence()))
+            .collect();
+        parts.sort_unstable_by_key(|&(id, _)| id);
+        parts.iter().fold((0.0, 0.0, 0), |(sum, max, count), &(_, d)| {
+            (sum + d, f64::max(max, d), count + 1)
+        })
     }
 
     /// Drain the event log.

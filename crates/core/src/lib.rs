@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `mv-core` — the co-space engine (the paper's primary contribution,
 //! made executable).
 //!

@@ -259,6 +259,7 @@ impl ShardedMetaverse {
         let mut results: Vec<Option<MvResult<bool>>> = ops.iter().map(|_| None).collect();
         let mut walls = vec![0.0f64; n];
         let run_queue = |shard: &mut Metaverse, queue: &[usize]| {
+            // lint:allow(wall-clock): measures real CPU time of the serial critical path for the speedup report; never feeds sim state
             let t0 = Instant::now();
             let out: Vec<(usize, MvResult<bool>)> = queue
                 .iter()

@@ -104,8 +104,8 @@ impl CoherencyServer {
         self.values.insert(object, value);
         self.stats.incr("updates");
         let mut out = Vec::new();
-        if let Some(subs) = self.subs.get(&object) {
-            for &(client, bound) in subs {
+        if let Some(watchers) = self.subs.get(&object) {
+            for &(client, bound) in watchers {
                 let key = (object, client);
                 let last = self.last_sent.get(&key).copied();
                 let must_push = match last {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `mv-dissem` — data dissemination with bounded incoherency.
 //!
 //! §IV-C (Data Consistency): *"Given the constraints in bandwidth and the

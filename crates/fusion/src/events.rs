@@ -112,19 +112,17 @@ impl EventDetector {
         let Some(timeout) = self.missing_after else {
             return Vec::new();
         };
+        let mut last: Vec<(usize, SimTime)> =
+            self.last_seen.iter().map(|(&e, &(_, seen))| (e, seen)).collect();
+        last.sort_unstable_by_key(|&(e, _)| e);
         let mut fired = Vec::new();
-        let mut to_mark = Vec::new();
-        for (&entity, &(_, seen)) in &self.last_seen {
+        for (entity, seen) in last {
             let already = self.missing_raised.get(&entity).copied().unwrap_or(false);
             if !already && now.since(seen) > timeout {
                 fired.push(DetectedEvent { rule: "missing", entity, ts: now, hypothesis: None });
-                to_mark.push(entity);
+                self.missing_raised.insert(entity, true);
             }
         }
-        for e in to_mark {
-            self.missing_raised.insert(e, true);
-        }
-        fired.sort_by_key(|e| e.entity);
         fired
     }
 }

@@ -104,7 +104,7 @@ impl EvidencePool {
             })
             .collect();
         // Deterministic: by log-odds desc, then hypothesis asc.
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let (hyp, lo, n) = scored[0];
         let margin = if scored.len() > 1 { lo - scored[1].1 } else { f64::INFINITY };
         Some(FusedBelief {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `mv-fusion` — data fusion over heterogeneous sources.
 //!
 //! §IV-A: *"data fusion in the metaverse is more challenging as the inputs

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `mv-ledger` — verifiable ledger structures.
 //!
 //! §IV-D: *"One possible solution is to use verifiable ledger database

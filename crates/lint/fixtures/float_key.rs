@@ -1,0 +1,33 @@
+// Fixture: float-key.
+use std::collections::BTreeMap;
+
+// POSITIVE: partial_cmp + unwrap is not a total order.
+fn sort_bad(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); //~DENY(float-key)
+}
+
+// POSITIVE: expect variant.
+fn max_bad(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().max_by(|a, b| a.partial_cmp(b).expect("finite")) //~DENY(float-key)
+}
+
+// POSITIVE: float-keyed ordered collection.
+fn index_bad() -> BTreeMap<f64, u64> { //~DENY(float-key)
+    BTreeMap::new()
+}
+
+// NEGATIVE: total_cmp is the sanctioned total order.
+fn sort_good(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+// NEGATIVE: integer keys are fine.
+fn index_good() -> BTreeMap<u64, f64> {
+    BTreeMap::new()
+}
+
+// ALLOW: justified partial order.
+fn sort_allowed(xs: &mut Vec<f64>) {
+    // lint:allow(float-key): fixture exercising the allow path
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); //~ALLOWED(float-key)
+}

@@ -1,0 +1,50 @@
+// Fixture: lexer torture. Every "violation" below is inert — hidden in
+// a string, raw string, char literal, or comment — so linting this file
+// must produce ZERO findings. Any finding here is a lexer bug.
+
+/* Block comment with a violation: Instant::now()
+   /* nested block comment: x.partial_cmp(y).unwrap() */
+   still inside the outer comment: thread::spawn(|| {})
+*/
+
+fn strings_hide_everything() -> Vec<String> {
+    vec![
+        "Instant::now()".to_string(),
+        "foo.partial_cmp(bar).unwrap()".to_string(),
+        "Ordering::Relaxed".to_string(),
+        "thread::spawn".to_string(),
+        // A directive inside a string literal is NOT a directive:
+        "// lint:allow(wall-clock): not a real allow".to_string(),
+        "\" escaped quote, then Instant::now()".to_string(),
+    ]
+}
+
+fn raw_strings_hide_everything() -> &'static str {
+    r#"Instant::now() and "quotes" and panic!("boom")"#
+}
+
+fn raw_strings_with_more_hashes() -> &'static str {
+    r##"contains "# and Ordering::Relaxed and thread::spawn"##
+}
+
+fn byte_strings() -> &'static [u8] {
+    br"std::time::SystemTime::now()"
+}
+
+fn char_literals_are_not_lifetimes() -> (char, char, char) {
+    ('\'', '"', '\\')
+}
+
+fn lifetimes_are_not_chars<'a>(x: &'a str) -> &'a str {
+    x
+}
+
+// Doc comments never carry directives, even when they quote one:
+/// To silence this rule write `// lint:allow(wall-clock): <reason>`.
+fn documented() {}
+
+fn numbers_and_ranges() -> (f64, u64) {
+    let xs = [1u64, 2, 3];
+    let sum: u64 = xs[..2].iter().sum::<u64>() + (0..10).sum::<u64>();
+    (1.5e3, sum)
+}

@@ -1,0 +1,48 @@
+// Fixture: nondet-iter. Lives under fixtures/ so the workspace scan
+// skips it; the self-tests feed it to lint_source with a fake path.
+// DENY markers tag lines the lint must flag; ALLOWED markers tag lines
+// whose finding must be suppressed by a directive.
+use mv_common::hash::FastMap;
+
+struct Registry {
+    entries: FastMap<u64, String>,
+}
+
+impl Registry {
+    // POSITIVE: iterating a hash map into an order-sensitive sink.
+    fn dump_bad(&self, out: &mut Vec<String>) {
+        for (_, v) in &self.entries { //~DENY(nondet-iter)
+            out.push(v.clone()); // order = hash order
+        }
+    }
+
+    // POSITIVE: collect into a Vec with no sort in sight.
+    fn keys_bad(&self) -> Vec<u64> {
+        self.entries.keys().copied().collect() //~DENY(nondet-iter)
+    }
+
+    // NEGATIVE: collect then sort immediately — canonical order restored.
+    fn keys_good(&self) -> Vec<u64> {
+        let mut ks: Vec<u64> = self.entries.keys().copied().collect();
+        ks.sort_unstable();
+        ks
+    }
+
+    // NEGATIVE: order-free consumption.
+    fn count_good(&self) -> usize {
+        self.entries.values().filter(|v| !v.is_empty()).count()
+    }
+
+    // NEGATIVE: collect into an ordered collection.
+    fn sorted_good(&self) -> std::collections::BTreeMap<u64, String> {
+        self.entries.iter().map(|(k, v)| (*k, v.clone())).collect::<BTreeMap<u64, String>>()
+    }
+
+    // ALLOW: acknowledged and justified.
+    fn dump_allowed(&self, out: &mut Vec<String>) {
+        // lint:allow(nondet-iter): fixture exercising the allow path
+        for (_, v) in &self.entries { //~ALLOWED(nondet-iter)
+            out.push(v.clone());
+        }
+    }
+}

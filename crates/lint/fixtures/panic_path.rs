@@ -1,0 +1,34 @@
+// Fixture: panic-path. Fed to lint_source under a fake recovery-path
+// name (crates/storage/src/wal.rs) so the path scoping applies.
+
+// POSITIVE: unwrap on a decode path.
+fn decode_bad(bytes: &[u8]) -> u32 {
+    u32::from_le_bytes(bytes.get(..4).unwrap().try_into().unwrap()) //~DENY(panic-path)
+}
+
+// POSITIVE: expect and panic-capable indexing.
+fn frame_bad(bytes: &[u8]) -> (u8, u8) {
+    let first = bytes[0]; //~DENY(panic-path)
+    let second = *bytes.get(1).expect("second byte"); //~DENY(panic-path)
+    (first, second)
+}
+
+// POSITIVE: explicit panic machinery.
+fn tag_bad(tag: u8) -> u8 {
+    match tag {
+        1 | 2 => tag,
+        _ => panic!("bad tag"), //~DENY(panic-path)
+    }
+}
+
+// NEGATIVE: total decode — every read is checked.
+fn decode_good(bytes: &[u8]) -> Option<u32> {
+    let chunk: [u8; 4] = bytes.get(..4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(chunk))
+}
+
+// ALLOW: justified panic.
+fn invariant_allowed(x: Option<u8>) -> u8 {
+    // lint:allow(panic-path): fixture exercising the allow path
+    x.unwrap() //~ALLOWED(panic-path)
+}

@@ -1,0 +1,20 @@
+// Fixture: relaxed-ordering.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+// POSITIVE: Relaxed with no justification.
+fn bump_bad() -> u64 {
+    COUNTER.fetch_add(1, Ordering::Relaxed) //~DENY(relaxed-ordering)
+}
+
+// NEGATIVE: SeqCst needs no justification.
+fn bump_good() -> u64 {
+    COUNTER.fetch_add(1, Ordering::SeqCst)
+}
+
+// ALLOW: justified relaxed use.
+fn bump_allowed() -> u64 {
+    // lint:allow(relaxed-ordering): fixture exercising the allow path
+    COUNTER.fetch_add(1, Ordering::Relaxed) //~ALLOWED(relaxed-ordering)
+}

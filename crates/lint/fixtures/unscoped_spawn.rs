@@ -1,0 +1,26 @@
+// Fixture: unscoped-spawn.
+use std::thread;
+
+// POSITIVE: a free-running thread outlives its spawner silently.
+fn detach_bad() {
+    thread::spawn(|| {}); //~DENY(unscoped-spawn)
+}
+
+// POSITIVE: fully-qualified form.
+fn detach_bad_2() {
+    std::thread::spawn(|| {}); //~DENY(unscoped-spawn)
+}
+
+// NEGATIVE: scoped threads join at scope exit.
+fn scoped_good(xs: &[u64]) -> u64 {
+    thread::scope(|s| {
+        let h = s.spawn(|| xs.iter().sum());
+        h.join().unwrap_or(0)
+    })
+}
+
+// ALLOW: justified detach.
+fn detach_allowed() {
+    // lint:allow(unscoped-spawn): fixture exercising the allow path
+    thread::spawn(|| {}); //~ALLOWED(unscoped-spawn)
+}

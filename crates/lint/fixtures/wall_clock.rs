@@ -1,0 +1,24 @@
+// Fixture: wall-clock.
+use std::time::Instant;
+
+// POSITIVE: wall-clock read on a sim path.
+fn tick_bad() -> Instant {
+    Instant::now() //~DENY(wall-clock)
+}
+
+// POSITIVE: SystemTime is wall-clock too (flagged wherever it appears).
+fn stamp_bad() -> std::time::SystemTime { //~DENY(wall-clock)
+    std::time::SystemTime::now() //~DENY(wall-clock)
+}
+
+// NEGATIVE: the sim clock is the sanctioned time source.
+fn tick_good(now: SimTime) -> SimTime {
+    now
+}
+
+// ALLOW: justified wall-clock use.
+fn profile_allowed() -> f64 {
+    // lint:allow(wall-clock): fixture exercising the allow path
+    let t0 = Instant::now(); //~ALLOWED(wall-clock)
+    t0.elapsed().as_secs_f64()
+}

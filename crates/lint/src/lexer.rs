@@ -1,0 +1,484 @@
+//! A hand-rolled Rust lexer, just deep enough for linting.
+//!
+//! The build is offline, so `syn` is not available; the rules in
+//! [`crate::rules`] instead walk a flat token stream. The lexer's one
+//! job is to get the *boundaries* right — where comments, string
+//! literals (including raw and byte strings), char literals, and
+//! lifetimes begin and end — so that a `lint:allow` directive inside a
+//! string literal never acts as a directive and an `unwrap(` inside a
+//! comment never acts as a call.
+//!
+//! What it does **not** do: parse. There is no AST, no precedence, no
+//! type information. Every rule downstream is an honest token-pattern
+//! heuristic, and says so.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`unwrap`, `for`, `HashMap`, …).
+    Ident(String),
+    /// Any string-ish literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    /// Contents are deliberately dropped — nothing inside a string is
+    /// lint-significant.
+    Str,
+    /// Char or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal (value dropped).
+    Num,
+    /// A single punctuation byte (`::` arrives as two `:` tokens).
+    Punct(char),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind/payload.
+    pub kind: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the punctuation byte `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Tok::Punct(c)
+    }
+}
+
+/// A `// lint:allow(<rule>): <reason>` escape hatch found in a line
+/// comment. Directives are collected by the lexer (so one inside a
+/// string literal is invisible) and bound to findings by the runner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    /// Rule name between the parentheses (not yet validated).
+    pub rule: String,
+    /// Reason text after the `:` (may be empty — the runner rejects
+    /// empty reasons as `bad-allow` findings).
+    pub reason: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True when only whitespace precedes the `//` — the directive then
+    /// covers the *next* code line instead of its own.
+    pub own_line: bool,
+}
+
+/// Lexer output: the token stream plus every allow-directive seen.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Allow directives in source order.
+    pub directives: Vec<Directive>,
+    /// Number of lines in the file.
+    pub lines: u32,
+}
+
+/// Lex `src` (one Rust source file) into tokens and directives.
+pub fn lex(src: &str) -> Lexed {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, line_has_code: false, out: Lexed::default() }
+        .run(src)
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    /// Whether a token already started on the current line (decides
+    /// whether a directive is trailing or on its own line).
+    line_has_code: bool,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.line_has_code = false;
+        }
+        b.into()
+    }
+
+    fn push(&mut self, kind: Tok) {
+        self.out.tokens.push(Token { kind, line: self.line });
+        self.line_has_code = true;
+    }
+
+    fn run(mut self, src_str: &str) -> Lexed {
+        while let Some(b) = self.peek(0) {
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(src_str),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident_or_prefixed_string(),
+                _ => {
+                    // Multi-byte UTF-8 only appears in comments/strings
+                    // in practice; if one leaks here, swallow the whole
+                    // scalar so we never split a code point.
+                    if b < 0x80 {
+                        self.bump();
+                        self.push(Tok::Punct(b as char));
+                    } else {
+                        let mut n = 1;
+                        while self.peek(n).is_some_and(|c| c & 0xc0 == 0x80) {
+                            n += 1;
+                        }
+                        for _ in 0..n {
+                            self.bump();
+                        }
+                    }
+                }
+            }
+        }
+        self.out.lines = self.line;
+        self.out
+    }
+
+    /// `// …` — scan for a `lint:allow(rule): reason` directive, then
+    /// skip to end of line.
+    fn line_comment(&mut self, src_str: &str) {
+        let own_line = !self.line_has_code;
+        let line = self.line;
+        let start = self.pos;
+        while self.peek(0).is_some_and(|b| b != b'\n') {
+            self.bump();
+        }
+        let text = src_str.get(start..self.pos).unwrap_or("");
+        // Doc comments (`///`, `//!`) are documentation — a directive
+        // pattern quoted there must not act as one.
+        let is_doc = text.starts_with("///") || text.starts_with("//!");
+        if !is_doc {
+            if let Some(d) = parse_directive(text, line, own_line) {
+                self.out.directives.push(d);
+            }
+        }
+    }
+
+    /// `/* … */`, nesting included (Rust block comments nest).
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: EOF ends it
+            }
+        }
+    }
+
+    /// `"…"` with escapes.
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump();
+        loop {
+            match self.peek(0) {
+                Some(b'\\') => {
+                    self.bump();
+                    self.bump();
+                }
+                Some(b'"') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => {
+                    self.bump();
+                }
+                None => break,
+            }
+        }
+        self.out.tokens.push(Token { kind: Tok::Str, line });
+        self.line_has_code = true;
+    }
+
+    /// `r"…"`, `r#"…"#`, … — no escapes, terminated by `"` plus the
+    /// same number of `#`s that opened it.
+    fn raw_string(&mut self) {
+        let line = self.line;
+        self.bump(); // the 'r'
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            self.bump();
+            hashes += 1;
+        }
+        self.bump(); // opening quote
+        'outer: loop {
+            match self.bump() {
+                Some(b'"') => {
+                    for k in 0..hashes {
+                        if self.peek(k) != Some(b'#') {
+                            continue 'outer;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+        self.out.tokens.push(Token { kind: Tok::Str, line });
+        self.line_has_code = true;
+    }
+
+    /// `'a'`-style char literal **or** `'a`-style lifetime.
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_char = match next {
+            Some(b'\\') => true,
+            Some(b) if is_ident_byte(b) => {
+                // `'x'` is a char; `'x` followed by anything else (or a
+                // longer identifier) is a lifetime — one trailing quote
+                // decides it. A digit can only start a char literal.
+                after == Some(b'\'') || matches!(next, Some(b'0'..=b'9'))
+            }
+            _ => true, // `'('`, `' '`, …
+        };
+        if is_char {
+            self.bump(); // opening '
+            loop {
+                match self.peek(0) {
+                    Some(b'\\') => {
+                        self.bump();
+                        self.bump();
+                    }
+                    Some(b'\'') => {
+                        self.bump();
+                        break;
+                    }
+                    Some(_) => {
+                        self.bump();
+                    }
+                    None => break,
+                }
+            }
+            self.out.tokens.push(Token { kind: Tok::Char, line });
+        } else {
+            self.bump(); // '
+            while self.peek(0).is_some_and(is_ident_byte) {
+                self.bump();
+            }
+            self.out.tokens.push(Token { kind: Tok::Lifetime, line });
+        }
+        self.line_has_code = true;
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        while self.peek(0).is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_') {
+            self.bump();
+        }
+        // `1.5` continues the number; `1..5` does not.
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.bump();
+            while self.peek(0).is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_') {
+                self.bump();
+            }
+        }
+        self.out.tokens.push(Token { kind: Tok::Num, line });
+        self.line_has_code = true;
+    }
+
+    /// An identifier — unless it is one of the string prefixes
+    /// (`r`, `b`, `br`, `c`, `cr`) sitting directly on a quote.
+    fn ident_or_prefixed_string(&mut self) {
+        let start = self.pos;
+        let mut end = self.pos;
+        while self.src.get(end).copied().is_some_and(is_ident_byte) {
+            end += 1;
+        }
+        let word = &self.src[start..end];
+        let next = self.src.get(end).copied();
+        let raw = matches!(word, b"r" | b"br" | b"cr");
+        let plain_prefix = matches!(word, b"b" | b"c");
+        if raw && (next == Some(b'"') || next == Some(b'#')) {
+            // `r"…"` / `r#"…"#`: but `r#ident` (raw identifier) must
+            // stay an identifier — only a quote after the hashes makes
+            // it a string.
+            let mut k = end;
+            while self.src.get(k) == Some(&b'#') {
+                k += 1;
+            }
+            if self.src.get(k) == Some(&b'"') {
+                // Consume the prefix letters, then lex as raw string
+                // (raw_string expects pos at the last prefix byte).
+                while self.pos + 1 < end {
+                    self.bump();
+                }
+                self.raw_string();
+                return;
+            }
+        }
+        if plain_prefix && next == Some(b'"') {
+            while self.pos < end {
+                self.bump();
+            }
+            self.string();
+            return;
+        }
+        if plain_prefix && next == Some(b'\'') {
+            while self.pos < end {
+                self.bump();
+            }
+            self.char_or_lifetime();
+            return;
+        }
+        let line = self.line;
+        let text = String::from_utf8_lossy(word).into_owned();
+        while self.pos < end {
+            self.bump();
+        }
+        // `r#ident` raw identifiers: the `#` arrives as punct, the
+        // identifier after it lexes normally. Good enough.
+        self.out.tokens.push(Token { kind: Tok::Ident(text), line });
+        self.line_has_code = true;
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Parse `lint:allow(<rule>): <reason>` out of a line comment's text.
+fn parse_directive(comment: &str, line: u32, own_line: bool) -> Option<Directive> {
+    let at = comment.find("lint:allow(")?;
+    let rest = &comment[at + "lint:allow(".len()..];
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let tail = rest[close + 1..].trim_start();
+    let reason = tail.strip_prefix(':').map(|r| r.trim().to_string()).unwrap_or_default();
+    Some(Directive { rule, reason, line, own_line })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r##"
+            // unwrap() in a comment is invisible
+            /* so is /* a nested */ unwrap() here */
+            let s = "unwrap() in a string";
+            let r = r#"unwrap() in a raw "quoted" string"#;
+            let b = b"unwrap() bytes";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"real_ident".to_string()));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' } // and '\\n' and 'b'";
+        let toks = lex(src).tokens;
+        let lifetimes = toks.iter().filter(|t| t.kind == Tok::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == Tok::Char).count();
+        assert_eq!(lifetimes, 2, "{toks:?}");
+        assert_eq!(chars, 1, "{toks:?}");
+    }
+
+    #[test]
+    fn directive_in_string_is_not_a_directive() {
+        let src = r#"
+            let msg = "// lint:allow(wall-clock): not a real directive";
+            // lint:allow(wall-clock): a real one
+        "#;
+        let lexed = lex(src);
+        assert_eq!(lexed.directives.len(), 1);
+        assert_eq!(lexed.directives[0].rule, "wall-clock");
+        assert_eq!(lexed.directives[0].reason, "a real one");
+        assert!(lexed.directives[0].own_line);
+    }
+
+    #[test]
+    fn trailing_directive_is_not_own_line() {
+        let src = "let t = now(); // lint:allow(wall-clock): trailing";
+        let lexed = lex(src);
+        assert_eq!(lexed.directives.len(), 1);
+        assert!(!lexed.directives[0].own_line);
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        let ids = idents("let r#type = 1; let x = r#\"str\"#;");
+        assert!(ids.contains(&"type".to_string()));
+        // The raw string body must not leak an ident.
+        assert!(!ids.contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let src = "let a = 1.5e3; for i in 0..10 {} let h = 0xff_u64;";
+        let toks = lex(src).tokens;
+        let nums = toks.iter().filter(|t| t.kind == Tok::Num).count();
+        assert_eq!(nums, 4, "{toks:?}"); // 1.5e3, 0, 10, 0xff_u64
+    }
+
+    #[test]
+    fn directive_requires_parenthesised_rule() {
+        assert!(parse_directive("// lint:allow wall-clock: x", 1, true).is_none());
+        let d = parse_directive("// lint:allow(x)", 1, true).unwrap();
+        assert_eq!(d.reason, "", "missing reason surfaces as empty, rejected later");
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "let a = r#\"\nmulti\nline\n\"#;\nlet b = 1;";
+        let toks = lex(src).tokens;
+        let b_line = toks
+            .iter()
+            .find(|t| t.ident() == Some("b"))
+            .map(|t| t.line)
+            .unwrap();
+        assert_eq!(b_line, 5);
+    }
+}

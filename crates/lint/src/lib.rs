@@ -1,0 +1,23 @@
+#![forbid(unsafe_code)]
+//! `mv-lint`: the in-repo determinism & robustness lint pass.
+//!
+//! The platform's headline guarantee — same-seed runs are byte-identical
+//! across the fault schedule, the durable op log, and the canonical span
+//! log — was previously enforced only dynamically, by end-of-pipeline
+//! hash gates that say *that* determinism broke, never *where*. This
+//! crate rejects the sources of nondeterminism at the source level:
+//! a hand-rolled lexer ([`lexer`], no `syn` — the build is offline)
+//! feeds token-pattern rule engines ([`rules`]) with path-aware scoping,
+//! and the CLI (`cargo run -p mv-lint -- --deny`) gates CI.
+//!
+//! Escape hatch: `// lint:allow(<rule>): <reason>`. The reason is
+//! mandatory, every allow is counted, and the per-rule counts are
+//! diffed against a checked-in baseline (`ci/lint-allows.txt`) so new
+//! allows are visible in review. See DESIGN.md §9 for the policy.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+pub use rules::{lint_source, Finding, CATALOGUE, RULES};

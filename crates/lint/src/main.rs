@@ -1,0 +1,164 @@
+#![forbid(unsafe_code)]
+//! `mv-lint` CLI — the determinism & robustness gate.
+//!
+//! ```text
+//! cargo run -p mv-lint -- [--deny] [--baseline <file>]
+//!                         [--write-baseline <file>] [--jsonl <file|->]
+//!                         [--list-rules] [root]
+//! ```
+//!
+//! * `--deny` — exit nonzero on any unallowed finding (the CI mode).
+//! * `--baseline <file>` — diff per-rule `lint:allow` counts against a
+//!   checked-in baseline; any drift fails (with `--deny`).
+//! * `--write-baseline <file>` — regenerate that file from the tree.
+//! * `--jsonl <file|->` — machine-readable findings (mv-obs JSONL
+//!   conventions), allowed findings included.
+//! * `root` — workspace root; discovered from the manifest dir when
+//!   omitted.
+
+use mv_lint::report;
+use mv_lint::rules::{lint_source, Finding, CATALOGUE};
+use mv_lint::scan;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    deny: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    jsonl: Option<String>,
+    list_rules: bool,
+    root: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        deny: false,
+        baseline: None,
+        write_baseline: None,
+        jsonl: None,
+        list_rules: false,
+        root: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny" => args.deny = true,
+            "--list-rules" => args.list_rules = true,
+            "--baseline" => {
+                args.baseline = Some(it.next().ok_or("--baseline needs a path")?.into());
+            }
+            "--write-baseline" => {
+                args.write_baseline =
+                    Some(it.next().ok_or("--write-baseline needs a path")?.into());
+            }
+            "--jsonl" => args.jsonl = Some(it.next().ok_or("--jsonl needs a path or -")?),
+            other if !other.starts_with('-') => args.root = Some(other.into()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mv-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for spec in CATALOGUE {
+            println!("{:<18} {}", spec.name, spec.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match args.root.or_else(|| {
+        scan::find_workspace_root(&PathBuf::from(env!("CARGO_MANIFEST_DIR")))
+            .or_else(|| std::env::current_dir().ok())
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("mv-lint: could not locate a workspace root");
+            return ExitCode::from(2);
+        }
+    };
+
+    let files = match scan::rust_files(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("mv-lint: walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for rel in &files {
+        match std::fs::read_to_string(root.join(rel)) {
+            Ok(src) => findings.extend(lint_source(rel, &src)),
+            Err(e) => eprintln!("mv-lint: reading {rel}: {e} (skipped)"),
+        }
+    }
+
+    if let Some(path) = &args.jsonl {
+        let out = report::findings_to_jsonl(&findings);
+        if path == "-" {
+            print!("{out}");
+        } else if let Err(e) = std::fs::write(path, out) {
+            eprintln!("mv-lint: writing {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let counts = report::allow_counts(&findings);
+    if let Some(path) = &args.write_baseline {
+        if let Err(e) = std::fs::write(path, report::baseline_to_string(&counts)) {
+            eprintln!("mv-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("mv-lint: baseline written to {}", path.display());
+    }
+
+    let mut failed = false;
+    let denied: Vec<&Finding> = findings.iter().filter(|f| !f.is_allowed()).collect();
+    for f in &denied {
+        println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+    }
+    if !denied.is_empty() {
+        failed = true;
+    }
+
+    if let Some(path) = &args.baseline {
+        match std::fs::read_to_string(path).map_err(|e| e.to_string()).and_then(|t| {
+            report::parse_baseline(&t)
+        }) {
+            Ok(baseline) => {
+                for diff in report::diff_baseline(&counts, &baseline) {
+                    println!("baseline: {diff}");
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("mv-lint: baseline {}: {e}", path.display());
+                failed = true;
+            }
+        }
+    }
+
+    println!(
+        "\nmv-lint: {} file(s), {} finding(s) denied, {} allowed\n{}",
+        files.len(),
+        denied.len(),
+        findings.iter().filter(|f| f.is_allowed()).count(),
+        report::summary(&findings)
+    );
+
+    if failed && args.deny {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

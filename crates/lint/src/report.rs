@@ -1,0 +1,175 @@
+//! Reporting: human summary, JSONL export, and the allow-count
+//! baseline that makes new `lint:allow`s visible in review.
+//!
+//! JSONL lines follow the `mv-obs` export conventions (`export.rs`
+//! there): one self-contained object per line with a leading `"kind"`
+//! discriminator, strings escaped by [`mv_obs::export::json_escape`].
+//!
+//! Line shape:
+//! `{"kind":"lint","rule":…,"path":…,"line":…,"allowed":…,"reason":…,
+//! "message":…}`
+
+use crate::rules::{Finding, RULES};
+use mv_obs::export::json_escape;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Findings as JSONL, one line per finding (allowed ones included —
+/// machines doing allow audits want them most of all).
+pub fn findings_to_jsonl(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"lint\",\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\
+             \"allowed\":{},\"reason\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&f.rule),
+            json_escape(&f.path),
+            f.line,
+            f.is_allowed(),
+            json_escape(f.allowed.as_deref().unwrap_or("")),
+            json_escape(&f.message),
+        );
+    }
+    out
+}
+
+/// Per-rule allow counts (every rule in the catalogue appears, zero or
+/// not, so baselines diff cleanly).
+pub fn allow_counts(findings: &[Finding]) -> BTreeMap<String, usize> {
+    let mut counts: BTreeMap<String, usize> = RULES.iter().map(|r| (r.to_string(), 0)).collect();
+    for f in findings {
+        if f.is_allowed() {
+            *counts.entry(f.rule.clone()).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Serialize allow counts in the checked-in baseline format.
+pub fn baseline_to_string(counts: &BTreeMap<String, usize>) -> String {
+    let mut out = String::from(
+        "# mv-lint allow-count baseline: one `<rule> <count>` per line.\n\
+         # A change here means a lint:allow was added or removed — reviewers\n\
+         # should see the matching reason in the diff. Regenerate with:\n\
+         #   cargo run -p mv-lint -- --write-baseline ci/lint-allows.txt\n",
+    );
+    for (rule, n) in counts {
+        let _ = writeln!(out, "{rule} {n}");
+    }
+    out
+}
+
+/// Parse a baseline file's contents. Unknown lines are errors — the
+/// file is small and hand-reviewed, so be strict.
+pub fn parse_baseline(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let mut counts = BTreeMap::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(rule), Some(n), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!("baseline line {}: expected `<rule> <count>`", ln + 1));
+        };
+        let n: usize =
+            n.parse().map_err(|_| format!("baseline line {}: bad count `{n}`", ln + 1))?;
+        counts.insert(rule.to_string(), n);
+    }
+    Ok(counts)
+}
+
+/// Compare current allow counts against the baseline. Any difference —
+/// up *or* down — is reported, so the checked-in file always matches
+/// reality and every allow change shows up in review.
+pub fn diff_baseline(
+    current: &BTreeMap<String, usize>,
+    baseline: &BTreeMap<String, usize>,
+) -> Vec<String> {
+    let mut diffs = Vec::new();
+    for (rule, &now) in current {
+        let base = baseline.get(rule).copied().unwrap_or(0);
+        if now != base {
+            diffs.push(format!(
+                "rule `{rule}`: {now} allow(s) in tree, baseline says {base} — \
+                 review the reasons, then regenerate the baseline"
+            ));
+        }
+    }
+    for rule in baseline.keys() {
+        if !current.contains_key(rule) {
+            diffs.push(format!("rule `{rule}` in baseline is not a known rule"));
+        }
+    }
+    diffs
+}
+
+/// Human-readable summary table: per-rule unallowed/allowed counts.
+pub fn summary(findings: &[Finding]) -> String {
+    let mut per: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    for f in findings {
+        let e = per.entry(f.rule.as_str()).or_insert((0, 0));
+        if f.is_allowed() {
+            e.1 += 1;
+        } else {
+            e.0 += 1;
+        }
+    }
+    let mut out = String::from("rule                 deny  allow\n");
+    for (rule, (deny, allow)) in &per {
+        let _ = writeln!(out, "{rule:<20} {deny:>4} {allow:>6}");
+    }
+    let total_deny: usize = per.values().map(|v| v.0).sum();
+    let total_allow: usize = per.values().map(|v| v.1).sum();
+    let _ = writeln!(out, "{:<20} {total_deny:>4} {total_allow:>6}", "total");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &str, allowed: Option<&str>) -> Finding {
+        Finding {
+            rule: rule.into(),
+            path: "crates/x/src/lib.rs".into(),
+            line: 3,
+            message: "msg with \"quotes\"".into(),
+            allowed: allowed.map(Into::into),
+        }
+    }
+
+    #[test]
+    fn jsonl_escapes_and_discriminates() {
+        let out = findings_to_jsonl(&[f("wall-clock", Some("why: \"timing\""))]);
+        assert!(out.starts_with("{\"kind\":\"lint\",\"rule\":\"wall-clock\""));
+        assert!(out.contains("\\\"timing\\\""));
+        assert!(out.contains("\"allowed\":true"));
+        assert!(out.ends_with('}') || out.ends_with("}\n"));
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_diff() {
+        let counts = allow_counts(&[f("wall-clock", Some("r")), f("nondet-iter", None)]);
+        assert_eq!(counts["wall-clock"], 1);
+        assert_eq!(counts["nondet-iter"], 0);
+        let text = baseline_to_string(&counts);
+        let parsed = parse_baseline(&text).unwrap();
+        assert_eq!(parsed, counts);
+        assert!(diff_baseline(&counts, &parsed).is_empty());
+
+        let mut stale = parsed.clone();
+        stale.insert("wall-clock".into(), 0);
+        let diffs = diff_baseline(&counts, &stale);
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].contains("wall-clock"));
+    }
+
+    #[test]
+    fn bad_baseline_lines_are_errors() {
+        assert!(parse_baseline("wall-clock").is_err());
+        assert!(parse_baseline("wall-clock one").is_err());
+        assert!(parse_baseline("# comment\n\nwall-clock 2\n").is_ok());
+    }
+}

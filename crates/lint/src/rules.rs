@@ -1,0 +1,885 @@
+//! The rule engines: token-pattern matchers with path-aware scoping.
+//!
+//! Every rule here is a *heuristic* over the flat token stream from
+//! [`crate::lexer`] — there is no type information, so each matcher
+//! documents exactly what it keys on and what it will miss. The bias is
+//! deliberate: over-flag and make the author either fix the site or
+//! write a `// lint:allow(<rule>): <reason>` with a reviewable reason,
+//! rather than under-flag and let nondeterminism ship.
+//!
+//! Rule catalogue (see DESIGN.md §9 for the policy around each):
+//!
+//! * `nondet-iter` — iteration over a hash container (`HashMap`,
+//!   `HashSet`, `FastMap`, `FastSet`) flowing into an order-sensitive
+//!   sink (a `Vec` collect, a push/encode loop body) without a sort.
+//! * `wall-clock` — `Instant::now` / `SystemTime` outside the
+//!   bench/profiling exemptions; sim code must use the sim clock.
+//! * `panic-path` — `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`
+//!   and panic-capable `[]` indexing on the recovery/decode paths of
+//!   `mv-storage`, `mv-net`, and the durable op log.
+//! * `relaxed-ordering` — `Ordering::Relaxed` anywhere; the documented
+//!   sampled-out tracer fast path carries an allow.
+//! * `unscoped-spawn` — `thread::spawn` (the workspace idiom is
+//!   `std::thread::scope`).
+//! * `float-key` — `partial_cmp(..).unwrap()`-family comparators and
+//!   float-keyed ordered containers; the sanctioned idiom is
+//!   `f32::total_cmp`/`f64::total_cmp`.
+//!
+//! Two meta-rules police the escape hatch itself: `bad-allow` (unknown
+//! rule name, or a missing reason) and `unused-allow` (a directive that
+//! suppressed nothing). Neither can itself be allowed.
+
+use crate::lexer::{lex, Directive, Tok, Token};
+
+/// Names of the real (allowable) rules, in report order.
+pub const RULES: &[&str] = &[
+    "nondet-iter",
+    "wall-clock",
+    "panic-path",
+    "relaxed-ordering",
+    "unscoped-spawn",
+    "float-key",
+];
+
+/// Where each rule applies. Paths are workspace-relative with `/`
+/// separators; a pattern matches when the path equals it or starts
+/// with it. An empty include list means "everywhere scanned".
+pub struct RuleSpec {
+    /// Rule name (must appear in [`RULES`]).
+    pub name: &'static str,
+    /// One-line description for `--list-rules` and reports.
+    pub summary: &'static str,
+    /// Only paths matching one of these are linted (empty = all).
+    pub include: &'static [&'static str],
+    /// Paths matching one of these are skipped.
+    pub exclude: &'static [&'static str],
+}
+
+/// The catalogue, including per-rule path scopes.
+pub const CATALOGUE: &[RuleSpec] = &[
+    RuleSpec {
+        name: "nondet-iter",
+        summary: "hash-container iteration into an order-sensitive sink",
+        include: &[],
+        exclude: &[],
+    },
+    RuleSpec {
+        name: "wall-clock",
+        summary: "Instant::now/SystemTime outside bench/profiling exemptions",
+        include: &[],
+        // Benches measure real elapsed time by definition, and the
+        // TickProfiler is the sanctioned wall-clock reader.
+        exclude: &["crates/bench/", "crates/obs/src/profile.rs"],
+    },
+    RuleSpec {
+        name: "panic-path",
+        summary: "panic-capable call or indexing on a recovery/decode path",
+        include: &[
+            "crates/storage/src/wal.rs",
+            "crates/storage/src/group_commit.rs",
+            "crates/storage/src/codec.rs",
+            "crates/net/src/reliable.rs",
+            "crates/core/src/durable.rs",
+        ],
+        exclude: &[],
+    },
+    RuleSpec {
+        name: "relaxed-ordering",
+        summary: "atomic Ordering::Relaxed outside the documented tracer fast path",
+        include: &[],
+        exclude: &[],
+    },
+    RuleSpec {
+        name: "unscoped-spawn",
+        summary: "thread::spawn where std::thread::scope is the idiom",
+        include: &[],
+        exclude: &[],
+    },
+    RuleSpec {
+        name: "float-key",
+        summary: "float ordering without a total order (use total_cmp)",
+        include: &[],
+        exclude: &[],
+    },
+];
+
+/// One lint finding, allowed or not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (one of [`RULES`] or a meta-rule).
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation of the finding.
+    pub message: String,
+    /// `Some(reason)` when a `lint:allow` directive covers it.
+    pub allowed: Option<String>,
+}
+
+impl Finding {
+    /// True when this finding is suppressed by a directive.
+    pub fn is_allowed(&self) -> bool {
+        self.allowed.is_some()
+    }
+}
+
+fn spec(name: &str) -> &'static RuleSpec {
+    CATALOGUE.iter().find(|s| s.name == name).unwrap_or(&CATALOGUE[0])
+}
+
+fn path_in_scope(path: &str, spec: &RuleSpec) -> bool {
+    let included =
+        spec.include.is_empty() || spec.include.iter().any(|p| path == *p || path.starts_with(p));
+    let excluded = spec.exclude.iter().any(|p| path == *p || path.starts_with(p));
+    included && !excluded
+}
+
+/// True for files that are test code wholesale (integration tests and
+/// examples): no determinism rules apply there, and directives inside
+/// them are ignored rather than reported unused.
+fn is_test_path(path: &str) -> bool {
+    path.starts_with("tests/")
+        || path.contains("/tests/")
+        || path.starts_with("examples/")
+        || path.contains("/examples/")
+        || path.contains("/benches/")
+}
+
+/// Lint one source file. `path` must be workspace-relative with `/`
+/// separators — rule scoping and test-file detection key off it.
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    let lexed = lex(src);
+    let toks = &lexed.tokens;
+    let whole_file_test = is_test_path(path);
+    let in_test = if whole_file_test { vec![true; toks.len()] } else { test_regions(toks) };
+
+    let mut raw: Vec<(&'static str, u32, String)> = Vec::new();
+    let mut ctx = Ctx { toks, in_test: &in_test, out: &mut raw };
+    if path_in_scope(path, spec("nondet-iter")) {
+        ctx.nondet_iter();
+    }
+    if path_in_scope(path, spec("wall-clock")) {
+        ctx.wall_clock();
+    }
+    if path_in_scope(path, spec("panic-path")) {
+        ctx.panic_path();
+    }
+    if path_in_scope(path, spec("relaxed-ordering")) {
+        ctx.relaxed_ordering();
+    }
+    if path_in_scope(path, spec("unscoped-spawn")) {
+        ctx.unscoped_spawn();
+    }
+    if path_in_scope(path, spec("float-key")) {
+        ctx.float_key();
+    }
+
+    bind_directives(path, &lexed.directives, toks, &in_test, whole_file_test, raw)
+}
+
+/// Attach `lint:allow` directives to raw findings, and emit the
+/// meta-findings (`bad-allow`, `unused-allow`).
+fn bind_directives(
+    path: &str,
+    directives: &[Directive],
+    toks: &[Token],
+    in_test: &[bool],
+    whole_file_test: bool,
+    raw: Vec<(&'static str, u32, String)>,
+) -> Vec<Finding> {
+    // Line covered by each directive: its own line when trailing, else
+    // the first line with code after it.
+    let line_in_test = |line: u32| -> bool {
+        toks.iter()
+            .zip(in_test)
+            .find(|(t, _)| t.line == line)
+            .map(|(_, &b)| b)
+            .unwrap_or(whole_file_test)
+    };
+    let mut allows: Vec<(usize, &Directive, u32, bool)> = Vec::new(); // (idx, d, covered, used)
+    let mut findings = Vec::new();
+    for (idx, d) in directives.iter().enumerate() {
+        let covered = if d.own_line {
+            toks.iter().map(|t| t.line).find(|&l| l > d.line).unwrap_or(d.line + 1)
+        } else {
+            d.line
+        };
+        if whole_file_test || line_in_test(covered) {
+            continue; // rules don't run in test code; neither do allows
+        }
+        if !RULES.contains(&d.rule.as_str()) {
+            findings.push(Finding {
+                rule: "bad-allow".into(),
+                path: path.into(),
+                line: d.line,
+                message: format!("lint:allow names unknown rule `{}`", d.rule),
+                allowed: None,
+            });
+            continue;
+        }
+        if d.reason.is_empty() {
+            findings.push(Finding {
+                rule: "bad-allow".into(),
+                path: path.into(),
+                line: d.line,
+                message: format!(
+                    "lint:allow({}) has no reason — a reason is required (`: <why>`)",
+                    d.rule
+                ),
+                allowed: None,
+            });
+            continue;
+        }
+        allows.push((idx, d, covered, false));
+    }
+
+    for (rule, line, message) in raw {
+        let hit = allows
+            .iter_mut()
+            .find(|(_, d, covered, _)| d.rule == rule && *covered == line);
+        let allowed = match hit {
+            Some((_, d, _, used)) => {
+                *used = true;
+                Some(d.reason.clone())
+            }
+            None => None,
+        };
+        findings.push(Finding { rule: rule.into(), path: path.into(), line, message, allowed });
+    }
+
+    for (_, d, _, used) in &allows {
+        if !used {
+            findings.push(Finding {
+                rule: "unused-allow".into(),
+                path: path.into(),
+                line: d.line,
+                message: format!("lint:allow({}) suppresses nothing — remove it", d.rule),
+                allowed: None,
+            });
+        }
+    }
+    findings.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(&b.rule)));
+    findings
+}
+
+/// Per-token "inside test code" flags: `#[test]`-, `#[cfg(test)]`- (and
+/// friends) attributed items, body included.
+fn test_regions(toks: &[Token]) -> Vec<bool> {
+    let mut flags = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            if let Some(close) = matching(toks, i + 1, '[', ']') {
+                let attr = &toks[i + 2..close];
+                let has = |w: &str| attr.iter().any(|t| t.ident() == Some(w));
+                if has("test") && !has("not") {
+                    // Skip any further attributes, then mark through the
+                    // item body (or to the `;` of a body-less item).
+                    let mut j = close + 1;
+                    while toks.get(j).is_some_and(|t| t.is_punct('#'))
+                        && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
+                    {
+                        match matching(toks, j + 1, '[', ']') {
+                            Some(c) => j = c + 1,
+                            None => break,
+                        }
+                    }
+                    let mut depth = 0i32;
+                    let mut end = j;
+                    while let Some(t) = toks.get(end) {
+                        match t.kind {
+                            Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                            Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                            Tok::Punct(';') if depth == 0 => break,
+                            Tok::Punct('{') if depth == 0 => {
+                                end = matching(toks, end, '{', '}').unwrap_or(toks.len() - 1);
+                                break;
+                            }
+                            _ => {}
+                        }
+                        end += 1;
+                    }
+                    for f in flags.iter_mut().take((end + 1).min(toks.len())).skip(i) {
+                        *f = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    flags
+}
+
+/// Index of the token closing the group opened at `open_idx` (which
+/// must hold `open`). Honors nesting of the same pair only — good
+/// enough on a lexed stream where strings/comments are opaque.
+fn matching(toks: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+const HASH_TYPES: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "FastMap",
+    "FastSet",
+    "fast_map_with_capacity",
+    "fast_set_with_capacity",
+];
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+const SORTS: &[&str] = &[
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+];
+/// Order-insensitive consumers. Ties in `min_by_key`/`max_by_key` are
+/// technically order-dependent; the sweep treats that as acceptable —
+/// flagging them drowned the signal.
+const ORDER_FREE: &[&str] = &[
+    "count", "sum", "product", "len", "any", "all", "min", "max", "min_by", "max_by",
+    "min_by_key", "max_by_key", "contains", "contains_key", "is_empty", "clear",
+];
+/// Collect targets whose contents don't remember arrival order.
+const UNORDERED_COLLECTS: &[&str] =
+    &["BTreeMap", "BTreeSet", "FastMap", "FastSet", "HashMap", "HashSet"];
+/// Loop-body tokens that betray an order-sensitive sink.
+const BODY_SINKS: &[&str] = &[
+    "push", "push_str", "push_back", "push_front", "write", "writeln", "write_str",
+    "write_all", "extend", "append", "encode", "emit", "record", "send",
+];
+
+struct Ctx<'a> {
+    toks: &'a [Token],
+    in_test: &'a [bool],
+    out: &'a mut Vec<(&'static str, u32, String)>,
+}
+
+impl<'a> Ctx<'a> {
+    fn ident(&self, i: usize) -> Option<&str> {
+        self.toks.get(i).and_then(|t| t.ident())
+    }
+
+    fn is(&self, i: usize, c: char) -> bool {
+        self.toks.get(i).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn live(&self, i: usize) -> bool {
+        !self.in_test.get(i).copied().unwrap_or(false)
+    }
+
+    fn flag(&mut self, rule: &'static str, i: usize, message: String) {
+        if self.live(i) {
+            self.out.push((rule, self.toks[i].line, message));
+        }
+    }
+
+    // ---- wall-clock -------------------------------------------------
+
+    fn wall_clock(&mut self) {
+        for i in 0..self.toks.len() {
+            if self.ident(i) == Some("Instant")
+                && self.is(i + 1, ':')
+                && self.is(i + 2, ':')
+                && self.ident(i + 3) == Some("now")
+            {
+                self.flag(
+                    "wall-clock",
+                    i,
+                    "Instant::now() on a sim path — sim code must use the sim clock".into(),
+                );
+            }
+            if self.ident(i) == Some("SystemTime") {
+                self.flag(
+                    "wall-clock",
+                    i,
+                    "SystemTime on a sim path — sim code must use the sim clock".into(),
+                );
+            }
+        }
+    }
+
+    // ---- relaxed-ordering -------------------------------------------
+
+    fn relaxed_ordering(&mut self) {
+        for i in 2..self.toks.len() {
+            if self.ident(i) == Some("Relaxed") && self.is(i - 1, ':') && self.is(i - 2, ':') {
+                self.flag(
+                    "relaxed-ordering",
+                    i,
+                    "Ordering::Relaxed — justify why no cross-thread ordering is needed".into(),
+                );
+            }
+        }
+    }
+
+    // ---- unscoped-spawn ---------------------------------------------
+
+    fn unscoped_spawn(&mut self) {
+        for i in 0..self.toks.len() {
+            if self.ident(i) == Some("thread")
+                && self.is(i + 1, ':')
+                && self.is(i + 2, ':')
+                && self.ident(i + 3) == Some("spawn")
+            {
+                self.flag(
+                    "unscoped-spawn",
+                    i,
+                    "thread::spawn — the workspace idiom is std::thread::scope".into(),
+                );
+            }
+        }
+    }
+
+    // ---- float-key --------------------------------------------------
+
+    fn float_key(&mut self) {
+        for i in 0..self.toks.len() {
+            // `.partial_cmp(…).unwrap()` and friends: a comparator that
+            // panics on NaN and is not a total order. `fn partial_cmp`
+            // definitions (prev token `fn`) are not calls.
+            if self.ident(i) == Some("partial_cmp")
+                && i > 0
+                && self.is(i - 1, '.')
+                && self.is(i + 1, '(')
+            {
+                if let Some(close) = matching(self.toks, i + 1, '(', ')') {
+                    if self.is(close + 1, '.')
+                        && matches!(
+                            self.ident(close + 2),
+                            Some("unwrap" | "expect" | "unwrap_or" | "unwrap_or_else")
+                        )
+                    {
+                        self.flag(
+                            "float-key",
+                            i,
+                            "partial_cmp + unwrap is not a total order (NaN panics or \
+                             collapses) — use total_cmp"
+                                .into(),
+                        );
+                    }
+                }
+            }
+            // Float-keyed ordered containers.
+            if matches!(self.ident(i), Some("BTreeMap" | "BTreeSet" | "BinaryHeap"))
+                && self.is(i + 1, '<')
+                && matches!(self.ident(i + 2), Some("f32" | "f64"))
+            {
+                self.flag(
+                    "float-key",
+                    i,
+                    "float-keyed ordered container — wrap the key in a total-order type".into(),
+                );
+            }
+        }
+    }
+
+    // ---- panic-path -------------------------------------------------
+
+    fn panic_path(&mut self) {
+        for i in 0..self.toks.len() {
+            if i > 0
+                && self.is(i - 1, '.')
+                && matches!(self.ident(i), Some("unwrap" | "expect"))
+                && self.is(i + 1, '(')
+            {
+                self.flag(
+                    "panic-path",
+                    i,
+                    format!(
+                        "`.{}()` on a recovery/decode path — corrupt input must return, \
+                         not panic",
+                        self.ident(i).unwrap_or_default()
+                    ),
+                );
+            }
+            if matches!(self.ident(i), Some("panic" | "unreachable" | "todo" | "unimplemented"))
+                && self.is(i + 1, '!')
+            {
+                self.flag(
+                    "panic-path",
+                    i,
+                    format!(
+                        "`{}!` on a recovery/decode path — corrupt input must return, not panic",
+                        self.ident(i).unwrap_or_default()
+                    ),
+                );
+            }
+            // Indexing/slicing expressions: `x[…]`, `f()[…]`, `x[..n]`.
+            // A `[` after an identifier, `)` or `]` is an index (array
+            // types/literals follow `:`, `=`, `<`, `&`, `!`, … instead).
+            if self.is(i, '[')
+                && i > 0
+                && (matches!(self.toks[i - 1].kind, Tok::Ident(_))
+                    || self.is(i - 1, ')')
+                    || self.is(i - 1, ']'))
+            {
+                self.flag(
+                    "panic-path",
+                    i,
+                    "panic-capable `[]` indexing on a recovery/decode path — use `.get(..)`"
+                        .into(),
+                );
+            }
+        }
+    }
+
+    // ---- nondet-iter ------------------------------------------------
+
+    /// End of the statement containing token `i`: index just past the
+    /// terminating `;` at statement depth, or at the `{`/`}` that ends
+    /// it. Returns `(end, hit_block_open)`.
+    fn stmt_end(&self, i: usize) -> (usize, bool) {
+        let mut depth = 0i32;
+        let mut k = i;
+        let cap = (i + 400).min(self.toks.len());
+        while k < cap {
+            match self.toks[k].kind {
+                Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return (k, false);
+                    }
+                }
+                Tok::Punct('{') if depth == 0 => return (k, true),
+                Tok::Punct('}') if depth == 0 => return (k, false),
+                Tok::Punct(';') if depth == 0 => return (k, false),
+                _ => {}
+            }
+            k += 1;
+        }
+        (cap.saturating_sub(1), false)
+    }
+
+    /// Collect per-file names bound to hash containers: `let` bindings
+    /// whose statement mentions a hash type, and `name: Type` fields or
+    /// params typed as one. File-scoped, no shadow analysis — coarse on
+    /// purpose (over-tracking only creates candidates, not findings).
+    fn hash_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = Vec::new();
+        let toks = self.toks;
+        for i in 0..toks.len() {
+            if self.ident(i) == Some("let") {
+                let mut j = i + 1;
+                if self.ident(j) == Some("mut") {
+                    j += 1;
+                }
+                let Some(name) = self.ident(j) else { continue };
+                let (end, _) = self.stmt_end(i);
+                if (i..end).any(|k| matches!(self.ident(k), Some(w) if HASH_TYPES.contains(&w))) {
+                    names.push(name.to_string());
+                }
+            }
+            // `name: FastMap<…>` — struct field, fn param, or struct
+            // literal field with a hash-typed value.
+            if let Some(name) = self.ident(i) {
+                if self.is(i + 1, ':') && !self.is(i + 2, ':') && !self.is(i, ':') {
+                    let mut k = i + 2;
+                    let mut depth = 0i32;
+                    let cap = (i + 30).min(toks.len());
+                    while k < cap {
+                        match toks[k].kind {
+                            Tok::Punct('<') | Tok::Punct('(') => depth += 1,
+                            Tok::Punct('>') | Tok::Punct(')') if depth > 0 => depth -= 1,
+                            Tok::Punct(',') | Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}')
+                                if depth == 0 =>
+                            {
+                                break
+                            }
+                            Tok::Ident(ref w) if HASH_TYPES.contains(&w.as_str()) => {
+                                names.push(name.to_string());
+                                break;
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+            }
+        }
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    fn nondet_iter(&mut self) {
+        let names = self.hash_names();
+        let is_tracked = |w: Option<&str>| w.is_some_and(|w| names.iter().any(|n| n == w));
+        let mut sites: Vec<(usize, String)> = Vec::new(); // (method idx, receiver)
+        for i in 2..self.toks.len() {
+            if !self.is(i - 1, '.') || !self.is(i + 1, '(') {
+                continue;
+            }
+            let Some(m) = self.ident(i) else { continue };
+            if !ITER_METHODS.contains(&m) {
+                continue;
+            }
+            let recv = self.ident(i - 2);
+            if is_tracked(recv) {
+                sites.push((i, recv.unwrap_or_default().to_string()));
+            }
+        }
+        // Bare `for x in &map {` / `for (k, v) in &mut self.map {` loops.
+        for i in 0..self.toks.len() {
+            if self.ident(i) != Some("for") {
+                continue;
+            }
+            // Find the `in` at pattern depth 0.
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let cap = (i + 40).min(self.toks.len());
+            let mut found_in = None;
+            while j < cap {
+                match self.toks[j].kind {
+                    Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                    Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                    Tok::Ident(ref w) if w == "in" && depth == 0 => {
+                        found_in = Some(j);
+                        break;
+                    }
+                    Tok::Punct('{') | Tok::Punct(';') => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let Some(inpos) = found_in else { continue };
+            let mut k = inpos + 1;
+            if self.is(k, '&') {
+                k += 1;
+            }
+            if self.ident(k) == Some("mut") {
+                k += 1;
+            }
+            if self.ident(k) == Some("self") && self.is(k + 1, '.') {
+                k += 2;
+            }
+            if is_tracked(self.ident(k)) && self.is(k + 1, '{') {
+                sites.push((k, self.ident(k).unwrap_or_default().to_string()));
+            }
+        }
+        sites.sort_by_key(|&(i, _)| i);
+        sites.dedup_by_key(|&mut (i, _)| i);
+        for (i, recv) in sites {
+            if let Some(msg) = self.nondet_sink(i, &recv) {
+                self.flag("nondet-iter", i, msg);
+            }
+        }
+    }
+
+    /// Decide whether the iteration starting at token `i` reaches an
+    /// order-sensitive sink. Returns the finding message, or `None`
+    /// when a neutralizer (sort / unordered collect / order-free
+    /// terminal) is found.
+    fn nondet_sink(&self, i: usize, recv: &str) -> Option<String> {
+        // `b.extend(map.iter())` where the receiver is itself a hash or
+        // btree container: order-free. Token shape: X . extend ( M . iter
+        let extend_recv = i >= 5
+            && self.ident(i - 4) == Some("extend")
+            && self.is(i - 3, '(')
+            && matches!(self.toks[i - 2].kind, Tok::Ident(_));
+        if extend_recv {
+            return None; // extending any map/set from a map/set is order-free
+        }
+        let (end, block_open) = self.stmt_end(i);
+        if block_open {
+            // For-loop (or if/while-header) body: look for sink markers.
+            let close = matching(self.toks, end, '{', '}').unwrap_or(self.toks.len() - 1);
+            for k in end..close {
+                if matches!(self.ident(k), Some(w) if BODY_SINKS.contains(&w)) {
+                    return Some(format!(
+                        "loop over hash container `{recv}` feeds an ordered sink \
+                         (`{}`) — iterate a sorted view instead",
+                        self.ident(k).unwrap_or_default()
+                    ));
+                }
+            }
+            return None;
+        }
+        // Method-chain statement: scan for neutralizers.
+        let mut let_target: Option<&str> = None;
+        let mut let_ty: Option<&str> = None;
+        // Find the `let` opening this statement (backwards, bounded).
+        let stmt_start = (0..i)
+            .rev()
+            .take(60)
+            .find(|&k| {
+                self.is(k, ';') || self.is(k, '{') || self.is(k, '}')
+            })
+            .map(|k| k + 1)
+            .unwrap_or(0);
+        for k in stmt_start..i {
+            if self.ident(k) == Some("let") {
+                let mut j = k + 1;
+                if self.ident(j) == Some("mut") {
+                    j += 1;
+                }
+                let_target = self.ident(j);
+                if self.is(j + 1, ':') {
+                    let_ty = self.ident(j + 2);
+                }
+                break;
+            }
+        }
+        if let Some(ty) = let_ty {
+            if UNORDERED_COLLECTS.contains(&ty) {
+                return None;
+            }
+        }
+        let mut k = i;
+        while k < end {
+            // Argument groups are opaque: `filter(|p| area.contains(p))`
+            // must not let the closure's `contains` neutralize the chain.
+            // Only method names at the top level of the chain count.
+            if self.is(k, '(') || self.is(k, '[') {
+                let close = if self.is(k, '(') { ')' } else { ']' };
+                let open = if self.is(k, '(') { '(' } else { '[' };
+                k = matching(self.toks, k, open, close).map(|c| c + 1).unwrap_or(end);
+                continue;
+            }
+            if let Some(w) = self.ident(k) {
+                if SORTS.contains(&w) || ORDER_FREE.contains(&w) {
+                    return None;
+                }
+                if w == "collect" && self.is(k + 1, ':') && self.is(k + 2, ':') {
+                    // Turbofish: collect::<Target<…>>()
+                    for t in k + 3..(k + 8).min(end) {
+                        if matches!(self.ident(t), Some(ty) if UNORDERED_COLLECTS.contains(&ty)) {
+                            return None;
+                        }
+                    }
+                }
+            }
+            k += 1;
+        }
+        // One statement of lookahead: `let v = …collect(); v.sort…;` is
+        // the workspace's canonical determinize-then-use idiom. The
+        // statement may end inside a match arm or if/else initializer,
+        // so skip trailing block-closers first. When the binding name is
+        // known it must match; otherwise any `ident.sort*` counts.
+        let mut k = end;
+        while self.is(k, '}') || self.is(k, ';') || self.is(k, ')') || self.is(k, ',') {
+            k += 1;
+        }
+        let next_is_sort = self.is(k + 1, '.')
+            && matches!(self.ident(k + 2), Some(w) if SORTS.contains(&w));
+        if next_is_sort {
+            // When the binding name is visible (plain `let … = …;`
+            // statement), the sorted thing must be that binding; behind
+            // block-closers the binding sits outside our window, so any
+            // immediate `ident.sort*` counts.
+            let simple_stmt = k == end + 1;
+            match (let_target, simple_stmt) {
+                (Some(t), true) if self.ident(k) != Some(t) => {}
+                _ => return None,
+            }
+        }
+        Some(format!(
+            "iteration over hash container `{recv}` flows into an order-sensitive \
+             sink — sort it, collect into a BTree/hash container, or allow with a reason"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unallowed(path: &str, src: &str) -> Vec<Finding> {
+        lint_source(path, src).into_iter().filter(|f| !f.is_allowed()).collect()
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_modules() {
+        let src = r#"
+            pub fn live() { let t = Instant::now(); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { let t = Instant::now(); }
+            }
+        "#;
+        let f = unallowed("crates/x/src/lib.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = r#"
+            #[cfg(not(test))]
+            pub fn live() { let t = Instant::now(); }
+        "#;
+        assert_eq!(unallowed("crates/x/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn allow_must_name_a_rule_and_carry_a_reason() {
+        let src = "
+            // lint:allow(wall-clock)
+            let t = Instant::now();
+            // lint:allow(no-such-rule): whatever
+            let u = SystemTime::now();
+        ";
+        let f = lint_source("crates/x/src/lib.rs", src);
+        let bad: Vec<_> = f.iter().filter(|f| f.rule == "bad-allow").collect();
+        assert_eq!(bad.len(), 2, "{f:?}");
+        // Neither directive suppressed anything.
+        assert_eq!(f.iter().filter(|f| !f.is_allowed() && f.rule == "wall-clock").count(), 2);
+    }
+
+    #[test]
+    fn unused_allow_is_reported() {
+        let src = "
+            // lint:allow(wall-clock): nothing here uses the clock
+            let x = 1;
+        ";
+        let f = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unused-allow");
+    }
+
+    #[test]
+    fn trailing_and_own_line_allows_bind_correctly() {
+        let src = "
+            let a = Instant::now(); // lint:allow(wall-clock): trailing reason
+            // lint:allow(wall-clock): own-line reason
+            let b = Instant::now();
+        ";
+        let f = lint_source("crates/x/src/lib.rs", src);
+        assert!(f.iter().all(|f| f.is_allowed()), "{f:?}");
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn test_files_are_exempt_wholesale() {
+        let src = "pub fn t() { let x = Instant::now(); foo.unwrap(); }";
+        assert!(unallowed("tests/integration.rs", src).is_empty());
+        assert!(unallowed("crates/x/examples/demo.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! Workspace walking: find the `.rs` files the rules should see.
+//!
+//! The walk is filesystem-based, not module-graph-based — a file that
+//! exists but is not `mod`-included still gets linted, which is exactly
+//! what the CI canary test relies on. Skipped wholesale: `target/`
+//! (build output), `vendor/` (offline substitutes for crates.io deps —
+//! not ours), `.git/`, and any directory named `fixtures` (the lint's
+//! own deliberately-violating test inputs).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures"];
+
+/// Find the workspace root: walk up from `start` to the first directory
+/// whose `Cargo.toml` contains a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// All lintable `.rs` files under `root`, workspace-relative with `/`
+/// separators, sorted (deterministic reports, of course).
+pub fn rust_files(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_is_found_from_this_crate() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("crates/lint/src/lib.rs").exists());
+    }
+
+    #[test]
+    fn walk_skips_vendor_and_fixtures() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).unwrap();
+        let files = rust_files(&root).unwrap();
+        assert!(files.iter().any(|f| f == "crates/lint/src/lib.rs"));
+        assert!(!files.iter().any(|f| f.starts_with("vendor/")), "vendor skipped");
+        assert!(!files.iter().any(|f| f.contains("fixtures/")), "fixtures skipped");
+        assert!(!files.iter().any(|f| f.starts_with("target/")), "target skipped");
+    }
+}

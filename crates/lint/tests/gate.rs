@@ -1,0 +1,133 @@
+//! End-to-end gate tests: run the real `mv-lint` binary against a
+//! scratch workspace and check the exit codes CI depends on — clean
+//! tree passes, injected violation fails, baseline drift fails.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+struct Scratch {
+    root: PathBuf,
+}
+
+impl Scratch {
+    /// A minimal one-crate workspace under the target dir (unique per
+    /// test so parallel tests never collide).
+    fn new(tag: &str) -> Scratch {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("target")
+            .join("gate-scratch")
+            .join(format!("{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("crates/app/src")).expect("mkdir scratch");
+        std::fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = [\"crates/*\"]\n")
+            .expect("write workspace manifest");
+        std::fs::write(
+            root.join("crates/app/src/lib.rs"),
+            "pub fn ok(a: u64, b: u64) -> u64 { a + b }\n",
+        )
+        .expect("write lib.rs");
+        Scratch { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        std::fs::write(self.root.join(rel), content).expect("write scratch file");
+    }
+
+    fn lint(&self, extra: &[&str]) -> std::process::Output {
+        Command::new(env!("CARGO_BIN_EXE_mv-lint"))
+            .arg("--deny")
+            .args(extra)
+            .arg(&self.root)
+            .output()
+            .expect("run mv-lint")
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn clean_workspace_exits_zero() {
+    let ws = Scratch::new("clean");
+    let out = ws.lint(&[]);
+    assert!(out.status.success(), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn injected_violation_fails_the_gate() {
+    let ws = Scratch::new("inject");
+    // The CI canary: drop a file with a violation into the tree — it is
+    // linted even though no `mod` includes it (filesystem walk).
+    ws.write(
+        "crates/app/src/canary.rs",
+        "use std::time::Instant;\npub fn t() -> Instant { Instant::now() }\n",
+    );
+    let out = ws.lint(&[]);
+    assert!(!out.status.success(), "gate must fail on the injected violation");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("canary.rs"), "finding names the file: {stdout}");
+    assert!(stdout.contains("wall-clock"), "finding names the rule: {stdout}");
+}
+
+#[test]
+fn allow_directive_passes_but_baseline_drift_fails() {
+    let ws = Scratch::new("baseline");
+    ws.write(
+        "crates/app/src/timed.rs",
+        "use std::time::Instant;\n\
+         pub fn t() -> f64 {\n\
+             // lint:allow(wall-clock): scratch-test justification\n\
+             let t0 = Instant::now();\n\
+             t0.elapsed().as_secs_f64()\n\
+         }\n",
+    );
+    // Allowed finding: the gate passes…
+    let out = ws.lint(&[]);
+    assert!(out.status.success(), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+
+    // …and --write-baseline records one wall-clock allow.
+    let baseline = ws.root.join("allows.txt");
+    let out = ws.lint(&["--write-baseline", baseline.to_str().expect("utf8 path")]);
+    assert!(out.status.success());
+    let recorded = std::fs::read_to_string(&baseline).expect("baseline written");
+    assert!(recorded.contains("wall-clock 1"), "baseline records the allow: {recorded}");
+
+    // Against that baseline the gate passes; add a second allow and the
+    // count drifts, so the gate fails until the baseline is regenerated.
+    let baseline_arg = baseline.to_str().expect("utf8 path");
+    assert!(ws.lint(&["--baseline", baseline_arg]).status.success());
+    ws.write(
+        "crates/app/src/timed2.rs",
+        "use std::time::Instant;\n\
+         pub fn t2() -> Instant {\n\
+             // lint:allow(wall-clock): second scratch justification\n\
+             Instant::now()\n\
+         }\n",
+    );
+    let out = ws.lint(&["--baseline", baseline_arg]);
+    assert!(!out.status.success(), "allow-count drift must fail the gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("baseline"), "drift is reported: {stdout}");
+}
+
+#[test]
+fn bad_allow_fails_even_with_deny_satisfied() {
+    let ws = Scratch::new("bad-allow");
+    // A reason-less directive is itself a finding (bad-allow), and the
+    // meta-rule cannot be allowed away.
+    ws.write(
+        "crates/app/src/sloppy.rs",
+        "use std::time::Instant;\n\
+         pub fn t() -> Instant {\n\
+             // lint:allow(wall-clock)\n\
+             Instant::now()\n\
+         }\n",
+    );
+    let out = ws.lint(&[]);
+    assert!(!out.status.success(), "reason-less allow must fail the gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("bad-allow"), "meta-rule fires: {stdout}");
+}

@@ -1,0 +1,130 @@
+//! Fixture-driven self-tests: every rule against its positive, negative,
+//! and `lint:allow` cases, plus the lexer torture file.
+//!
+//! Expectations live in the fixtures themselves as trailing markers —
+//! `//~DENY(rule)` on lines the lint must flag, `//~ALLOWED(rule)` on
+//! lines whose finding must be suppressed by a directive — so the tests
+//! never hardcode line numbers. A marker comment is not a directive (it
+//! contains no `lint:allow`), so it cannot perturb what it annotates.
+
+use mv_lint::rules::lint_source;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Parse `//~DENY(rule)` / `//~ALLOWED(rule)` markers into
+/// `(line, rule)` sets.
+fn markers(src: &str, tag: &str) -> BTreeSet<(usize, String)> {
+    let needle = format!("//~{tag}(");
+    src.lines()
+        .enumerate()
+        .filter_map(|(i, text)| {
+            let at = text.find(&needle)?;
+            let rest = &text[at + needle.len()..];
+            let end = rest.find(')')?;
+            Some((i + 1, rest[..end].to_string()))
+        })
+        .collect()
+}
+
+/// Lint `name` under `fake_path` and check findings against the markers.
+fn check(name: &str, fake_path: &str) {
+    let src = fixture(name);
+    let findings = lint_source(fake_path, &src);
+    let denied: BTreeSet<(usize, String)> = findings
+        .iter()
+        .filter(|f| !f.is_allowed())
+        .map(|f| (f.line as usize, f.rule.to_string()))
+        .collect();
+    let allowed: BTreeSet<(usize, String)> = findings
+        .iter()
+        .filter(|f| f.is_allowed())
+        .map(|f| (f.line as usize, f.rule.to_string()))
+        .collect();
+    assert_eq!(denied, markers(&src, "DENY"), "{name}: denied findings vs //~DENY markers");
+    assert_eq!(allowed, markers(&src, "ALLOWED"), "{name}: allowed findings vs //~ALLOWED markers");
+}
+
+#[test]
+fn nondet_iter_positive_negative_and_allow() {
+    check("nondet_iter.rs", "crates/fake/src/lib.rs");
+}
+
+#[test]
+fn wall_clock_positive_negative_and_allow() {
+    check("wall_clock.rs", "crates/fake/src/lib.rs");
+}
+
+#[test]
+fn panic_path_positive_negative_and_allow() {
+    // The fake path puts the fixture inside panic-path's scope.
+    check("panic_path.rs", "crates/storage/src/wal.rs");
+}
+
+#[test]
+fn panic_path_is_scoped_to_recovery_paths() {
+    // The same violations outside the scoped paths produce nothing —
+    // the unused directive inside would fire `unused-allow`, though.
+    let src = fixture("panic_path.rs");
+    let findings = lint_source("crates/fake/src/lib.rs", &src);
+    assert!(
+        findings.iter().all(|f| f.rule == "unused-allow"),
+        "only the now-unused allow should fire out of scope: {findings:?}"
+    );
+    assert_eq!(findings.len(), 1);
+}
+
+#[test]
+fn relaxed_ordering_positive_negative_and_allow() {
+    check("relaxed_ordering.rs", "crates/fake/src/lib.rs");
+}
+
+#[test]
+fn unscoped_spawn_positive_negative_and_allow() {
+    check("unscoped_spawn.rs", "crates/fake/src/lib.rs");
+}
+
+#[test]
+fn float_key_positive_negative_and_allow() {
+    check("float_key.rs", "crates/fake/src/lib.rs");
+}
+
+#[test]
+fn lexer_torture_file_is_finding_free() {
+    // Violations hidden in strings, raw strings, char literals, and
+    // (nested) comments — plus a directive inside a string literal —
+    // must produce nothing at all.
+    let src = fixture("lexer_torture.rs");
+    let findings = lint_source("crates/fake/src/lib.rs", &src);
+    assert!(findings.is_empty(), "lexer leaked a token: {findings:?}");
+}
+
+#[test]
+fn fixtures_in_test_regions_are_exempt() {
+    // The same hash-iteration violation inside #[cfg(test)] is exempt.
+    let body = r#"
+    use mv_common::hash::FastMap;
+    struct S { m: FastMap<u64, u64> }
+    impl S {
+        fn dump(&self, out: &mut Vec<u64>) {
+            for (_, v) in &self.m {
+                out.push(*v);
+            }
+        }
+    }
+"#;
+    let in_test = format!("#[cfg(test)]\nmod tests {{ {body} }}");
+    assert!(lint_source("crates/fake/src/lib.rs", &in_test).is_empty());
+    // The identical code outside a test region IS flagged — the
+    // exemption, not the matcher, is what the first assert exercised.
+    let in_prod = format!("mod prod {{ {body} }}");
+    let findings = lint_source("crates/fake/src/lib.rs", &in_prod);
+    assert!(
+        findings.iter().any(|f| f.rule == "nondet-iter"),
+        "twin outside cfg(test) must be flagged: {findings:?}"
+    );
+}

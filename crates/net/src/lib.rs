@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `mv-net` — discrete-event simulation substrate and network model.
 //!
 //! The paper's challenges (§IV-C consistency, §IV-E1 decentralized

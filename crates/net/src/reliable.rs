@@ -400,7 +400,9 @@ impl<P: Clone> ReliableTransport<P> {
             if head.at > now {
                 break;
             }
-            let Reverse(Pending { at, wire, .. }) = self.queue.pop().expect("peeked");
+            let Some(Reverse(Pending { at, wire, .. })) = self.queue.pop() else {
+                break; // unreachable: the peek above saw a head
+            };
             match wire {
                 Wire::Data { src, dst, seq, epoch, payload, ctx } => {
                     self.on_data(net, rng, src, dst, seq, epoch, payload, at, ctx, &mut events);
@@ -505,12 +507,16 @@ impl<P: Clone> ReliableTransport<P> {
         let Some(stream) = self.senders.get_mut(&(src, dst)) else {
             return; // sender crashed; window gone
         };
-        if stream.epoch != epoch || !stream.window.contains_key(&seq) {
-            return; // acked already, or a previous incarnation's timer
+        if stream.epoch != epoch {
+            return; // a previous incarnation's timer
         }
-        let attempts = stream.window[&seq].attempts;
+        let Some(attempts) = stream.window.get(&seq).map(|w| w.attempts) else {
+            return; // acked already
+        };
         if attempts >= self.policy.max_attempts {
-            let inflight = stream.window.remove(&seq).expect("checked");
+            let Some(inflight) = stream.window.remove(&seq) else {
+                return; // unreachable: presence checked just above
+            };
             self.stats.incr("expired");
             if let Some(tr) = &self.tracer {
                 if let Some(span) = inflight.attempt_span {
@@ -530,7 +536,9 @@ impl<P: Clone> ReliableTransport<P> {
             });
             return;
         }
-        let entry = stream.window.get_mut(&seq).expect("checked");
+        let Some(entry) = stream.window.get_mut(&seq) else {
+            return; // unreachable: presence checked just above
+        };
         entry.attempts += 1;
         let (payload, bytes, ctx) = (entry.payload.clone(), entry.bytes, entry.ctx);
         // The previous attempt timed out; its successor is a `retry`

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `mv-obs` — the observability layer for the cospace platform.
 //!
 //! The paper's §IV challenges all hinge on *measuring* the deluge: the

@@ -310,6 +310,7 @@ impl SharedTracer {
     /// takes the lock. (The sims are single-threaded, so the relaxed
     /// counter is deterministic.)
     pub fn maybe_trace(&self, name: &'static str, at: SimTime) -> Option<TraceCtx> {
+        // lint:allow(relaxed-ordering): sampled-out fast path must not synchronize; the sims are single-threaded so the count stays deterministic
         let call = self.calls.fetch_add(1, Ordering::Relaxed);
         if self.sample_every > 1 && !call.is_multiple_of(self.sample_every) {
             return None;

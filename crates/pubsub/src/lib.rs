@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `mv-pubsub` — content-based and spatio-textual publish/subscribe.
 //!
 //! §IV-E: *"it seems that publish/subscribe architecture \[28\], \[34\],

@@ -29,7 +29,7 @@ pub trait Matcher {
             .into_iter()
             .map(|i| (self.get(i).term_score(p), i))
             .collect();
-        hits.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        hits.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         hits.truncate(k);
         hits.into_iter().map(|(_, i)| i).collect()
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `mv-query` — query processing and optimization for the co-space.
 //!
 //! §IV-G raises five challenges; this crate implements the four that are

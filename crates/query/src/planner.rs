@@ -95,7 +95,7 @@ impl Planner {
             .iter()
             .filter(|p| p.mem_rows(n, m) <= device.mem_rows())
             .map(|&p| (p, p.cost(n, m) * device.cpu_factor()))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .ok_or_else(|| MvError::Exhausted("no feasible plan".into()))
     }
 

@@ -41,7 +41,7 @@ impl PredicateSpec {
 /// The optimal left-to-right order: ascending rank.
 pub fn optimal_order(specs: &[PredicateSpec]) -> Vec<PredicateSpec> {
     let mut v = specs.to_vec();
-    v.sort_by(|a, b| a.rank().partial_cmp(&b.rank()).expect("finite ranks"));
+    v.sort_by(|a, b| a.rank().total_cmp(&b.rank()));
     v
 }
 

@@ -97,11 +97,15 @@ impl SpatialIndex for GridIndex {
         let span = (hi.0 as i128 - lo.0 as i128 + 1)
             .saturating_mul(hi.1 as i128 - lo.1 as i128 + 1);
         if span > self.cells.len() as i128 {
-            for (&(cx, cy), ids) in &self.cells {
-                if cx < lo.0 || cx > hi.0 || cy < lo.1 || cy > hi.1 {
-                    continue;
-                }
-                for &id in ids {
+            let mut occupied: Vec<Cell> = self
+                .cells
+                .keys()
+                .copied()
+                .filter(|&(cx, cy)| cx >= lo.0 && cx <= hi.0 && cy >= lo.1 && cy <= hi.1)
+                .collect();
+            occupied.sort_unstable();
+            for cell in occupied {
+                for &id in &self.cells[&cell] {
                     let p = self.positions[&id];
                     if area.contains(p) {
                         out.push(id);
@@ -165,7 +169,7 @@ impl SpatialIndex for GridIndex {
                     visit((center.0 + ring, center.1 + dy), &mut best);
                 }
             }
-            best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            best.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             best.truncate(k);
             if best.len() == k {
                 // Distance to the nearest edge of the next ring.

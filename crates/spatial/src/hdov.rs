@@ -259,7 +259,7 @@ impl HdovTree {
         self.root.walkthrough(viewpoint, &mut out, &mut visited);
         // Deterministic order: most visible first, ties by id.
         out.sort_by(|a, b| {
-            b.dov.partial_cmp(&a.dov).unwrap_or(std::cmp::Ordering::Equal).then(a.id.cmp(&b.id))
+            b.dov.total_cmp(&a.dov).then(a.id.cmp(&b.id))
         });
         (out, visited)
     }
@@ -276,7 +276,7 @@ impl HdovTree {
             })
             .collect();
         out.sort_by(|a, b| {
-            b.dov.partial_cmp(&a.dov).unwrap_or(std::cmp::Ordering::Equal).then(a.id.cmp(&b.id))
+            b.dov.total_cmp(&a.dov).then(a.id.cmp(&b.id))
         });
         out
     }

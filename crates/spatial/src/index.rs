@@ -54,9 +54,12 @@ impl ScanIndex {
         Self::default()
     }
 
-    /// Iterate all `(id, position)` pairs.
+    /// Iterate all `(id, position)` pairs, ascending by id.
     pub fn iter(&self) -> impl Iterator<Item = (EntityId, Point)> + '_ {
-        self.positions.iter().map(|(k, v)| (*k, *v))
+        let mut all: Vec<(EntityId, Point)> =
+            self.positions.iter().map(|(k, v)| (*k, *v)).collect();
+        all.sort_unstable_by_key(|&(id, _)| id);
+        all.into_iter()
     }
 }
 
@@ -74,17 +77,20 @@ impl SpatialIndex for ScanIndex {
     }
 
     fn range(&self, area: &Aabb) -> Vec<EntityId> {
-        self.positions
+        let mut hits: Vec<EntityId> = self
+            .positions
             .iter()
             .filter(|(_, p)| area.contains(**p))
             .map(|(id, _)| *id)
-            .collect()
+            .collect();
+        hits.sort_unstable();
+        hits
     }
 
     fn knn(&self, p: Point, k: usize) -> Vec<EntityId> {
         let mut all: Vec<(EntityId, f64)> =
             self.positions.iter().map(|(id, q)| (*id, p.dist_sq(*q))).collect();
-        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         all.truncate(k);
         all.into_iter().map(|(id, _)| id).collect()
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `mv-spatial` — spatial indexing for the co-space.
 //!
 //! §IV-F of the paper: *"The metaverse would have a huge amount of

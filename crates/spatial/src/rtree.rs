@@ -376,11 +376,7 @@ impl SpatialIndex for RTree {
             fn cmp(&self, other: &Self) -> Ordering {
                 // Reverse for min-heap; break distance ties by id so the
                 // result order is deterministic.
-                other
-                    .dist
-                    .partial_cmp(&self.dist)
-                    .unwrap_or(Ordering::Equal)
-                    .then_with(|| other.id.cmp(&self.id))
+                other.dist.total_cmp(&self.dist).then_with(|| other.id.cmp(&self.id))
             }
         }
 

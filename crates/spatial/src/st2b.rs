@@ -166,12 +166,13 @@ impl St2bTree {
     /// window rollover). Returns how many objects moved.
     pub fn force_migrate(&mut self) -> usize {
         let current = self.phase_at(self.now);
-        let stale: Vec<(EntityId, Point)> = self
+        let mut stale: Vec<(EntityId, Point)> = self
             .objs
             .iter()
             .filter(|(_, st)| st.phase != current)
             .map(|(id, st)| (*id, st.pos))
             .collect();
+        stale.sort_unstable_by_key(|&(id, _)| id);
         let n = stale.len();
         let now = self.now;
         for (id, pos) in stale {
@@ -201,7 +202,7 @@ impl St2bTree {
         if changed > 0 {
             // Re-key objects in retuned regions.
             let retune_set: std::collections::HashSet<usize> = retune.into_iter().collect();
-            let affected: Vec<(EntityId, Point)> = self
+            let mut affected: Vec<(EntityId, Point)> = self
                 .objs
                 .iter()
                 .filter(|(_, st)| {
@@ -210,6 +211,7 @@ impl St2bTree {
                 })
                 .map(|(id, st)| (*id, st.pos))
                 .collect();
+            affected.sort_unstable_by_key(|&(id, _)| id);
             let now = self.now;
             for (id, pos) in affected {
                 self.update_at(id, pos, now);
@@ -306,7 +308,7 @@ impl SpatialIndex for St2bTree {
                     // Fewer than k objects in the whole universe.
                     self.objs.iter().map(|(id, st)| (p.dist_sq(st.pos), *id)).collect()
                 };
-                scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+                scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
                 // Guarantee: the k-th candidate must lie within r (else a
                 // point just outside the box could be closer) — if not,
                 // expand once more.

@@ -161,9 +161,8 @@ impl TrajectoryStore {
 
     /// Compression ratio achieved so far (kept / offered; 1.0 when empty).
     pub fn keep_ratio(&self) -> f64 {
-        let (kept, offered) = self.tracks.values().fold((0u64, 0u64), |(k, o), t| {
-            (k + t.samples.len() as u64, o + t.offered)
-        });
+        let kept: u64 = self.tracks.values().map(|t| t.samples.len() as u64).sum();
+        let offered: u64 = self.tracks.values().map(|t| t.offered).sum();
         if offered == 0 {
             1.0
         } else {
@@ -195,7 +194,8 @@ impl TrajectoryStore {
             .saturating_mul(hi.0 as i128 - lo.0 as i128 + 1)
             .saturating_mul(hi.1 as i128 - lo.1 as i128 + 1);
         let candidates: Vec<EntityId> = if span > self.index.len() as i128 {
-            self.index
+            let mut c: Vec<EntityId> = self
+                .index
                 .iter()
                 .filter(|(&(b, cx, cy), _)| {
                     (b0..=b1).contains(&b)
@@ -203,7 +203,9 @@ impl TrajectoryStore {
                         && (lo.1..=hi.1).contains(&cy)
                 })
                 .flat_map(|(_, ids)| ids.iter().copied())
-                .collect()
+                .collect();
+            c.sort_unstable();
+            c
         } else {
             let mut c = Vec::new();
             for b in b0..=b1 {

@@ -114,12 +114,15 @@ impl BufferPool {
     }
 
     fn pick_victim(&self) -> Option<PageId> {
-        let candidates = self.frames.iter();
         match self.policy {
-            EvictionPolicy::Lru => candidates
+            EvictionPolicy::Lru => self
+                .frames
+                .iter()
                 .min_by_key(|(id, f)| (f.last_used, **id))
                 .map(|(id, _)| *id),
-            EvictionPolicy::Lfu => candidates
+            EvictionPolicy::Lfu => self
+                .frames
+                .iter()
                 .min_by_key(|(id, f)| (f.uses, f.last_used, **id))
                 .map(|(id, _)| *id),
             EvictionPolicy::SpaceAware => {

@@ -1,0 +1,64 @@
+//! Panic-free little-endian decode helpers for the recovery paths.
+//!
+//! Recovery code reads bytes that survived a crash — or that a fault
+//! schedule deliberately mangled — so every read here is total: out of
+//! range returns `None`, never panics. `mv-lint`'s `panic-path` rule
+//! holds the WAL, group-commit, and transport decode paths to that
+//! standard; these helpers are how they meet it.
+
+/// Read a little-endian `u32` at byte offset `at`.
+pub fn read_u32_le(bytes: &[u8], at: usize) -> Option<u32> {
+    let chunk: [u8; 4] = bytes.get(at..at.checked_add(4)?)?.try_into().ok()?;
+    Some(u32::from_le_bytes(chunk))
+}
+
+/// Read a little-endian `u64` at byte offset `at`.
+pub fn read_u64_le(bytes: &[u8], at: usize) -> Option<u64> {
+    let chunk: [u8; 8] = bytes.get(at..at.checked_add(8)?)?.try_into().ok()?;
+    Some(u64::from_le_bytes(chunk))
+}
+
+/// Read a `u32` length prefix at `at`, then that many bytes after it.
+/// Returns the chunk and the offset just past it.
+pub fn read_chunk(bytes: &[u8], at: usize) -> Option<(&[u8], usize)> {
+    let len = read_u32_le(bytes, at)? as usize;
+    let start = at.checked_add(4)?;
+    let end = start.checked_add(len)?;
+    Some((bytes.get(start..end)?, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_in_range() {
+        let mut b = 7u32.to_le_bytes().to_vec();
+        b.extend_from_slice(&9u64.to_le_bytes());
+        assert_eq!(read_u32_le(&b, 0), Some(7));
+        assert_eq!(read_u64_le(&b, 4), Some(9));
+    }
+
+    #[test]
+    fn out_of_range_is_none_not_panic() {
+        let b = [1u8, 2, 3];
+        assert_eq!(read_u32_le(&b, 0), None);
+        assert_eq!(read_u32_le(&b, usize::MAX), None);
+        assert_eq!(read_u64_le(&b, 1), None);
+        assert_eq!(read_chunk(&b, usize::MAX - 2), None);
+    }
+
+    #[test]
+    fn chunk_round_trip_and_hostile_length() {
+        let mut b = Vec::new();
+        b.extend_from_slice(&3u32.to_le_bytes());
+        b.extend_from_slice(b"abc");
+        let (chunk, used) = read_chunk(&b, 0).unwrap();
+        assert_eq!((chunk, used), (&b"abc"[..], 7));
+        // A length field claiming more bytes than exist must not panic.
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+        hostile.extend_from_slice(b"abc");
+        assert_eq!(read_chunk(&hostile, 0), None);
+    }
+}

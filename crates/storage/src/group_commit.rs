@@ -21,6 +21,7 @@
 //! waited `max_delay` of virtual time — the classic throughput/latency
 //! trigger triple — or when the caller forces `sync()`.
 
+use crate::codec;
 use crate::wal::{checksum, decode_payload, encode_payload, Corruption, RecoveryReport, WalRecord};
 use mv_common::metrics::Counters;
 use mv_common::time::{SimDuration, SimTime};
@@ -142,7 +143,10 @@ impl GroupCommitWal {
         self.pending_payload.extend_from_slice(&[0u8; 4]);
         encode_payload(&rec, &mut self.pending_payload);
         let rec_len = (self.pending_payload.len() - start - 4) as u32;
-        self.pending_payload[start..start + 4].copy_from_slice(&rec_len.to_le_bytes());
+        // The slot always exists: the placeholder was pushed just above.
+        if let Some(slot) = self.pending_payload.get_mut(start..start + 4) {
+            slot.copy_from_slice(&rec_len.to_le_bytes());
+        }
         self.pending.push(rec);
         self.maybe_seal(now)
     }
@@ -294,13 +298,15 @@ fn decode_batches(log: &[u8]) -> (Vec<Vec<WalRecord>>, RecoveryReport) {
     let mut at = 0usize;
     let mut corruption = None;
     'scan: while at < log.len() {
-        let Some(header) = log.get(at..at + BATCH_HEADER) else {
+        let (Some(count), Some(len), Some(sum)) = (
+            codec::read_u32_le(log, at),
+            codec::read_u32_le(log, at + 4),
+            codec::read_u64_le(log, at + 8),
+        ) else {
             corruption = Some(Corruption::TornTail { at });
             break;
         };
-        let count = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
-        let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
-        let sum = u64::from_le_bytes(header[8..].try_into().expect("8 bytes"));
+        let (count, len) = (count as usize, len as usize);
         let Some(payload) = log.get(at + BATCH_HEADER..at + BATCH_HEADER + len) else {
             corruption = Some(Corruption::TornTail { at });
             break;
@@ -317,11 +323,11 @@ fn decode_batches(log: &[u8]) -> (Vec<Vec<WalRecord>>, RecoveryReport) {
         let mut records = Vec::with_capacity(count.min(payload.len() / 4 + 1));
         let mut cursor = 0usize;
         for _ in 0..count {
-            let Some(len_bytes) = payload.get(cursor..cursor + 4) else {
+            let Some(rec_len) = codec::read_u32_le(payload, cursor) else {
                 corruption = Some(Corruption::ChecksumMismatch { at });
                 break 'scan;
             };
-            let rec_len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+            let rec_len = rec_len as usize;
             let Some(rec) =
                 payload.get(cursor + 4..cursor + 4 + rec_len).and_then(decode_payload)
             else {
@@ -503,6 +509,38 @@ mod tests {
             );
             prop_assert_eq!(wal.durable(), &records[..report.replayed]);
         }
+    }
+
+    #[test]
+    fn hostile_batch_headers_recover_cleanly_instead_of_panicking() {
+        // count = u32::MAX over a tiny (checksum-valid) payload: the
+        // record walk must run off the payload end and drop the batch —
+        // no monster allocation, no slice panic.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        payload.extend_from_slice(&[0xAB, 0xCD]);
+        let mut log = Vec::new();
+        log.extend_from_slice(&u32::MAX.to_le_bytes());
+        log.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        log.extend_from_slice(&checksum(&payload).to_le_bytes());
+        log.extend_from_slice(&payload);
+        let (batches, report) = decode_batches(&log);
+        assert!(batches.is_empty());
+        assert_eq!(report.corruption, Some(Corruption::ChecksumMismatch { at: 0 }));
+
+        // Batch length of u32::MAX: a torn tail, not an OOB read.
+        let mut log = Vec::new();
+        log.extend_from_slice(&1u32.to_le_bytes());
+        log.extend_from_slice(&u32::MAX.to_le_bytes());
+        log.extend_from_slice(&0u64.to_le_bytes());
+        let (batches, report) = decode_batches(&log);
+        assert!(batches.is_empty());
+        assert_eq!(report.corruption, Some(Corruption::TornTail { at: 0 }));
+
+        // A header shorter than BATCH_HEADER bytes: torn tail too.
+        let (batches, report) = decode_batches(&[1, 2, 3]);
+        assert!(batches.is_empty());
+        assert_eq!(report.corruption, Some(Corruption::TornTail { at: 0 }));
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `mv-storage` — the heterogeneous storage layer of Fig. 7.
 //!
 //! §IV-E2: the cloud-storage layer *"contains heterogeneous data stores,
@@ -30,6 +31,7 @@
 pub mod block;
 pub mod bloom;
 pub mod bufferpool;
+pub mod codec;
 pub mod group_commit;
 pub mod kv;
 pub mod object;

@@ -131,6 +131,7 @@ impl ShardedKv {
         }
         let mut walls = vec![0.0f64; n];
         let run_queue = |shard: &mut KvStore, queue: &[&WalRecord]| {
+            // lint:allow(wall-clock): measures real CPU time of the serial replay path for the speedup report; never feeds sim state
             let t0 = Instant::now();
             for rec in queue {
                 match rec {

@@ -15,6 +15,7 @@
 //! after is dropped rather than replayed as garbage — and reports what
 //! it did in a [`RecoveryReport`].
 
+use crate::codec;
 use crate::kv::KvStore;
 use bytes::Bytes;
 use mv_common::hash::FxHasher;
@@ -107,19 +108,16 @@ fn append_frame(log: &mut Vec<u8>, rec: &WalRecord) {
 /// panic on hostile bytes).
 pub(crate) fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
     let (&tag, rest) = payload.split_first()?;
-    let read_chunk = |bytes: &[u8]| -> Option<(Vec<u8>, usize)> {
-        let len = u32::from_le_bytes(bytes.get(..4)?.try_into().ok()?) as usize;
-        Some((bytes.get(4..4 + len)?.to_vec(), 4 + len))
-    };
     match tag {
         1 => {
-            let (key, used) = read_chunk(rest)?;
-            let (value, used2) = read_chunk(&rest[used..])?;
-            (used + used2 == rest.len()).then_some(WalRecord::Put { key, value })
+            let (key, used) = codec::read_chunk(rest, 0)?;
+            let (value, used2) = codec::read_chunk(rest, used)?;
+            (used2 == rest.len())
+                .then(|| WalRecord::Put { key: key.to_vec(), value: value.to_vec() })
         }
         2 => {
-            let (key, used) = read_chunk(rest)?;
-            (used == rest.len()).then_some(WalRecord::Delete { key })
+            let (key, used) = codec::read_chunk(rest, 0)?;
+            (used == rest.len()).then(|| WalRecord::Delete { key: key.to_vec() })
         }
         _ => None,
     }
@@ -131,12 +129,12 @@ fn decode_log(log: &[u8]) -> (Vec<WalRecord>, RecoveryReport) {
     let mut at = 0usize;
     let mut corruption = None;
     while at < log.len() {
-        let Some(header) = log.get(at..at + FRAME_HEADER) else {
+        let (Some(len), Some(sum)) = (codec::read_u32_le(log, at), codec::read_u64_le(log, at + 4))
+        else {
             corruption = Some(Corruption::TornTail { at });
             break;
         };
-        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
-        let sum = u64::from_le_bytes(header[4..].try_into().expect("8 bytes"));
+        let len = len as usize;
         let Some(payload) = log.get(at + FRAME_HEADER..at + FRAME_HEADER + len) else {
             // Length field runs past the log: torn write (or a flipped
             // bit in the length itself — indistinguishable, same cure).
@@ -191,7 +189,7 @@ impl Wal {
     /// Make everything appended so far durable (encode it into the
     /// checksummed byte log).
     pub fn sync(&mut self) {
-        for rec in &self.records[self.synced..] {
+        for rec in self.records.iter().skip(self.synced) {
             append_frame(&mut self.log, rec);
         }
         self.synced = self.records.len();
@@ -199,7 +197,7 @@ impl Wal {
 
     /// Records that would survive a crash.
     pub fn durable(&self) -> &[WalRecord] {
-        &self.records[..self.synced]
+        self.records.get(..self.synced).unwrap_or(&[])
     }
 
     /// Total appended records.
@@ -265,7 +263,7 @@ impl Wal {
         self.records.drain(..upto);
         self.synced -= upto;
         let mut log = Vec::new();
-        for rec in &self.records[..self.synced] {
+        for rec in self.records.iter().take(self.synced) {
             append_frame(&mut log, rec);
         }
         self.log = log;
@@ -473,6 +471,48 @@ mod tests {
         assert_eq!(report.valid_bytes, intact);
         assert_eq!(db.get(b"a"), Some(Bytes::from_static(b"1")));
         assert_eq!(db.get(b"b"), None);
+    }
+
+    #[test]
+    fn hostile_length_fields_recover_cleanly_instead_of_panicking() {
+        // A frame length of u32::MAX claims more payload than exists:
+        // recovery must report a torn tail, not slice out of bounds.
+        let mut log = Vec::new();
+        log.extend_from_slice(&u32::MAX.to_le_bytes());
+        log.extend_from_slice(&0u64.to_le_bytes());
+        log.extend_from_slice(b"short");
+        let (records, report) = decode_log(&log);
+        assert!(records.is_empty());
+        assert_eq!(report.corruption, Some(Corruption::TornTail { at: 0 }));
+
+        // A frame whose checksum is *valid* but whose inner chunk length
+        // lies (tag=Put, key length far past the payload end): the
+        // payload decode fails structurally, and recovery stops clean.
+        let mut payload = vec![1u8];
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        payload.extend_from_slice(b"k");
+        let mut log = Vec::new();
+        log.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        log.extend_from_slice(&checksum(&payload).to_le_bytes());
+        log.extend_from_slice(&payload);
+        let (records, report) = decode_log(&log);
+        assert!(records.is_empty());
+        assert_eq!(report.corruption, Some(Corruption::ChecksumMismatch { at: 0 }));
+    }
+
+    #[test]
+    fn unknown_tags_and_trailing_garbage_decode_to_none() {
+        // Unknown record tag.
+        assert_eq!(decode_payload(&[9u8, 1, 2, 3]), None);
+        // Empty payload (no tag byte at all).
+        assert_eq!(decode_payload(&[]), None);
+        // A valid Delete record followed by trailing garbage.
+        let mut payload = vec![2u8];
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.push(b'k');
+        assert!(decode_payload(&payload).is_some());
+        payload.push(0xFF);
+        assert_eq!(decode_payload(&payload), None);
     }
 
     #[test]

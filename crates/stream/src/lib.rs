@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `mv-stream` — the stream-processing engine.
 //!
 //! §III observes that the metaverse generates data that "may break the

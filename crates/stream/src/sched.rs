@@ -211,7 +211,7 @@ impl MultiQueryScheduler {
                 .max_by(|&a, &b| {
                     let sa = self.specs[a].weight * now.since(last_output[a]).as_millis_f64();
                     let sb = self.specs[b].weight * now.since(last_output[b]).as_millis_f64();
-                    sa.partial_cmp(&sb).unwrap().then(b.cmp(&a))
+                    sa.total_cmp(&sb).then(b.cmp(&a))
                 })
                 .expect("nonempty"),
         }

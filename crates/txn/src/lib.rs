@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `mv-txn` — transactions for the decentralized metaverse database.
 //!
 //! §IV-E1: *"distributed transactions are essential for accessing data

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `mv-workloads` — generators for the paper's five §II scenarios.
 //!
 //! Every experiment needs realistic load *shapes*; these generators are

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `metaverse-deluge` — umbrella crate re-exporting the cospace platform.
 //!
 //! See DESIGN.md for the system inventory and EXPERIMENTS.md for the
