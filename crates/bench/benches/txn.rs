@@ -10,7 +10,7 @@ fn bench_mvcc(c: &mut Criterion) {
     let mut group = c.benchmark_group("mvcc");
     group.sample_size(20);
     group.bench_function("txn_commit_3_writes", |b| {
-        let mut db = MvccStore::new();
+        let db = MvccStore::new();
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
@@ -22,17 +22,17 @@ fn bench_mvcc(c: &mut Criterion) {
         })
     });
     group.bench_function("snapshot_read", |b| {
-        let mut db = MvccStore::new();
+        let db = MvccStore::new();
         for i in 0..10_000u64 {
             let mut t = db.begin();
             db.write(&mut t, Bytes::from(format!("k{i}")), Bytes::from_static(b"v"));
             db.commit(t).expect("fresh keys");
         }
-        let t = db.begin();
+        let mut t = db.begin();
         let mut i = 0u64;
         b.iter(|| {
             i = (i + 1) % 10_000;
-            db.read(&t, format!("k{i}").as_bytes())
+            db.read(&mut t, format!("k{i}").as_bytes())
         })
     });
     group.finish();

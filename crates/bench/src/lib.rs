@@ -33,9 +33,9 @@ pub mod exp_txn;
 use mv_common::table::Table;
 
 /// All experiment ids, in DESIGN.md order.
-pub const ALL_IDS: [&str; 20] = [
+pub const ALL_IDS: [&str; 21] = [
     "e1", "e1d", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e12b",
-    "e13", "e14", "e15", "e16", "e17", "e18",
+    "e13", "e14", "e15", "e16", "e17", "e18", "e19",
 ];
 
 /// Run one experiment by id.
@@ -64,6 +64,7 @@ pub fn run(id: &str) -> Vec<Table> {
         "e16" => exp_fault::e16(),
         "e17" => exp_durable::e17(),
         "e18" => exp_obs::e18(),
+        "e19" => exp_txn::e19(),
         other => panic!("unknown experiment id {other}"),
     }
 }

@@ -214,6 +214,75 @@ impl VirtualClock {
     }
 }
 
+/// Bits of the commit-sequence suffix inside an oracle timestamp (the
+/// low bits that disambiguate commits landing at the same sim µs).
+pub const TS_SEQ_BITS: u32 = 16;
+
+/// A deterministic commit-timestamp oracle driven by the sim clock.
+///
+/// Transaction timestamps must be (a) strictly monotonic — they define
+/// the serial order MVCC validation certifies — and (b) comparable with
+/// simulated time, so a version written "at t=5ms" orders after every
+/// commit from earlier ticks regardless of allocation interleaving.
+/// [`TimestampOracle::next`] therefore embeds the sim clock in the high
+/// bits (`now.as_micros() << TS_SEQ_BITS`) and bumps a sequence suffix
+/// when several commits land inside one simulated microsecond. Given the
+/// same sequence of `next` calls, the oracle produces the same
+/// timestamps — determinism comes from the caller's schedule, never from
+/// wall clocks.
+#[derive(Debug, Default)]
+pub struct TimestampOracle {
+    last: AtomicU64,
+}
+
+impl TimestampOracle {
+    /// An oracle at the origin (no timestamp allocated yet).
+    pub const fn new() -> Self {
+        Self { last: AtomicU64::new(0) }
+    }
+
+    /// The most recently allocated (or observed) timestamp; `0` before
+    /// the first allocation. Snapshots read here: a snapshot at
+    /// `current()` sees every commit allocated so far and none after.
+    #[inline]
+    pub fn current(&self) -> u64 {
+        self.last.load(Ordering::SeqCst)
+    }
+
+    /// Allocate the next timestamp at sim time `now`: the larger of
+    /// `last + 1` and `now << TS_SEQ_BITS`, so results are strictly
+    /// monotonic and never behind the sim clock.
+    pub fn next(&self, now: SimTime) -> u64 {
+        let floor = now.as_micros().saturating_mul(1 << TS_SEQ_BITS);
+        let mut cur = self.last.load(Ordering::SeqCst);
+        loop {
+            let candidate = floor.max(cur.saturating_add(1));
+            match self.last.compare_exchange_weak(
+                cur,
+                candidate,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return candidate,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Fast-forward past `ts` (recovery replays call this with each
+    /// logged commit timestamp so post-recovery allocations stay above
+    /// everything already durable). Never moves backwards.
+    pub fn advance_past(&self, ts: u64) {
+        self.last.fetch_max(ts, Ordering::SeqCst);
+    }
+
+    /// The sim-clock microseconds embedded in an oracle timestamp.
+    #[inline]
+    pub const fn sim_micros_of(ts: u64) -> u64 {
+        ts >> TS_SEQ_BITS
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,5 +327,54 @@ mod tests {
     fn from_secs_f64_rounds_and_clamps() {
         assert_eq!(SimDuration::from_secs_f64(0.0000015).as_micros(), 2);
         assert_eq!(SimDuration::from_secs_f64(-1.0).as_micros(), 0);
+    }
+
+    #[test]
+    fn oracle_is_strictly_monotonic_and_clock_driven() {
+        let o = TimestampOracle::new();
+        assert_eq!(o.current(), 0);
+        let a = o.next(SimTime::from_micros(3));
+        let b = o.next(SimTime::from_micros(3));
+        let c = o.next(SimTime::from_micros(3));
+        assert_eq!(a, 3 << TS_SEQ_BITS, "first ts at t=3µs embeds the clock");
+        assert_eq!((b, c), (a + 1, a + 2), "same-µs commits get sequence suffixes");
+        // A later sim instant jumps the timestamp past the whole suffix range.
+        let d = o.next(SimTime::from_micros(4));
+        assert_eq!(d, 4 << TS_SEQ_BITS);
+        assert_eq!(TimestampOracle::sim_micros_of(d), 4);
+        // The sim clock running "backwards" (out-of-order callers) still
+        // yields strictly increasing timestamps.
+        let e = o.next(SimTime::from_micros(1));
+        assert_eq!(e, d + 1);
+        assert_eq!(o.current(), e);
+    }
+
+    #[test]
+    fn oracle_advance_past_never_regresses() {
+        let o = TimestampOracle::new();
+        o.advance_past(500);
+        assert_eq!(o.current(), 500);
+        o.advance_past(100);
+        assert_eq!(o.current(), 500);
+        assert_eq!(o.next(SimTime::ZERO), 501);
+    }
+
+    #[test]
+    fn oracle_concurrent_allocations_are_unique() {
+        let o = std::sync::Arc::new(TimestampOracle::new());
+        let mut all: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let o = std::sync::Arc::clone(&o);
+                    s.spawn(move || {
+                        (0..500).map(|j| o.next(SimTime::from_micros(i * 7 + j % 5))).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("no panic")).collect()
+        });
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 2000, "every allocation distinct");
     }
 }

@@ -95,6 +95,36 @@ pub enum DurableOp {
         /// When.
         ts: SimTime,
     },
+    /// 2PC phase 1: the slice of transaction `txn` bound for one
+    /// participant shard, made durable *before* any decision. Never
+    /// applied on its own — recovery buffers it until a decision record
+    /// resolves it (no decision = in-doubt = presumed abort). Nested ops
+    /// are restricted to the transactional leaf set
+    /// ([`DurableOp::Position`] / [`DurableOp::Attr`]); anything else is
+    /// structural damage and the record refuses to decode.
+    TxnPrepare {
+        /// Raw transaction id.
+        txn: u64,
+        /// Participant shard index (KV/MVCC routing).
+        shard: u32,
+        /// The shard's ops, in program order.
+        ops: Vec<DurableOp>,
+        /// When.
+        ts: SimTime,
+    },
+    /// 2PC phase 2: the coordinator's decision. Its durability is the
+    /// commit point — the log's prefix property guarantees every prepare
+    /// of `txn` is durable below it.
+    TxnDecision {
+        /// Raw transaction id.
+        txn: u64,
+        /// Commit (`true`) or abort (`false`).
+        commit: bool,
+        /// Oracle timestamp the versions install at.
+        commit_ts: u64,
+        /// When.
+        ts: SimTime,
+    },
 }
 
 impl DurableOp {
@@ -105,8 +135,15 @@ impl DurableOp {
             | DurableOp::Position { ts, .. }
             | DurableOp::Attr { ts, .. }
             | DurableOp::Retire { ts, .. }
-            | DurableOp::AreaEffect { ts, .. } => *ts,
+            | DurableOp::AreaEffect { ts, .. }
+            | DurableOp::TxnPrepare { ts, .. }
+            | DurableOp::TxnDecision { ts, .. } => *ts,
         }
+    }
+
+    /// Whether this op may appear inside a [`DurableOp::TxnPrepare`].
+    pub fn is_txn_leaf(&self) -> bool {
+        matches!(self, DurableOp::Position { .. } | DurableOp::Attr { .. })
     }
 
     /// Lift a batched engine write into its logged form.
@@ -280,6 +317,25 @@ impl DurableOp {
                 out.push(u8::from(*retire));
                 put_u64(&mut out, ts.as_micros());
             }
+            DurableOp::TxnPrepare { txn, shard, ops, ts } => {
+                out.push(6);
+                put_u64(&mut out, *txn);
+                put_u32(&mut out, *shard);
+                put_u32(&mut out, ops.len() as u32);
+                for op in ops {
+                    let bytes = op.encode();
+                    put_u32(&mut out, bytes.len() as u32);
+                    out.extend_from_slice(&bytes);
+                }
+                put_u64(&mut out, ts.as_micros());
+            }
+            DurableOp::TxnDecision { txn, commit, commit_ts, ts } => {
+                out.push(7);
+                put_u64(&mut out, *txn);
+                out.push(u8::from(*commit));
+                put_u64(&mut out, *commit_ts);
+                put_u64(&mut out, ts.as_micros());
+            }
         }
         out
     }
@@ -314,6 +370,34 @@ impl DurableOp {
                 retire: r.u8()? != 0,
                 ts: SimTime(r.u64()?),
             },
+            6 => {
+                let txn = r.u64()?;
+                let shard = r.u32()?;
+                let count = r.u32()?;
+                // No `with_capacity(count)`: a hostile count field must
+                // not reserve memory it can't back with bytes.
+                let mut ops = Vec::new();
+                for _ in 0..count {
+                    let len = r.u32()? as usize;
+                    let nested = DurableOp::decode(r.take(len)?)?;
+                    if !nested.is_txn_leaf() {
+                        return None;
+                    }
+                    ops.push(nested);
+                }
+                DurableOp::TxnPrepare { txn, shard, ops, ts: SimTime(r.u64()?) }
+            }
+            7 => {
+                let txn = r.u64()?;
+                let commit = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    // Unknown decision tags are damage, not "probably
+                    // commit": refuse them.
+                    _ => return None,
+                };
+                DurableOp::TxnDecision { txn, commit, commit_ts: r.u64()?, ts: SimTime(r.u64()?) }
+            }
             _ => return None,
         };
         r.done().then_some(op)
@@ -340,13 +424,13 @@ fn encode_entity(out: &mut Vec<u8>, e: &Entity) {
 /// logged (group-commit WAL) before application and whose event log
 /// drains into a sharded LSM store at each commit.
 pub struct DurableMetaverse {
-    engine: ShardedMetaverse,
+    pub(crate) engine: ShardedMetaverse,
     /// The group-commit log. Public so fault tests can inject
     /// corruption between commit and recovery.
     pub wal: GroupCommitWal,
     kv: ShardedKv,
     /// Spawn-ordered entity ids (replay re-derives the same sequence).
-    ids: Vec<EntityId>,
+    pub(crate) ids: Vec<EntityId>,
     /// Next WAL key (unique per logged op).
     lsn: u64,
     engine_shards: usize,
@@ -354,7 +438,10 @@ pub struct DurableMetaverse {
     kv_shards: usize,
     /// Span collector; ops without a caller-supplied context mint a
     /// (possibly sampled) `core.durable.ingest` root here.
-    tracer: Option<SharedTracer>,
+    pub(crate) tracer: Option<SharedTracer>,
+    /// Transactional state: the sharded MVCC overlay and its counters
+    /// (see `crate::txn`).
+    pub(crate) txns: crate::txn::TxnState,
 }
 
 impl DurableMetaverse {
@@ -381,6 +468,7 @@ impl DurableMetaverse {
             kv_config,
             kv_shards,
             tracer: None,
+            txns: crate::txn::TxnState::new(kv_shards),
         }
     }
 
@@ -424,14 +512,14 @@ impl DurableMetaverse {
     }
 
     /// Log one op (not yet durable — `commit` seals the batch).
-    fn log(&mut self, op: &DurableOp) {
+    pub(crate) fn log(&mut self, op: &DurableOp) {
         self.log_with(op, None);
     }
 
     /// Log one op carrying its causal context: the WAL opens a
     /// `storage.wal.group_commit` span that closes when the op's batch
     /// seals (its duration is the group-commit wait the op paid).
-    fn log_with(&mut self, op: &DurableOp, ctx: Option<TraceCtx>) {
+    pub(crate) fn log_with(&mut self, op: &DurableOp, ctx: Option<TraceCtx>) {
         let key = self.lsn.to_le_bytes().to_vec();
         self.lsn += 1;
         self.wal.append_traced(WalRecord::Put { key, value: op.encode() }, op.ts(), ctx);
@@ -608,25 +696,57 @@ impl DurableMetaverse {
     }
 
     /// Simulate a crash and recover: all volatile state (engine, KV,
-    /// unsynced WAL tail) is discarded; the WAL is recovered (truncating
-    /// at the first corrupt batch) and the surviving ops replay into a
-    /// fresh engine; the KV is rebuilt from the recovered entities. The
-    /// replayed engine is byte-identical (per [`Self::state_encoding`])
-    /// to the pre-crash engine at the recovered durable horizon.
+    /// MVCC chains, unsynced WAL tail) is discarded; the WAL is
+    /// recovered (truncating at the first corrupt batch) and the
+    /// surviving ops replay into a fresh engine; the KV is rebuilt from
+    /// the recovered entities. The replayed engine is byte-identical
+    /// (per [`Self::state_encoding`]) to the pre-crash engine at the
+    /// last durable point.
+    ///
+    /// Transactional records resolve in-doubt state here: a
+    /// [`DurableOp::TxnPrepare`] is buffered, never applied on its own;
+    /// a [`DurableOp::TxnDecision`] with `commit` replays the buffered
+    /// ops (engine + MVCC chains, at the recorded `commit_ts`); an abort
+    /// decision discards them; and prepares still unresolved at the end
+    /// of the log are *presumed aborts* — discarded and counted in the
+    /// `core.txn.indoubt_aborted` stat.
     pub fn crash_and_recover(&mut self) -> RecoveryReport {
         let report = self.wal.crash_with_report();
         let mut engine = ShardedMetaverse::with_defaults(self.engine_shards);
         let mut ids = Vec::new();
+        let mut txns = crate::txn::TxnState::new(self.kv_shards);
+        let mut prepared: mv_common::hash::FastMap<u64, Vec<DurableOp>> =
+            mv_common::hash::FastMap::default();
         for rec in self.wal.durable() {
             let WalRecord::Put { value, .. } = rec else { continue };
             let Some(op) = DurableOp::decode(value) else { continue };
-            Self::replay(&mut engine, &mut ids, op);
+            match op {
+                DurableOp::TxnPrepare { txn, ops, .. } => {
+                    prepared.entry(txn).or_default().extend(ops);
+                }
+                DurableOp::TxnDecision { txn, commit, commit_ts, .. } => {
+                    // A decision with no buffered prepares is hostile or
+                    // duplicated input — there is nothing to apply.
+                    let Some(ops) = prepared.remove(&txn) else { continue };
+                    if commit {
+                        txns.install_recovered(&ops, commit_ts);
+                        for op in ops {
+                            Self::replay(&mut engine, &mut ids, op);
+                        }
+                    } else {
+                        txns.stats.incr("recovered_aborts");
+                    }
+                }
+                other => Self::replay(&mut engine, &mut ids, other),
+            }
         }
+        txns.stats.add("indoubt_aborted", prepared.len() as u64);
         // Regenerated events are not "new" mutations — clear them, then
         // rebuild the materialized store from the recovered entities.
         engine.drain_events();
         self.engine = engine;
         self.ids = ids;
+        self.txns = txns;
         self.lsn = self.wal.durable().len() as u64;
         self.kv = ShardedKv::new(self.kv_shards, self.kv_config);
         let records = self.snapshot_records(&self.ids.clone());
@@ -637,8 +757,10 @@ impl DurableMetaverse {
     /// Re-execute one recovered op. Results are deliberately discarded:
     /// an op that failed pre-crash (e.g. an update racing a retire)
     /// fails identically on replay — determinism, not error handling,
-    /// is what recovery needs.
-    fn replay(engine: &mut ShardedMetaverse, ids: &mut Vec<EntityId>, op: DurableOp) {
+    /// is what recovery needs. Transactional envelopes are never applied
+    /// here (`crash_and_recover` resolves them; the live commit path
+    /// replays their leaf ops directly).
+    pub(crate) fn replay(engine: &mut ShardedMetaverse, ids: &mut Vec<EntityId>, op: DurableOp) {
         match op {
             DurableOp::Spawn { name, kind, position, ts } => {
                 ids.push(engine.spawn(name, kind, position, ts));
@@ -655,6 +777,7 @@ impl DurableMetaverse {
             DurableOp::AreaEffect { space, effect, region, action, retire, ts } => {
                 let _ = engine.area_effect(space, &effect, region, &action, retire, ts);
             }
+            DurableOp::TxnPrepare { .. } | DurableOp::TxnDecision { .. } => {}
         }
     }
 
@@ -734,6 +857,111 @@ mod tests {
             }
         }
         assert_eq!(DurableOp::decode(&[99]), None, "unknown tag");
+    }
+
+    #[test]
+    fn txn_record_encoding_round_trips() {
+        let prepare = DurableOp::TxnPrepare {
+            txn: 77,
+            shard: 3,
+            ops: vec![
+                DurableOp::Attr { id: EntityId::new(1), name: "gold".into(), value: 9.5, ts: t(4) },
+                DurableOp::Position { id: EntityId::new(2), position: p(1.0, 2.0), ts: t(4) },
+            ],
+            ts: t(4),
+        };
+        let decision = DurableOp::TxnDecision { txn: 77, commit: true, commit_ts: 12345, ts: t(5) };
+        for op in [prepare, decision] {
+            let bytes = op.encode();
+            assert_eq!(DurableOp::decode(&bytes), Some(op.clone()), "{op:?}");
+            for cut in 0..bytes.len() {
+                assert_eq!(DurableOp::decode(&bytes[..cut]), None, "{op:?} truncated at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_txn_prepare_frames_decode_to_none_not_panic() {
+        // A prepare whose op count claims far more nested frames than
+        // the buffer holds: must refuse, not loop or reserve memory.
+        let mut bytes = vec![6u8];
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // txn
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // shard
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // op count
+        assert_eq!(DurableOp::decode(&bytes), None);
+
+        // A nested frame whose length field overruns the buffer.
+        let mut bytes = vec![6u8];
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one op…
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // …of absurd length
+        bytes.extend_from_slice(b"xx");
+        assert_eq!(DurableOp::decode(&bytes), None);
+
+        // Nested ops outside the transactional leaf set: a Spawn smuggled
+        // into a prepare (could desync replay's id assignment), or a
+        // prepare nested inside a prepare (unbounded recursion bait).
+        let spawn = DurableOp::Spawn {
+            name: "evil".into(),
+            kind: EntityKind::Avatar,
+            position: p(0.0, 0.0),
+            ts: t(1),
+        };
+        let nested_prepare = DurableOp::TxnPrepare { txn: 2, shard: 0, ops: vec![], ts: t(1) };
+        for smuggled in [spawn, nested_prepare] {
+            let inner = smuggled.encode();
+            let mut bytes = vec![6u8];
+            bytes.extend_from_slice(&1u64.to_le_bytes());
+            bytes.extend_from_slice(&0u32.to_le_bytes());
+            bytes.extend_from_slice(&1u32.to_le_bytes());
+            bytes.extend_from_slice(&(inner.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&inner);
+            bytes.extend_from_slice(&t(1).as_micros().to_le_bytes());
+            assert_eq!(DurableOp::decode(&bytes), None, "non-leaf nested op must not decode");
+        }
+    }
+
+    #[test]
+    fn hostile_decision_tags_decode_to_none_not_panic() {
+        // The commit flag is strictly 0 or 1 — an unknown tag is damage,
+        // never "probably commit".
+        for tag in [2u8, 7, 255] {
+            let mut bytes = vec![7u8];
+            bytes.extend_from_slice(&9u64.to_le_bytes()); // txn
+            bytes.push(tag);
+            bytes.extend_from_slice(&100u64.to_le_bytes()); // commit_ts
+            bytes.extend_from_slice(&t(2).as_micros().to_le_bytes());
+            assert_eq!(DurableOp::decode(&bytes), None, "decision tag {tag}");
+        }
+    }
+
+    #[test]
+    fn orphaned_prepares_and_stray_decisions_recover_cleanly() {
+        // Hand-craft a WAL holding (a) a prepare with no decision and
+        // (b) a decision with no prepares: recovery must apply neither
+        // and never panic.
+        let mut dm = DurableMetaverse::with_defaults(2);
+        let id = dm.spawn("a", EntityKind::Person, p(0.0, 0.0), t(1));
+        dm.commit(t(1));
+        let baseline = dm.state_encoding();
+
+        let orphan_prepare = DurableOp::TxnPrepare {
+            txn: 500,
+            shard: 0,
+            ops: vec![DurableOp::Attr { id, name: "hp".into(), value: 1.0, ts: t(2) }],
+            ts: t(2),
+        };
+        let stray_decision =
+            DurableOp::TxnDecision { txn: 501, commit: true, commit_ts: 999, ts: t(2) };
+        dm.log(&orphan_prepare);
+        dm.log(&stray_decision);
+        dm.commit(t(2));
+
+        dm.crash_and_recover();
+        assert_eq!(dm.state_encoding(), baseline, "neither record mutated the engine");
+        assert_eq!(dm.txn_stats().get("indoubt_aborted"), 1, "orphan counted");
+        assert_eq!(dm.txn_lock_count(), 0);
     }
 
     #[test]

@@ -27,6 +27,10 @@
 //!   wired to `mv-storage` (log-then-apply through a group-commit WAL,
 //!   event-log drain into a sharded LSM, replay-based crash recovery —
 //!   the §IV-F durable ingest path, measured in E17);
+//! * [`txn`] — cross-shard snapshot-isolation/serializable transactions
+//!   over the durable engine: MVCC version chains per entity field,
+//!   two-phase commit riding the group-commit WAL, in-doubt resolution
+//!   on recovery (§IV-E1, proven by `tests/txn_differential.rs`);
 //! * [`ops`] — a replayable operation model and generator used to prove
 //!   the sharded engine observationally equivalent to the sequential
 //!   one (`tests/sharded_differential.rs`).
@@ -41,8 +45,10 @@ pub mod events;
 pub mod interest;
 pub mod ops;
 pub mod sharded;
+pub mod txn;
 
 pub use durable::{DurableMetaverse, DurableOp};
+pub use txn::{MetaTxn, TxnCrashPoint};
 pub use engine::{Metaverse, SyncPolicy};
 pub use entity::{Entity, EntityKind};
 pub use events::{Command, CoEvent, EventKind};

@@ -1,0 +1,722 @@
+//! Cross-shard transactions over the durable engine.
+//!
+//! §IV-E1 calls distributed transactions essential for data that spans
+//! co-space partitions (trades, shared-object mutations crossing region
+//! boundaries). This module wires `mv-txn`'s MVCC through
+//! [`DurableMetaverse`]: a transaction reads a consistent snapshot of
+//! entity state (version chains in [`mv_txn::ShardedMvcc`], routed with
+//! the same hash as the KV shards, over the live engine for keys never
+//! written transactionally), buffers writes, and commits with two-phase
+//! commit riding the group-commit WAL:
+//!
+//! 1. **validate + lock** — every participant shard runs
+//!    first-committer-wins validation over the write set *and* the read
+//!    set (serializable, not just SI), then write-locks the transaction's
+//!    keys;
+//! 2. **prepare records** — one [`DurableOp::TxnPrepare`] per write
+//!    shard is appended and the batch synced (phase-1 durability);
+//! 3. **decision record** — one [`DurableOp::TxnDecision`] is appended
+//!    and synced: *this sync is the commit point*;
+//! 4. **apply** — versions install at the decision's oracle timestamp
+//!    and the buffered ops replay into the engine, in exactly the order
+//!    recovery would replay them from the log.
+//!
+//! A crash anywhere before step 3's sync leaves the transaction
+//! *in-doubt*: recovery finds prepares with no decision and presumes
+//! abort (nothing was applied, nothing will be). A crash after the
+//! commit point loses nothing: recovery replays the decision's ops from
+//! the prepare records. Either way no transaction is ever half-applied —
+//! `tests/txn_differential.rs` sweeps every crash boundary and checks
+//! byte-identical recovery.
+//!
+//! Known anomaly (documented in DESIGN.md §10): non-transactional writes
+//! (`update_attr` & co.) bypass the version chains. A key becomes
+//! versioned at its first transactional write; until then transactional
+//! reads fall back to live engine state, which is current-state, not
+//! snapshot-at-begin.
+
+use crate::durable::{DurableMetaverse, DurableOp};
+use bytes::Bytes;
+use mv_common::geom::Point;
+use mv_common::id::EntityId;
+use mv_common::time::SimTime;
+use mv_common::{MvError, MvResult};
+use mv_obs::{SharedRegistry, StatSet, TraceCtx};
+use mv_txn::mvcc::Transaction;
+use mv_txn::{IsolationLevel, ShardedMvcc};
+use std::collections::BTreeMap;
+
+// ---- MVCC key scheme ---------------------------------------------------
+//
+// Version chains are keyed by entity field: `[tag][entity id LE 8B]…`.
+// Routing hashes only the id bytes with the same function `ShardedKv`
+// uses on its (id-keyed) snapshot records, so an entity's version chains
+// and its KV snapshot land on the same shard index.
+
+const KEY_POSITION: u8 = 0;
+const KEY_ATTR: u8 = 1;
+
+/// MVCC key for an entity's ground-truth position.
+pub(crate) fn pos_key(id: EntityId) -> Vec<u8> {
+    let mut k = Vec::with_capacity(9);
+    k.push(KEY_POSITION);
+    k.extend_from_slice(&id.raw().to_le_bytes());
+    k
+}
+
+/// MVCC key for one entity attribute.
+pub(crate) fn attr_key(id: EntityId, name: &str) -> Vec<u8> {
+    let mut k = Vec::with_capacity(9 + name.len());
+    k.push(KEY_ATTR);
+    k.extend_from_slice(&id.raw().to_le_bytes());
+    k.extend_from_slice(name.as_bytes());
+    k
+}
+
+/// Shard router: hash the embedded entity-id bytes exactly as the KV
+/// shards do, so MVCC and KV agree on placement.
+pub(crate) fn txn_route(key: &[u8], shards: usize) -> usize {
+    let id_bytes = key.get(1..9).unwrap_or(key);
+    mv_storage::sharded_kv::shard_of_key(id_bytes, shards)
+}
+
+fn f64_value(v: f64) -> Bytes {
+    Bytes::copy_from_slice(&v.to_le_bytes())
+}
+
+fn decode_f64(b: &Bytes) -> Option<f64> {
+    let arr: [u8; 8] = b.as_ref().try_into().ok()?;
+    Some(f64::from_le_bytes(arr))
+}
+
+fn point_value(p: Point) -> Bytes {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&p.x.to_le_bytes());
+    out.extend_from_slice(&p.y.to_le_bytes());
+    Bytes::from(out)
+}
+
+fn decode_point(b: &Bytes) -> Option<Point> {
+    let x: [u8; 8] = b.get(0..8)?.try_into().ok()?;
+    let y: [u8; 8] = b.get(8..16)?.try_into().ok()?;
+    (b.len() == 16).then(|| Point::new(f64::from_le_bytes(x), f64::from_le_bytes(y)))
+}
+
+/// The MVCC key + value a transactional leaf op writes.
+pub(crate) fn mvcc_kv_for(op: &DurableOp) -> Option<(Vec<u8>, Option<Bytes>)> {
+    match op {
+        DurableOp::Position { id, position, .. } => Some((pos_key(*id), Some(point_value(*position)))),
+        DurableOp::Attr { id, name, value, .. } => {
+            Some((attr_key(*id, name), Some(f64_value(*value))))
+        }
+        _ => None,
+    }
+}
+
+/// Transactional state owned by [`DurableMetaverse`]: the sharded MVCC
+/// overlay (serializable) and the `core.txn.*` counters.
+pub(crate) struct TxnState {
+    pub(crate) mvcc: ShardedMvcc,
+    pub(crate) stats: StatSet,
+}
+
+impl TxnState {
+    pub(crate) fn new(shards: usize) -> Self {
+        TxnState {
+            mvcc: ShardedMvcc::new(shards.max(1), IsolationLevel::Serializable, txn_route),
+            stats: StatSet::new("core.txn"),
+        }
+    }
+
+    /// Recovery: install the MVCC versions a decided-commit transaction
+    /// wrote, deduplicated to the final value per key (the live path
+    /// installs from the write buffer, which holds final values only —
+    /// the rebuilt chains must match it version-for-version).
+    pub(crate) fn install_recovered(&mut self, ops: &[DurableOp], commit_ts: u64) {
+        let mut final_writes: BTreeMap<Vec<u8>, Option<Bytes>> = BTreeMap::new();
+        for op in ops {
+            if let Some((k, v)) = mvcc_kv_for(op) {
+                final_writes.insert(k, v);
+            }
+        }
+        for (k, v) in final_writes {
+            self.mvcc.install_version(&k, v, commit_ts);
+        }
+        self.stats.incr("recovered_commits");
+    }
+}
+
+/// An open transaction against a [`DurableMetaverse`]: a snapshot
+/// handle, buffered writes, and the durable ops to replay on commit.
+/// Reads go through [`DurableMetaverse::txn_read_attr`] /
+/// [`DurableMetaverse::txn_read_position`]; writes buffer locally here
+/// and touch nothing until [`DurableMetaverse::commit_txn`].
+pub struct MetaTxn {
+    pub(crate) inner: Transaction,
+    pub(crate) ops: Vec<DurableOp>,
+    pub(crate) root: Option<TraceCtx>,
+}
+
+impl MetaTxn {
+    /// Raw transaction id (also the id logged in 2PC records).
+    pub fn id(&self) -> u64 {
+        self.inner.id.raw()
+    }
+
+    /// Snapshot timestamp.
+    pub fn begin_ts(&self) -> u64 {
+        self.inner.begin_ts()
+    }
+
+    /// Buffer an attribute write.
+    pub fn write_attr(&mut self, id: EntityId, name: &str, value: f64, now: SimTime) {
+        self.inner.write(attr_key(id, name), f64_value(value));
+        self.ops.push(DurableOp::Attr { id, name: name.to_string(), value, ts: now });
+    }
+
+    /// Buffer a ground-truth position write.
+    pub fn write_position(&mut self, id: EntityId, position: Point, now: SimTime) {
+        self.inner.write(pos_key(id), point_value(position));
+        self.ops.push(DurableOp::Position { id, position, ts: now });
+    }
+
+    /// Number of buffered writes (distinct keys).
+    pub fn write_count(&self) -> usize {
+        self.inner.write_count()
+    }
+}
+
+/// Where [`DurableMetaverse::commit_txn_crashing`] pulls the plug. Each
+/// point sits on a prepare/decision boundary of the 2PC flow; the sweep
+/// in `tests/txn_differential.rs` visits all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnCrashPoint {
+    /// After appending the first `n` prepare records (1-based), before
+    /// any sync: the whole transaction sits in the volatile WAL tail.
+    AfterPrepare(usize),
+    /// After the phase-1 sync: prepares durable, no decision — the
+    /// canonical in-doubt state.
+    AfterPrepareSync,
+    /// Decision appended but unsynced: still in-doubt (the decision
+    /// batch dies with the crash).
+    AfterDecisionAppend,
+    /// Decision synced — *past the commit point* — but nothing applied:
+    /// recovery must fully apply the transaction.
+    AfterDecisionSync,
+}
+
+impl TxnCrashPoint {
+    /// Every boundary for a transaction spanning `write_shards` shards.
+    pub fn sweep(write_shards: usize) -> Vec<TxnCrashPoint> {
+        let mut points: Vec<TxnCrashPoint> =
+            (1..=write_shards.max(1)).map(TxnCrashPoint::AfterPrepare).collect();
+        points.extend([
+            TxnCrashPoint::AfterPrepareSync,
+            TxnCrashPoint::AfterDecisionAppend,
+            TxnCrashPoint::AfterDecisionSync,
+        ]);
+        points
+    }
+}
+
+impl DurableMetaverse {
+    /// Begin a transaction snapshotted at the current oracle timestamp.
+    pub fn txn(&mut self, now: SimTime) -> MetaTxn {
+        self.txns.stats.incr("begun");
+        let root = self.tracer.as_ref().and_then(|tr| tr.maybe_trace("txn.begin", now));
+        MetaTxn { inner: self.txns.mvcc.begin(), ops: Vec::new(), root }
+    }
+
+    /// Read an attribute inside `txn`: buffered write, else snapshot
+    /// version, else (for keys never written transactionally) the live
+    /// engine value. `None` = entity/attribute absent at the snapshot.
+    pub fn txn_read_attr(&self, txn: &mut MetaTxn, id: EntityId, name: &str) -> Option<f64> {
+        let key = attr_key(id, name);
+        match self.txns.mvcc.read_versioned(&mut txn.inner, &key) {
+            Some(visible) => visible.as_ref().and_then(decode_f64),
+            None => self.engine.entity(id).ok().and_then(|e| e.attrs.get(name).copied()),
+        }
+    }
+
+    /// Read a ground-truth position inside `txn` (same fallback rules as
+    /// [`Self::txn_read_attr`]).
+    pub fn txn_read_position(&self, txn: &mut MetaTxn, id: EntityId) -> Option<Point> {
+        let key = pos_key(id);
+        match self.txns.mvcc.read_versioned(&mut txn.inner, &key) {
+            Some(visible) => visible.as_ref().and_then(decode_point),
+            None => self.engine.entity(id).ok().map(|e| e.position),
+        }
+    }
+
+    /// Commit `txn` with cross-shard 2PC (see the module docs). Returns
+    /// the commit timestamp; [`MvError::Conflict`] aborts the
+    /// transaction cleanly (nothing logged, nothing applied, no locks
+    /// left behind).
+    pub fn commit_txn(&mut self, txn: MetaTxn, now: SimTime) -> MvResult<u64> {
+        // `None` only happens when a crash point fires; there is none.
+        self.commit_txn_crashing(txn, now, None).map(|ts| ts.unwrap_or(0))
+    }
+
+    /// [`Self::commit_txn`] with an injected crash: at `crash`, the
+    /// commit stops dead and returns `Ok(None)` — the caller owns a
+    /// half-written WAL and *must* [`Self::crash_and_recover`] before
+    /// touching the engine again, exactly as after a process kill.
+    pub fn commit_txn_crashing(
+        &mut self,
+        txn: MetaTxn,
+        now: SimTime,
+        crash: Option<TxnCrashPoint>,
+    ) -> MvResult<Option<u64>> {
+        let MetaTxn { inner, ops, root } = txn;
+        let crashed = |dm: &mut Self, root: Option<TraceCtx>| {
+            dm.txns.stats.incr("crash_interrupted");
+            if let (Some(tr), Some(c)) = (&dm.tracer, root) {
+                tr.abort(c.span, "lost");
+            }
+            Ok(None)
+        };
+
+        // Phase 1a: validate + write-lock every participant shard
+        // (write shards, plus read shards for serializable validation),
+        // in ascending index order so concurrent preparers cannot
+        // deadlock.
+        let participants = self.txns.mvcc.participants(&inner);
+        for (i, &si) in participants.iter().enumerate() {
+            let prep_span = match (&self.tracer, root) {
+                (Some(tr), Some(c)) => Some(tr.child(c, "txn.prepare", now)),
+                _ => None,
+            };
+            match self.txns.mvcc.prepare_shard(&inner, si) {
+                Ok(()) => {
+                    if let (Some(tr), Some(s)) = (&self.tracer, prep_span) {
+                        tr.close(s, now, "prepared");
+                    }
+                }
+                Err(e) => {
+                    if let (Some(tr), Some(s)) = (&self.tracer, prep_span) {
+                        tr.close(s, now, "conflict");
+                    }
+                    self.txns.mvcc.release(&inner, participants.get(..i).unwrap_or(&[]));
+                    self.txns.stats.incr("aborted_conflict");
+                    if let (Some(tr), Some(c)) = (&self.tracer, root) {
+                        tr.event(c, "txn.abort", now, "conflict");
+                        tr.close(c.span, now, "aborted");
+                    }
+                    return Err(e);
+                }
+            }
+        }
+
+        // Phase 1b: durable prepare records, one per write shard, in
+        // shard order — the order recovery replays in. A single-shard
+        // transaction takes the fast path: prepare and decision ride
+        // *one* batch and one sync — batch recovery is all-or-nothing,
+        // so "decision durable ⟹ prepare durable" still holds.
+        let write_shards = self.txns.mvcc.write_shards(&inner);
+        let by_shard = self.ops_by_shard(&ops, &write_shards);
+        let fast_path = by_shard.len() == 1;
+        for (logged, (si, shard_ops)) in by_shard.iter().enumerate() {
+            self.log(&DurableOp::TxnPrepare {
+                txn: inner.id.raw(),
+                shard: *si as u32,
+                ops: shard_ops.clone(),
+                ts: now,
+            });
+            self.txns.stats.incr("prepares_logged");
+            if crash == Some(TxnCrashPoint::AfterPrepare(logged + 1)) {
+                return crashed(self, root);
+            }
+        }
+        if !by_shard.is_empty() && !fast_path {
+            self.wal.sync();
+            self.txns.stats.incr("commit_syncs");
+        }
+        if crash == Some(TxnCrashPoint::AfterPrepareSync) {
+            return crashed(self, root);
+        }
+
+        // Phase 2: the decision. Its sync is the commit point.
+        let commit_ts = self.txns.mvcc.oracle().next(now);
+        if !by_shard.is_empty() {
+            self.log(&DurableOp::TxnDecision {
+                txn: inner.id.raw(),
+                commit: true,
+                commit_ts,
+                ts: now,
+            });
+            self.txns.stats.incr("decisions_logged");
+            if crash == Some(TxnCrashPoint::AfterDecisionAppend) {
+                return crashed(self, root);
+            }
+            self.wal.sync();
+            self.txns.stats.incr("commit_syncs");
+        }
+        if crash == Some(TxnCrashPoint::AfterDecisionSync) {
+            return crashed(self, root);
+        }
+
+        // Apply: install versions at the decision timestamp, replay the
+        // buffered ops into the engine in prepare-record order.
+        self.txns.mvcc.install(&inner, commit_ts);
+        for (_, shard_ops) in by_shard {
+            for op in shard_ops {
+                Self::replay(&mut self.engine, &mut self.ids, op);
+            }
+        }
+        self.txns.stats.incr("committed");
+        match write_shards.len() {
+            0 => self.txns.stats.incr("readonly_commits"),
+            1 => self.txns.stats.incr("single_shard_commits"),
+            _ => self.txns.stats.incr("cross_shard_commits"),
+        }
+        if let (Some(tr), Some(c)) = (&self.tracer, root) {
+            tr.event(c, "txn.commit", now, "ok");
+            tr.close(c.span, now, "committed");
+        }
+        Ok(Some(commit_ts))
+    }
+
+    /// Abort an open transaction explicitly (nothing was locked or
+    /// logged — begin/read/write touch no shared state).
+    pub fn abort_txn(&mut self, txn: MetaTxn, now: SimTime) {
+        self.txns.stats.incr("aborted_explicit");
+        if let (Some(tr), Some(c)) = (&self.tracer, txn.root) {
+            tr.event(c, "txn.abort", now, "explicit");
+            tr.close(c.span, now, "aborted");
+        }
+    }
+
+    /// Group `ops` by write shard, in `write_shards` (ascending) order,
+    /// preserving program order within each shard.
+    fn ops_by_shard(
+        &self,
+        ops: &[DurableOp],
+        write_shards: &[usize],
+    ) -> Vec<(usize, Vec<DurableOp>)> {
+        let n = self.txns.mvcc.shard_count();
+        write_shards
+            .iter()
+            .map(|&si| {
+                let shard_ops = ops
+                    .iter()
+                    .filter(|op| {
+                        mvcc_kv_for(op).is_some_and(|(key, _)| txn_route(&key, n) == si)
+                    })
+                    .cloned()
+                    .collect();
+                (si, shard_ops)
+            })
+            .collect()
+    }
+
+    /// The `core.txn.*` counters.
+    pub fn txn_stats(&self) -> &StatSet {
+        &self.txns.stats
+    }
+
+    /// Route the txn counters into a shared registry (merging whatever
+    /// was already recorded).
+    pub fn attach_txn_registry(&mut self, registry: &SharedRegistry) {
+        self.txns.stats.attach(registry);
+    }
+
+    /// Current oracle timestamp (every committed txn so far is ≤ this).
+    pub fn txn_current_ts(&self) -> u64 {
+        self.txns.mvcc.oracle().current()
+    }
+
+    /// Deterministic digest of the MVCC version chains (compared across
+    /// crash/recovery by the differential harness).
+    pub fn txn_digest(&self) -> u64 {
+        self.txns.mvcc.digest()
+    }
+
+    /// Garbage-collect version chains at `horizon`; versions dropped.
+    pub fn txn_gc(&mut self, horizon: u64) -> usize {
+        self.txns.mvcc.gc(horizon)
+    }
+
+    /// Prepared-but-undecided locks (0 whenever no commit is mid-flight
+    /// — a nonzero value after recovery would mean a leak).
+    pub fn txn_lock_count(&self) -> usize {
+        self.txns.mvcc.lock_count()
+    }
+
+    /// Live MVCC version count (GC pressure metric).
+    pub fn txn_version_count(&self) -> usize {
+        self.txns.mvcc.version_count()
+    }
+
+    /// Convenience retry loop: run `body` against fresh transactions
+    /// until it commits or `attempts` conflicts pass. Returns the commit
+    /// timestamp.
+    pub fn with_txn_retry(
+        &mut self,
+        now: SimTime,
+        attempts: usize,
+        mut body: impl FnMut(&mut Self, &mut MetaTxn),
+    ) -> MvResult<u64> {
+        let mut last = MvError::Conflict("zero attempts".into());
+        for _ in 0..attempts.max(1) {
+            let mut txn = self.txn(now);
+            body(self, &mut txn);
+            match self.commit_txn(txn, now) {
+                Ok(ts) => return Ok(ts),
+                Err(e) if e.is_retryable() => last = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::EntityKind;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn world(shards: usize, entities: usize) -> (DurableMetaverse, Vec<EntityId>) {
+        let mut dm = DurableMetaverse::with_defaults(shards);
+        let ids = (0..entities)
+            .map(|i| {
+                let id =
+                    dm.spawn(format!("e{i}"), EntityKind::Avatar, Point::new(i as f64, 0.0), t(1));
+                dm.update_attr(id, "gold", 100.0, t(1)).expect("live entity");
+                id
+            })
+            .collect();
+        dm.commit(t(1));
+        (dm, ids)
+    }
+
+    #[test]
+    fn trade_moves_value_atomically() {
+        let (mut dm, ids) = world(4, 8);
+        let mut txn = dm.txn(t(2));
+        let a = dm.txn_read_attr(&mut txn, ids[0], "gold").expect("seeded");
+        let b = dm.txn_read_attr(&mut txn, ids[5], "gold").expect("seeded");
+        txn.write_attr(ids[0], "gold", a - 30.0, t(2));
+        txn.write_attr(ids[5], "gold", b + 30.0, t(2));
+        let ts = dm.commit_txn(txn, t(2)).expect("no contention");
+        assert!(ts > 0);
+        // Engine state reflects the trade…
+        assert_eq!(dm.engine().entity(ids[0]).unwrap().attr("gold"), 70.0);
+        assert_eq!(dm.engine().entity(ids[5]).unwrap().attr("gold"), 130.0);
+        // …and so does a fresh transactional snapshot.
+        let mut check = dm.txn(t(3));
+        assert_eq!(dm.txn_read_attr(&mut check, ids[0], "gold"), Some(70.0));
+        assert_eq!(dm.txn_read_attr(&mut check, ids[5], "gold"), Some(130.0));
+        assert_eq!(dm.txn_lock_count(), 0);
+        assert_eq!(dm.txn_stats().get("committed"), 1);
+    }
+
+    #[test]
+    fn conflicting_trades_first_committer_wins() {
+        let (mut dm, ids) = world(4, 4);
+        let mut t1 = dm.txn(t(2));
+        let mut t2 = dm.txn(t(2));
+        let v1 = dm.txn_read_attr(&mut t1, ids[0], "gold").expect("seeded");
+        let v2 = dm.txn_read_attr(&mut t2, ids[0], "gold").expect("seeded");
+        t1.write_attr(ids[0], "gold", v1 - 10.0, t(2));
+        t2.write_attr(ids[0], "gold", v2 - 90.0, t(2));
+        assert!(dm.commit_txn(t1, t(2)).is_ok());
+        let err = dm.commit_txn(t2, t(2)).expect_err("second writer must abort");
+        assert!(err.is_retryable());
+        assert_eq!(dm.engine().entity(ids[0]).unwrap().attr("gold"), 90.0, "no double spend");
+        assert_eq!(dm.txn_stats().get("aborted_conflict"), 1);
+        assert_eq!(dm.txn_lock_count(), 0);
+    }
+
+    #[test]
+    fn serializable_rejects_stale_reads() {
+        let (mut dm, ids) = world(2, 2);
+        let mut reader = dm.txn(t(2));
+        // reader snapshots a's gold, then a concurrent txn changes it.
+        let seen = dm.txn_read_attr(&mut reader, ids[0], "gold").expect("seeded");
+        let mut w = dm.txn(t(2));
+        let cur = dm.txn_read_attr(&mut w, ids[0], "gold").expect("seeded");
+        w.write_attr(ids[0], "gold", cur + 1.0, t(2));
+        dm.commit_txn(w, t(2)).expect("first writer");
+        // reader writes somewhere else based on the stale read: rejected.
+        let mut update = dm.txn(t(2));
+        // (carry the read set over — same handle keeps reading)
+        update.write_attr(ids[1], "gold", seen * 2.0, t(2));
+        drop(update);
+        reader.write_attr(ids[1], "gold", seen * 2.0, t(2));
+        let err = dm.commit_txn(reader, t(2)).expect_err("stale read must abort");
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn committed_txns_survive_crash_and_recovery() {
+        let (mut dm, ids) = world(4, 6);
+        let mut txn = dm.txn(t(2));
+        let a = dm.txn_read_attr(&mut txn, ids[1], "gold").expect("seeded");
+        txn.write_attr(ids[1], "gold", a - 5.0, t(2));
+        txn.write_position(ids[2], Point::new(42.0, 7.0), t(2));
+        dm.commit_txn(txn, t(2)).expect("commit");
+        let engine_bytes = dm.state_encoding();
+        let chains = dm.txn_digest();
+
+        dm.crash_and_recover();
+        assert_eq!(dm.state_encoding(), engine_bytes, "engine byte-identical");
+        assert_eq!(dm.txn_digest(), chains, "version chains byte-identical");
+        assert_eq!(dm.txn_lock_count(), 0);
+        let mut check = dm.txn(t(3));
+        assert_eq!(dm.txn_read_attr(&mut check, ids[1], "gold"), Some(95.0));
+        assert_eq!(dm.txn_read_position(&mut check, ids[2]), Some(Point::new(42.0, 7.0)));
+    }
+
+    #[test]
+    fn indoubt_transactions_presume_abort() {
+        let (mut dm, ids) = world(4, 6);
+        let committed = {
+            let mut txn = dm.txn(t(2));
+            let a = dm.txn_read_attr(&mut txn, ids[0], "gold").expect("seeded");
+            txn.write_attr(ids[0], "gold", a + 1.0, t(2));
+            dm.commit_txn(txn, t(2)).expect("commit");
+            dm.state_encoding()
+        };
+        // A second txn dies after its prepares are durable but before
+        // any decision: the canonical in-doubt state. Pick a write set
+        // that genuinely spans two shards — a single-shard txn takes
+        // the one-sync fast path and its crash would lose the tail
+        // instead of leaving prepares in doubt.
+        let s1 = txn_route(&attr_key(ids[1], "gold"), 4);
+        let far = ids
+            .iter()
+            .copied()
+            .find(|&id| txn_route(&attr_key(id, "gold"), 4) != s1)
+            .expect("some entity routes to another shard");
+        let mut doomed = dm.txn(t(3));
+        let b = dm.txn_read_attr(&mut doomed, ids[1], "gold").expect("seeded");
+        doomed.write_attr(ids[1], "gold", b * 0.5, t(3));
+        doomed.write_attr(far, "gold", b * 2.0, t(3));
+        let r = dm
+            .commit_txn_crashing(doomed, t(3), Some(TxnCrashPoint::AfterPrepareSync))
+            .expect("crash injection is not an error");
+        assert_eq!(r, None, "the commit never finished");
+
+        dm.crash_and_recover();
+        assert_eq!(dm.state_encoding(), committed, "in-doubt txn fully absent");
+        assert_eq!(dm.txn_stats().get("indoubt_aborted"), 1);
+        assert_eq!(dm.txn_lock_count(), 0, "recovery leaves no locks");
+        // The world keeps working afterwards.
+        let mut after = dm.txn(t(4));
+        assert_eq!(dm.txn_read_attr(&mut after, ids[1], "gold"), Some(100.0));
+    }
+
+    #[test]
+    fn decision_synced_means_committed_even_if_apply_never_ran() {
+        let (mut dm, ids) = world(4, 4);
+        let mut txn = dm.txn(t(2));
+        let a = dm.txn_read_attr(&mut txn, ids[0], "gold").expect("seeded");
+        txn.write_attr(ids[0], "gold", a - 40.0, t(2));
+        txn.write_attr(ids[3], "gold", a + 40.0, t(2));
+        let r = dm
+            .commit_txn_crashing(txn, t(2), Some(TxnCrashPoint::AfterDecisionSync))
+            .expect("crash injection");
+        assert_eq!(r, None);
+        dm.crash_and_recover();
+        // Past the commit point: recovery must apply everything.
+        assert_eq!(dm.engine().entity(ids[0]).unwrap().attr("gold"), 60.0);
+        assert_eq!(dm.engine().entity(ids[3]).unwrap().attr("gold"), 140.0);
+        assert_eq!(dm.txn_stats().get("recovered_commits"), 1);
+        assert_eq!(dm.txn_lock_count(), 0);
+    }
+
+    #[test]
+    fn single_shard_commits_take_the_one_sync_fast_path() {
+        let (mut dm, ids) = world(4, 8);
+        let base = dm.txn_stats().get("commit_syncs");
+
+        // One write → one shard → one sync.
+        let mut solo = dm.txn(t(2));
+        let a = dm.txn_read_attr(&mut solo, ids[0], "gold").expect("seeded");
+        solo.write_attr(ids[0], "gold", a + 1.0, t(2));
+        dm.commit_txn(solo, t(2)).expect("commit");
+        assert_eq!(dm.txn_stats().get("commit_syncs"), base + 1, "fast path: one sync");
+        assert_eq!(dm.txn_stats().get("single_shard_commits"), 1);
+
+        // A write set spanning two shards → prepare sync + decision sync.
+        let s0 = txn_route(&attr_key(ids[0], "gold"), 4);
+        let far = ids
+            .iter()
+            .copied()
+            .find(|&id| txn_route(&attr_key(id, "gold"), 4) != s0)
+            .expect("some entity routes to another shard");
+        let mut cross = dm.txn(t(3));
+        let b = dm.txn_read_attr(&mut cross, ids[0], "gold").expect("seeded");
+        cross.write_attr(ids[0], "gold", b - 5.0, t(3));
+        cross.write_attr(far, "gold", b + 5.0, t(3));
+        dm.commit_txn(cross, t(3)).expect("commit");
+        assert_eq!(dm.txn_stats().get("commit_syncs"), base + 3, "2PC: two syncs");
+        assert_eq!(dm.txn_stats().get("cross_shard_commits"), 1);
+
+        // The fast path is still durable: everything survives recovery.
+        let bytes = dm.state_encoding();
+        dm.crash_and_recover();
+        assert_eq!(dm.state_encoding(), bytes);
+    }
+
+    #[test]
+    fn txn_spans_open_and_close_cleanly() {
+        let tracer = mv_obs::SharedTracer::new();
+        let (mut dm, ids) = world(2, 4);
+        dm.set_tracer(tracer.clone());
+        let mut txn = dm.txn(t(2));
+        let a = dm.txn_read_attr(&mut txn, ids[0], "gold").expect("seeded");
+        txn.write_attr(ids[0], "gold", a - 1.0, t(2));
+        txn.write_attr(ids[1], "gold", a + 1.0, t(2));
+        dm.commit_txn(txn, t(2)).expect("commit");
+        dm.commit(t(2));
+        assert_eq!(tracer.open_count(), 0, "no leaked spans");
+        let recs = tracer.records();
+        assert!(recs.iter().any(|r| r.name == "txn.begin" && r.status == "committed"));
+        assert!(recs.iter().any(|r| r.name == "txn.prepare" && r.status == "prepared"));
+        assert!(recs.iter().any(|r| r.name == "txn.commit"));
+
+        let doomed = dm.txn(t(3));
+        dm.abort_txn(doomed, t(3));
+        assert_eq!(tracer.open_count(), 0);
+        assert!(tracer
+            .records()
+            .iter()
+            .any(|r| r.name == "txn.begin" && r.status == "aborted"));
+    }
+
+    #[test]
+    fn retry_loop_resolves_contention() {
+        let (mut dm, ids) = world(2, 2);
+        // Pre-commit a conflicting write between begin and commit is hard
+        // to stage via the public retry API alone, so just check the
+        // happy path: one attempt, commits.
+        let ts = dm
+            .with_txn_retry(t(2), 3, |dm, txn| {
+                let v = dm.txn_read_attr(txn, ids[0], "gold").unwrap_or(0.0);
+                txn.write_attr(ids[0], "gold", v + 1.0, t(2));
+            })
+            .expect("commits within retries");
+        assert!(ts > 0);
+        assert_eq!(dm.engine().entity(ids[0]).unwrap().attr("gold"), 101.0);
+    }
+
+    #[test]
+    fn txn_gc_keeps_latest_state_readable() {
+        let (mut dm, ids) = world(2, 2);
+        for i in 0..10u64 {
+            let mut txn = dm.txn(t(2 + i));
+            txn.write_attr(ids[0], "gold", i as f64, t(2 + i));
+            dm.commit_txn(txn, t(2 + i)).expect("serial commits");
+        }
+        assert!(dm.txn_version_count() >= 10);
+        let dropped = dm.txn_gc(dm.txn_current_ts());
+        assert!(dropped >= 9, "old versions reclaimed, got {dropped}");
+        let mut check = dm.txn(t(20));
+        assert_eq!(dm.txn_read_attr(&mut check, ids[0], "gold"), Some(9.0));
+    }
+}

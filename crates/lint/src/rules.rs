@@ -80,6 +80,9 @@ pub const CATALOGUE: &[RuleSpec] = &[
             "crates/storage/src/codec.rs",
             "crates/net/src/reliable.rs",
             "crates/core/src/durable.rs",
+            "crates/core/src/txn.rs",
+            "crates/txn/src/mvcc.rs",
+            "crates/txn/src/sharded.rs",
         ],
         exclude: &[],
     },

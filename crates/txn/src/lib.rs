@@ -9,14 +9,20 @@
 //! on reducing network overhead for inter-data-center transactions can
 //! potentially help…"* (\[86\] is Carousel's single-round commit.)
 //!
-//! * [`mvcc`] — a multi-version store with snapshot-isolation
-//!   transactions (first-committer-wins write-write conflict detection);
+//! * [`mvcc`] — a multi-version store with snapshot-isolation and
+//!   serializable transactions (first-committer-wins write-write
+//!   conflict detection plus read-set validation), exposing a
+//!   prepare/install/release surface for two-phase commit;
+//! * [`sharded`] — shard routing over N stores with one shared
+//!   timestamp oracle, the transactional twin of `ShardedKv`;
 //! * [`distributed`] — a contention + latency simulation comparing
 //!   two-phase commit against a Carousel-style single-round protocol on
 //!   `mv-net` multi-DC topologies (experiment E6).
 
 pub mod distributed;
 pub mod mvcc;
+pub mod sharded;
 
 pub use distributed::{CommitProtocol, DistributedSim, SimParams, TxnReport};
-pub use mvcc::{MvccStore, Transaction};
+pub use mvcc::{IsolationLevel, MvccStore, Transaction};
+pub use sharded::{ShardRouter, ShardedMvcc};

@@ -1,17 +1,40 @@
-//! Multi-version concurrency control with snapshot isolation.
+//! Multi-version concurrency control with snapshot-isolation and
+//! serializable transactions.
 //!
 //! Each key keeps a version chain ordered by commit timestamp. A
 //! transaction reads as of its begin timestamp, buffers writes privately,
-//! and at commit validates first-committer-wins: if any written key has
-//! grown a version after the transaction began, the commit aborts. This
-//! is textbook SI — it prevents lost updates but (deliberately) permits
-//! write skew, and the tests pin down both behaviours.
+//! and records every key it read. Commit validation is
+//! first-committer-wins on the write set; under
+//! [`IsolationLevel::Serializable`] the read set is validated the same
+//! way (OCC backward validation), which upgrades SI to
+//! conflict-serializability — the committed history is equivalent to the
+//! serial execution in commit-timestamp order. Plain
+//! [`IsolationLevel::Snapshot`] deliberately permits write skew, and the
+//! tests pin down both behaviours.
+//!
+//! The store is interior-mutability-safe: every method takes `&self`
+//! (one `parking_lot::Mutex` around the chains), so N stores can sit
+//! behind shard routing and be driven from scoped threads — see
+//! [`crate::sharded::ShardedMvcc`]. Commit timestamps come from a shared
+//! [`TimestampOracle`] driven by the sim clock, so cross-shard
+//! transactions get one globally ordered timestamp.
+//!
+//! For two-phase commit the validate/install steps are exposed
+//! separately: [`MvccStore::prepare`] validates and write-locks a
+//! transaction's keys on this store (a prepared-but-undecided writer
+//! blocks conflicting preparers), [`MvccStore::install_prepared`]
+//! installs the versions at the coordinator's commit timestamp, and
+//! [`MvccStore::release_prepared`] backs a lock out on abort.
 
 use bytes::Bytes;
 use mv_common::hash::FastMap;
-use mv_common::id::TxnId;
+use mv_common::id::{IdGen, TxnId};
+use mv_common::time::{SimTime, TimestampOracle};
 use mv_common::{MvError, MvResult};
-use std::collections::BTreeMap;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::Hasher as _;
+use std::sync::Arc;
 
 /// A committed version.
 #[derive(Debug, Clone)]
@@ -20,130 +43,388 @@ struct Version {
     value: Option<Bytes>, // None = deletion
 }
 
-/// The store.
-#[derive(Debug, Default)]
-pub struct MvccStore {
-    /// key → version chain (ascending commit_ts).
-    chains: FastMap<Bytes, Vec<Version>>,
-    /// Logical clock; commit timestamps are allocated from it.
-    clock: u64,
-    next_txn: u64,
-    /// Commits performed.
-    pub commits: u64,
-    /// Aborts due to write-write conflicts.
-    pub aborts: u64,
+/// What a transaction's commit must defend against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IsolationLevel {
+    /// First-committer-wins on the write set only: prevents lost
+    /// updates, permits write skew (classic SI).
+    #[default]
+    Snapshot,
+    /// Additionally validates the read set, rejecting any transaction
+    /// whose reads were overwritten after its snapshot: committed
+    /// transactions are equivalent to the serial execution in
+    /// commit-timestamp order.
+    Serializable,
 }
 
-/// An open transaction handle.
+/// Mutex-guarded store state.
+#[derive(Debug, Default)]
+struct Inner {
+    /// key → version chain (ascending commit_ts).
+    chains: FastMap<Bytes, Vec<Version>>,
+    /// Prepared-but-undecided write locks (2PC phase 1).
+    locks: FastMap<Bytes, TxnId>,
+    commits: u64,
+    aborts: u64,
+}
+
+/// The store. All methods take `&self`; see the module docs.
+#[derive(Debug, Default)]
+pub struct MvccStore {
+    inner: Mutex<Inner>,
+    oracle: Arc<TimestampOracle>,
+    ids: IdGen,
+    level: IsolationLevel,
+}
+
+/// An open transaction handle. Writes are buffered privately; reads are
+/// recorded for serializable validation.
 #[derive(Debug)]
 pub struct Transaction {
     /// Identifier.
     pub id: TxnId,
     begin_ts: u64,
+    reads: BTreeSet<Bytes>,
     writes: BTreeMap<Bytes, Option<Bytes>>,
 }
 
+impl Transaction {
+    /// A transaction snapshotted at `begin_ts` (normally built by
+    /// [`MvccStore::begin`] / `ShardedMvcc::begin`).
+    pub fn with_snapshot(id: TxnId, begin_ts: u64) -> Transaction {
+        Transaction { id, begin_ts, reads: BTreeSet::new(), writes: BTreeMap::new() }
+    }
+
+    /// The snapshot timestamp.
+    pub fn begin_ts(&self) -> u64 {
+        self.begin_ts
+    }
+
+    /// Buffer a write.
+    pub fn write(&mut self, key: impl Into<Bytes>, value: impl Into<Bytes>) {
+        self.writes.insert(key.into(), Some(value.into()));
+    }
+
+    /// Buffer a delete.
+    pub fn delete(&mut self, key: impl Into<Bytes>) {
+        self.writes.insert(key.into(), None);
+    }
+
+    /// Record a read (done automatically by [`MvccStore::read`]).
+    pub fn record_read(&mut self, key: impl Into<Bytes>) {
+        self.reads.insert(key.into());
+    }
+
+    /// Keys read so far, in key order.
+    pub fn read_keys(&self) -> impl Iterator<Item = &Bytes> + '_ {
+        self.reads.iter()
+    }
+
+    /// Buffered writes, in key order (`None` = delete).
+    pub fn write_set(&self) -> impl Iterator<Item = (&Bytes, &Option<Bytes>)> + '_ {
+        self.writes.iter()
+    }
+
+    /// Number of buffered writes.
+    pub fn write_count(&self) -> usize {
+        self.writes.len()
+    }
+}
+
 impl MvccStore {
-    /// An empty store.
+    /// An empty store: snapshot isolation, private oracle.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Begin a transaction snapshotted at the current clock.
-    pub fn begin(&mut self) -> Transaction {
-        let id = TxnId::new(self.next_txn);
-        self.next_txn += 1;
-        Transaction { id, begin_ts: self.clock, writes: BTreeMap::new() }
+    /// An empty store at the given isolation level.
+    pub fn with_level(level: IsolationLevel) -> Self {
+        MvccStore { level, ..Self::default() }
     }
 
-    /// Read `key` inside `txn` (snapshot + read-your-writes).
-    pub fn read(&self, txn: &Transaction, key: &[u8]) -> Option<Bytes> {
+    /// An empty store sharing `oracle` (how shards of one logical
+    /// database agree on timestamps).
+    pub fn with_oracle(level: IsolationLevel, oracle: Arc<TimestampOracle>) -> Self {
+        MvccStore { level, oracle, ..Self::default() }
+    }
+
+    /// The timestamp oracle.
+    pub fn oracle(&self) -> &Arc<TimestampOracle> {
+        &self.oracle
+    }
+
+    /// The isolation level commits validate at.
+    pub fn level(&self) -> IsolationLevel {
+        self.level
+    }
+
+    /// Begin a transaction snapshotted at the oracle's current
+    /// timestamp.
+    pub fn begin(&self) -> Transaction {
+        Transaction::with_snapshot(self.ids.next(), self.oracle.current())
+    }
+
+    /// Read `key` inside `txn` (snapshot + read-your-writes), recording
+    /// the read for serializable validation.
+    pub fn read(&self, txn: &mut Transaction, key: &[u8]) -> Option<Bytes> {
+        self.read_versioned(txn, key).flatten()
+    }
+
+    /// [`Self::read`] distinguishing "no chain at all" (outer `None`)
+    /// from "visible value or tombstone" (outer `Some`). Callers
+    /// layering MVCC over a non-versioned store use the outer `None` to
+    /// fall back.
+    pub fn read_versioned(&self, txn: &mut Transaction, key: &[u8]) -> Option<Option<Bytes>> {
+        txn.reads.insert(Bytes::copy_from_slice(key));
         if let Some(buffered) = txn.writes.get(key) {
-            return buffered.clone();
+            return Some(buffered.clone());
         }
-        self.read_at(key, txn.begin_ts)
+        let g = self.inner.lock();
+        let chain = g.chains.get(key)?;
+        Some(
+            chain
+                .iter()
+                .rev()
+                .find(|v| v.commit_ts <= txn.begin_ts)
+                .and_then(|v| v.value.clone()),
+        )
     }
 
     /// Read the newest version of `key` visible at timestamp `ts`.
     pub fn read_at(&self, key: &[u8], ts: u64) -> Option<Bytes> {
-        let chain = self.chains.get(key)?;
-        chain
-            .iter()
-            .rev()
-            .find(|v| v.commit_ts <= ts)
-            .and_then(|v| v.value.clone())
+        let g = self.inner.lock();
+        let chain = g.chains.get(key)?;
+        chain.iter().rev().find(|v| v.commit_ts <= ts).and_then(|v| v.value.clone())
     }
 
     /// Latest committed value (auto-commit read).
     pub fn read_latest(&self, key: &[u8]) -> Option<Bytes> {
-        self.read_at(key, self.clock)
+        self.read_at(key, self.oracle.current())
     }
 
     /// Buffer a write inside the transaction.
     pub fn write(&self, txn: &mut Transaction, key: impl Into<Bytes>, value: impl Into<Bytes>) {
-        txn.writes.insert(key.into(), Some(value.into()));
+        txn.write(key, value);
     }
 
     /// Buffer a delete inside the transaction.
     pub fn delete(&self, txn: &mut Transaction, key: impl Into<Bytes>) {
-        txn.writes.insert(key.into(), None);
+        txn.delete(key);
     }
 
-    /// Commit: first-committer-wins validation, then install versions at
-    /// a fresh commit timestamp. Returns the commit timestamp.
-    pub fn commit(&mut self, txn: Transaction) -> MvResult<u64> {
-        for key in txn.writes.keys() {
-            if let Some(chain) = self.chains.get(key) {
-                if let Some(last) = chain.last() {
-                    if last.commit_ts > txn.begin_ts {
-                        self.aborts += 1;
-                        return Err(MvError::Conflict(format!(
-                            "write-write conflict on {:?} ({} > begin {})",
-                            key, last.commit_ts, txn.begin_ts
-                        )));
-                    }
-                }
-            }
+    /// Commit at sim time `now`: validate (per the isolation level),
+    /// then install versions at a fresh oracle timestamp, which is
+    /// returned.
+    pub fn commit_at(&self, txn: Transaction, now: SimTime) -> MvResult<u64> {
+        let mut g = self.inner.lock();
+        if let Err(e) = validate(&g, self.level, &txn, txn.read_keys(), txn.writes.keys()) {
+            g.aborts += 1;
+            return Err(e);
         }
-        self.clock += 1;
-        let commit_ts = self.clock;
+        let commit_ts = self.oracle.next(now);
         for (key, value) in txn.writes {
-            self.chains
-                .entry(key)
-                .or_default()
-                .push(Version { commit_ts, value });
+            g.chains.entry(key).or_default().push(Version { commit_ts, value });
         }
-        self.commits += 1;
+        g.commits += 1;
         Ok(commit_ts)
     }
 
-    /// Abort (drop) a transaction explicitly.
-    pub fn abort(&mut self, txn: Transaction) {
-        drop(txn);
-        self.aborts += 1;
+    /// [`Self::commit_at`] at the sim origin (the oracle still advances
+    /// strictly, so pure logical-clock use works unchanged).
+    pub fn commit(&self, txn: Transaction) -> MvResult<u64> {
+        self.commit_at(txn, SimTime::ZERO)
     }
 
-    /// Garbage-collect versions no snapshot at or after `horizon` can see
-    /// (keeps the newest version at or below the horizon per key).
-    pub fn gc(&mut self, horizon: u64) -> usize {
+    /// Abort (drop) a transaction explicitly.
+    pub fn abort(&self, txn: Transaction) {
+        drop(txn);
+        self.inner.lock().aborts += 1;
+    }
+
+    // ---- two-phase commit surface ----------------------------------
+
+    /// Phase 1 for the subset of `txn` this store owns: validate
+    /// `reads`/`writes` (slices of the transaction's key sets) and
+    /// write-lock `writes`. A prepared key conflicts with every other
+    /// preparer until decided. On `Err` nothing is locked here.
+    pub fn prepare(
+        &self,
+        txn: &Transaction,
+        reads: &[Bytes],
+        writes: &[Bytes],
+    ) -> MvResult<()> {
+        let mut g = self.inner.lock();
+        if let Err(e) = validate(&g, self.level, txn, reads.iter(), writes.iter()) {
+            g.aborts += 1;
+            return Err(e);
+        }
+        for key in writes {
+            g.locks.insert(key.clone(), txn.id);
+        }
+        Ok(())
+    }
+
+    /// Phase 2 (commit): install `writes` at `commit_ts` and release the
+    /// locks `txn` holds on them. The coordinator allocates `commit_ts`
+    /// from the shared oracle once per transaction.
+    pub fn install_prepared(
+        &self,
+        txn_id: TxnId,
+        writes: &[(Bytes, Option<Bytes>)],
+        commit_ts: u64,
+    ) {
+        let mut g = self.inner.lock();
+        for (key, value) in writes {
+            if g.locks.get(key) == Some(&txn_id) {
+                g.locks.remove(key);
+            }
+            g.chains
+                .entry(key.clone())
+                .or_default()
+                .push(Version { commit_ts, value: value.clone() });
+        }
+        g.commits += 1;
+    }
+
+    /// Phase 2 (abort): release the locks `txn` holds on `writes`.
+    pub fn release_prepared(&self, txn_id: TxnId, writes: &[Bytes]) {
+        let mut g = self.inner.lock();
+        for key in writes {
+            if g.locks.get(key) == Some(&txn_id) {
+                g.locks.remove(key);
+            }
+        }
+        g.aborts += 1;
+    }
+
+    /// Install one version directly at `commit_ts`, bypassing
+    /// validation — the recovery path replaying decided transactions
+    /// from the log. Advances the oracle past `commit_ts`.
+    pub fn install_version(&self, key: impl Into<Bytes>, value: Option<Bytes>, commit_ts: u64) {
+        self.oracle.advance_past(commit_ts);
+        let mut g = self.inner.lock();
+        g.chains.entry(key.into()).or_default().push(Version { commit_ts, value });
+    }
+
+    /// Locks currently held (prepared-but-undecided keys).
+    pub fn lock_count(&self) -> usize {
+        self.inner.lock().locks.len()
+    }
+
+    // ---- maintenance ------------------------------------------------
+
+    /// Garbage-collect versions no snapshot at or after `horizon` can
+    /// distinguish: per key, everything below the newest version at or
+    /// below the horizon goes, and if that survivor is itself a
+    /// tombstone it goes too (a snapshot ≥ horizon reads "absent" either
+    /// way). Keys left with no versions are dropped entirely, so
+    /// deleted-key garbage is actually reclaimed. Returns the number of
+    /// versions dropped.
+    pub fn gc(&self, horizon: u64) -> usize {
+        let mut g = self.inner.lock();
         let mut dropped = 0;
-        for chain in self.chains.values_mut() {
+        for chain in g.chains.values_mut() {
             // Index of the newest version visible at the horizon.
-            let keep_from = chain
-                .iter()
-                .rposition(|v| v.commit_ts <= horizon)
-                .unwrap_or(0);
+            let keep_from = chain.iter().rposition(|v| v.commit_ts <= horizon).unwrap_or(0);
             dropped += keep_from;
             chain.drain(..keep_from);
+            let survivor_is_dead_tombstone = chain
+                .first()
+                .is_some_and(|v| v.commit_ts <= horizon && v.value.is_none());
+            if survivor_is_dead_tombstone {
+                chain.remove(0);
+                dropped += 1;
+            }
         }
-        self.chains.retain(|_, c| !c.is_empty());
+        g.chains.retain(|_, c| !c.is_empty());
         dropped
     }
 
     /// Number of live keys (with any version).
     pub fn key_count(&self) -> usize {
-        self.chains.len()
+        self.inner.lock().chains.len()
     }
+
+    /// Total versions across all chains.
+    pub fn version_count(&self) -> usize {
+        self.inner.lock().chains.values().map(Vec::len).sum()
+    }
+
+    /// Commits performed.
+    pub fn commits(&self) -> u64 {
+        self.inner.lock().commits
+    }
+
+    /// Aborts (validation failures + explicit).
+    pub fn aborts(&self) -> u64 {
+        self.inner.lock().aborts
+    }
+
+    /// Deterministic digest of the committed state: chains folded in
+    /// key order, versions in chain order. Two stores with equal
+    /// digests hold the same versioned history — the differential
+    /// harness compares these across crash/recovery.
+    pub fn digest(&self) -> u64 {
+        let g = self.inner.lock();
+        let mut keys: Vec<&Bytes> = g.chains.keys().collect();
+        keys.sort_unstable();
+        let mut h = mv_common::hash::FxHasher::default();
+        for key in keys {
+            h.write(key);
+            if let Some(chain) = g.chains.get(key) {
+                for v in chain {
+                    h.write_u64(v.commit_ts);
+                    match &v.value {
+                        Some(b) => {
+                            h.write_u8(1);
+                            h.write(b);
+                        }
+                        None => h.write_u8(0),
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Shared validation: first-committer-wins over `writes`, plus the same
+/// check over `reads` under [`IsolationLevel::Serializable`]. A key
+/// locked by another prepared transaction conflicts in both roles.
+fn validate<'a>(
+    inner: &Inner,
+    level: IsolationLevel,
+    txn: &Transaction,
+    reads: impl Iterator<Item = &'a Bytes>,
+    writes: impl Iterator<Item = &'a Bytes>,
+) -> MvResult<()> {
+    let check = |key: &Bytes, role: &str| -> MvResult<()> {
+        if let Some(owner) = inner.locks.get(key) {
+            if *owner != txn.id {
+                return Err(MvError::Conflict(format!(
+                    "{role} key {key:?} is prepare-locked by {owner}"
+                )));
+            }
+        }
+        if let Some(last) = inner.chains.get(key).and_then(|c| c.last()) {
+            if last.commit_ts > txn.begin_ts {
+                return Err(MvError::Conflict(format!(
+                    "{role}-write conflict on {key:?} ({} > begin {})",
+                    last.commit_ts, txn.begin_ts
+                )));
+            }
+        }
+        Ok(())
+    };
+    for key in writes {
+        check(key, "write")?;
+    }
+    if level == IsolationLevel::Serializable {
+        for key in reads {
+            check(key, "read")?;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -156,10 +437,10 @@ mod tests {
 
     #[test]
     fn read_your_writes_and_commit() {
-        let mut db = MvccStore::new();
+        let db = MvccStore::new();
         let mut t = db.begin();
         db.write(&mut t, b("k"), b("v1"));
-        assert_eq!(db.read(&t, b"k"), Some(b("v1")));
+        assert_eq!(db.read(&mut t, b"k"), Some(b("v1")));
         assert_eq!(db.read_latest(b"k"), None, "uncommitted writes invisible");
         db.commit(t).unwrap();
         assert_eq!(db.read_latest(b"k"), Some(b("v1")));
@@ -167,24 +448,24 @@ mod tests {
 
     #[test]
     fn snapshot_reads_ignore_later_commits() {
-        let mut db = MvccStore::new();
+        let db = MvccStore::new();
         let mut t0 = db.begin();
         db.write(&mut t0, b("k"), b("old"));
         db.commit(t0).unwrap();
 
-        let reader = db.begin();
+        let mut reader = db.begin();
         let mut writer = db.begin();
         db.write(&mut writer, b("k"), b("new"));
         db.commit(writer).unwrap();
 
         // The reader still sees the old snapshot.
-        assert_eq!(db.read(&reader, b"k"), Some(b("old")));
+        assert_eq!(db.read(&mut reader, b"k"), Some(b("old")));
         assert_eq!(db.read_latest(b"k"), Some(b("new")));
     }
 
     #[test]
     fn lost_update_is_prevented() {
-        let mut db = MvccStore::new();
+        let db = MvccStore::new();
         let mut init = db.begin();
         db.write(&mut init, b("counter"), b("0"));
         db.commit(init).unwrap();
@@ -196,14 +477,14 @@ mod tests {
         assert!(db.commit(t1).is_ok());
         let err = db.commit(t2).unwrap_err();
         assert!(err.is_retryable());
-        assert_eq!(db.aborts, 1);
+        assert_eq!(db.aborts(), 1);
     }
 
     #[test]
     fn write_skew_is_permitted_under_si() {
         // The classic SI anomaly: two txns each read the other's key and
         // write their own — both commit because write sets are disjoint.
-        let mut db = MvccStore::new();
+        let db = MvccStore::new();
         let mut init = db.begin();
         db.write(&mut init, b("oncall_alice"), b("yes"));
         db.write(&mut init, b("oncall_bob"), b("yes"));
@@ -211,8 +492,8 @@ mod tests {
 
         let mut t1 = db.begin();
         let mut t2 = db.begin();
-        assert_eq!(db.read(&t1, b"oncall_bob"), Some(b("yes")));
-        assert_eq!(db.read(&t2, b"oncall_alice"), Some(b("yes")));
+        assert_eq!(db.read(&mut t1, b"oncall_bob"), Some(b("yes")));
+        assert_eq!(db.read(&mut t2, b"oncall_alice"), Some(b("yes")));
         db.write(&mut t1, b("oncall_alice"), b("no"));
         db.write(&mut t2, b("oncall_bob"), b("no"));
         assert!(db.commit(t1).is_ok());
@@ -220,51 +501,227 @@ mod tests {
     }
 
     #[test]
+    fn write_skew_is_rejected_under_serializable() {
+        // Same history as above, but the second committer's read of
+        // `oncall_alice` was overwritten after its snapshot: read-set
+        // validation rejects it.
+        let db = MvccStore::with_level(IsolationLevel::Serializable);
+        let mut init = db.begin();
+        db.write(&mut init, b("oncall_alice"), b("yes"));
+        db.write(&mut init, b("oncall_bob"), b("yes"));
+        db.commit(init).unwrap();
+
+        let mut t1 = db.begin();
+        let mut t2 = db.begin();
+        assert_eq!(db.read(&mut t1, b"oncall_bob"), Some(b("yes")));
+        assert_eq!(db.read(&mut t2, b"oncall_alice"), Some(b("yes")));
+        db.write(&mut t1, b("oncall_alice"), b("no"));
+        db.write(&mut t2, b("oncall_bob"), b("no"));
+        assert!(db.commit(t1).is_ok());
+        let err = db.commit(t2).unwrap_err();
+        assert!(err.is_retryable(), "write skew must abort: {err}");
+    }
+
+    #[test]
+    fn serializable_read_only_transactions_always_commit() {
+        let db = MvccStore::with_level(IsolationLevel::Serializable);
+        let mut init = db.begin();
+        db.write(&mut init, b("k"), b("v"));
+        db.commit(init).unwrap();
+        let mut reader = db.begin();
+        assert_eq!(db.read(&mut reader, b"k"), Some(b("v")));
+        // A writer commits after the reader's snapshot…
+        let mut w = db.begin();
+        db.write(&mut w, b("unrelated"), b("x"));
+        db.commit(w).unwrap();
+        // …but the reader's read set is untouched, so it commits.
+        assert!(db.commit(reader).is_ok());
+    }
+
+    #[test]
     fn deletes_are_versioned() {
-        let mut db = MvccStore::new();
+        let db = MvccStore::new();
         let mut t0 = db.begin();
         db.write(&mut t0, b("k"), b("v"));
         db.commit(t0).unwrap();
-        let reader = db.begin();
+        let mut reader = db.begin();
         let mut t1 = db.begin();
         db.delete(&mut t1, b("k"));
         db.commit(t1).unwrap();
         assert_eq!(db.read_latest(b"k"), None);
-        assert_eq!(db.read(&reader, b"k"), Some(b("v")), "old snapshot still sees it");
+        assert_eq!(db.read(&mut reader, b"k"), Some(b("v")), "old snapshot still sees it");
     }
 
     #[test]
     fn explicit_abort_discards_writes() {
-        let mut db = MvccStore::new();
+        let db = MvccStore::new();
         let mut t = db.begin();
         db.write(&mut t, b("k"), b("v"));
         db.abort(t);
         assert_eq!(db.read_latest(b"k"), None);
-        assert_eq!(db.aborts, 1);
+        assert_eq!(db.aborts(), 1);
     }
 
     #[test]
     fn gc_trims_invisible_versions() {
-        let mut db = MvccStore::new();
+        let db = MvccStore::new();
         for i in 0..10 {
             let mut t = db.begin();
             db.write(&mut t, b("k"), Bytes::from(format!("v{i}")));
             db.commit(t).unwrap();
         }
-        let horizon = db.clock;
+        let horizon = db.oracle().current();
         let dropped = db.gc(horizon);
         assert_eq!(dropped, 9);
         assert_eq!(db.read_latest(b"k"), Some(b("v9")));
     }
 
     #[test]
+    fn gc_reclaims_dead_tombstones() {
+        let db = MvccStore::new();
+        let mut t0 = db.begin();
+        db.write(&mut t0, b("k"), b("v"));
+        db.commit(t0).unwrap();
+        let mut t1 = db.begin();
+        db.delete(&mut t1, b("k"));
+        db.commit(t1).unwrap();
+        assert_eq!(db.key_count(), 1, "tombstone keeps the key alive pre-GC");
+        let dropped = db.gc(db.oracle().current());
+        assert_eq!(dropped, 2, "the overwritten version and the dead tombstone");
+        assert_eq!(db.key_count(), 0, "deleted-key garbage reclaimed");
+        assert_eq!(db.read_latest(b"k"), None);
+    }
+
+    #[test]
     fn conflict_detection_is_per_key() {
-        let mut db = MvccStore::new();
+        let db = MvccStore::new();
         let mut t1 = db.begin();
         let mut t2 = db.begin();
         db.write(&mut t1, b("a"), b("1"));
         db.write(&mut t2, b("b"), b("2"));
         assert!(db.commit(t1).is_ok());
         assert!(db.commit(t2).is_ok(), "disjoint write sets never conflict");
+    }
+
+    #[test]
+    fn prepare_locks_block_conflicting_preparers_until_decided() {
+        let db = MvccStore::new();
+        let mut t1 = db.begin();
+        let mut t2 = db.begin();
+        db.write(&mut t1, b("k"), b("1"));
+        db.write(&mut t2, b("k"), b("2"));
+        let w1: Vec<Bytes> = t1.write_set().map(|(k, _)| k.clone()).collect();
+        let w2: Vec<Bytes> = t2.write_set().map(|(k, _)| k.clone()).collect();
+        db.prepare(&t1, &[], &w1).unwrap();
+        assert_eq!(db.lock_count(), 1);
+        let err = db.prepare(&t2, &[], &w2).unwrap_err();
+        assert!(err.to_string().contains("prepare-locked"), "{err}");
+
+        // Abort path releases the lock; t2 can then prepare and commit.
+        db.release_prepared(t1.id, &w1);
+        assert_eq!(db.lock_count(), 0);
+        db.prepare(&t2, &[], &w2).unwrap();
+        let writes: Vec<(Bytes, Option<Bytes>)> =
+            t2.write_set().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let ts = db.oracle().next(SimTime::ZERO);
+        db.install_prepared(t2.id, &writes, ts);
+        assert_eq!(db.lock_count(), 0);
+        assert_eq!(db.read_latest(b"k"), Some(b("2")));
+    }
+
+    /// The satellite claim: `begin`/`commit` are `&self` and safe to
+    /// drive from concurrent threads; commit timestamps come out
+    /// strictly ordered and every transaction either commits or aborts.
+    #[test]
+    fn concurrent_begin_commit_ordering() {
+        let db = std::sync::Arc::new(MvccStore::new());
+        const THREADS: usize = 4;
+        const PER: usize = 200;
+        let results: Vec<MvResult<u64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|ti| {
+                    let db = std::sync::Arc::clone(&db);
+                    s.spawn(move || {
+                        (0..PER)
+                            .map(|i| {
+                                let mut t = db.begin();
+                                // Threads share a small hot set, so some
+                                // first-committer-wins aborts must occur.
+                                let key = format!("k{}", i % 8);
+                                db.write(&mut t, Bytes::from(key), Bytes::from(vec![ti as u8]));
+                                db.commit(t)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("no panic")).collect()
+        });
+        let mut commit_timestamps: Vec<u64> =
+            results.iter().filter_map(|r| r.as_ref().ok().copied()).collect();
+        let committed = commit_timestamps.len() as u64;
+        let aborted = (results.len() as u64) - committed;
+        assert_eq!(db.commits(), committed);
+        assert_eq!(db.aborts(), aborted);
+        commit_timestamps.sort_unstable();
+        commit_timestamps.dedup();
+        assert_eq!(commit_timestamps.len() as u64, committed, "commit timestamps are unique");
+        assert!(committed >= 1, "something must commit");
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Satellite property: GC at horizon `h` never changes
+        /// `read_at(_, ts)` for any `ts ≥ h`, across arbitrary committed
+        /// histories with overwrites and deletes.
+        #[test]
+        fn gc_preserves_reads_at_or_after_the_horizon(
+            ops in proptest::collection::vec((0u8..2, 0u8..6, 0u8..200), 1..60),
+            horizon_frac in 0.0f64..1.0,
+        ) {
+            let db = MvccStore::new();
+            let keys: Vec<Bytes> = (0..6).map(|i| Bytes::from(format!("key{i}"))).collect();
+            let mut commit_ts = Vec::new();
+            for (op, ki, val) in &ops {
+                let mut t = db.begin();
+                let key = keys[*ki as usize].clone();
+                if *op == 0 {
+                    db.write(&mut t, key, Bytes::from(vec![*val]));
+                } else {
+                    db.delete(&mut t, key);
+                }
+                commit_ts.push(db.commit(t).expect("serial commits never conflict"));
+            }
+            let last = *commit_ts.last().expect("at least one op");
+            let h_index = ((commit_ts.len() - 1) as f64 * horizon_frac) as usize;
+            let horizon = commit_ts[h_index];
+            // Probe every key at every timestamp ≥ horizon (plus the
+            // far future) before and after GC.
+            let probe_points: Vec<u64> = commit_ts
+                .iter()
+                .copied()
+                .filter(|ts| *ts >= horizon)
+                .chain([last + 1])
+                .collect();
+            let probe = |db: &MvccStore| -> Vec<Option<Bytes>> {
+                keys.iter()
+                    .flat_map(|k| probe_points.iter().map(|ts| db.read_at(k, *ts)))
+                    .collect()
+            };
+            let before = probe(&db);
+            let versions_before = db.version_count();
+            let dropped = db.gc(horizon);
+            let after = probe(&db);
+            prop_assert_eq!(before, after, "GC changed a visible read");
+            prop_assert_eq!(db.version_count(), versions_before - dropped);
+            // GC at the newest timestamp reclaims every key whose
+            // visible state is "deleted".
+            db.gc(last);
+            let live = keys.iter().filter(|k| db.read_at(k, last).is_some()).count();
+            prop_assert_eq!(db.key_count(), live, "tombstone-only chains must be dropped");
+        }
     }
 }

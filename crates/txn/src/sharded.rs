@@ -1,0 +1,354 @@
+//! Shard routing over N [`MvccStore`]s with one shared timestamp
+//! oracle — the transactional twin of `mv-storage`'s `ShardedKv`.
+//!
+//! A transaction spans shards freely: reads route key-by-key, and
+//! commit runs the two-phase surface exposed by [`MvccStore`] —
+//! validate + write-lock on every touched shard, then install at a
+//! single oracle timestamp (or release on abort). The caller owning a
+//! durable log (see `mv-core`'s `DurableMetaverse::txn`) interleaves
+//! its prepare/decision records between those steps; callers without
+//! one get the same atomicity from [`ShardedMvcc::commit_at`] because
+//! the whole sequence runs under this process's control.
+//!
+//! Routing is a caller-supplied pure function so the MVCC shards can be
+//! aligned with whatever partitioning the embedding store uses (the
+//! engine passes `ShardedKv`'s hash so version chains and KV rows for
+//! one entity land on the same shard index).
+
+use crate::mvcc::{IsolationLevel, MvccStore, Transaction};
+use bytes::Bytes;
+use mv_common::hash::fx_hash_one;
+use mv_common::id::{IdGen, TxnId};
+use mv_common::time::{SimTime, TimestampOracle};
+use mv_common::MvResult;
+use std::sync::Arc;
+
+/// A pure key → shard-index routing function. Must return a value in
+/// `0..shards` for every key.
+pub type ShardRouter = fn(&[u8], usize) -> usize;
+
+/// The default router: Fx hash of the whole key.
+pub fn fx_router(key: &[u8], shards: usize) -> usize {
+    (fx_hash_one(&key) % shards.max(1) as u64) as usize
+}
+
+/// N MVCC stores behind a router, sharing one oracle. See the module
+/// docs.
+///
+/// Shard 0 lives in its own field so "at least one shard" is a
+/// structural guarantee: every routed access stays total (panic-free)
+/// without a checked fallback that could fail.
+#[derive(Debug)]
+pub struct ShardedMvcc {
+    head: MvccStore,
+    rest: Vec<MvccStore>,
+    oracle: Arc<TimestampOracle>,
+    router: ShardRouter,
+    ids: IdGen,
+}
+
+impl ShardedMvcc {
+    /// `shards` stores (at least one) at `level`, routed by `router`.
+    pub fn new(shards: usize, level: IsolationLevel, router: ShardRouter) -> Self {
+        let n = shards.max(1);
+        let oracle = Arc::new(TimestampOracle::new());
+        ShardedMvcc {
+            head: MvccStore::with_oracle(level, Arc::clone(&oracle)),
+            rest: (1..n).map(|_| MvccStore::with_oracle(level, Arc::clone(&oracle))).collect(),
+            oracle,
+            router,
+            ids: IdGen::new(),
+        }
+    }
+
+    /// The shared oracle.
+    pub fn oracle(&self) -> &Arc<TimestampOracle> {
+        &self.oracle
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        1 + self.rest.len()
+    }
+
+    /// The shard `key` routes to.
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        (self.router)(key, self.shard_count()).min(self.rest.len())
+    }
+
+    /// Direct access to one shard's store (diagnostics, recovery).
+    pub fn shard(&self, i: usize) -> Option<&MvccStore> {
+        match i.checked_sub(1) {
+            None => Some(&self.head),
+            Some(r) => self.rest.get(r),
+        }
+    }
+
+    /// All shard stores, in shard order.
+    fn stores(&self) -> impl Iterator<Item = &MvccStore> {
+        std::iter::once(&self.head).chain(self.rest.iter())
+    }
+
+    /// Begin a transaction snapshotted at the oracle's current
+    /// timestamp. The handle works across every shard.
+    pub fn begin(&self) -> Transaction {
+        Transaction::with_snapshot(self.ids.next(), self.oracle.current())
+    }
+
+    /// Read `key` inside `txn`, routed to its shard.
+    pub fn read(&self, txn: &mut Transaction, key: &[u8]) -> Option<Bytes> {
+        self.store_for(key).read(txn, key)
+    }
+
+    /// [`MvccStore::read_versioned`] routed to `key`'s shard.
+    pub fn read_versioned(&self, txn: &mut Transaction, key: &[u8]) -> Option<Option<Bytes>> {
+        self.store_for(key).read_versioned(txn, key)
+    }
+
+    /// Read the newest version of `key` visible at `ts`.
+    pub fn read_at(&self, key: &[u8], ts: u64) -> Option<Bytes> {
+        self.store_for(key).read_at(key, ts)
+    }
+
+    /// Latest committed value of `key`.
+    pub fn read_latest(&self, key: &[u8]) -> Option<Bytes> {
+        self.read_at(key, self.oracle.current())
+    }
+
+    /// Shard indices `txn` must prepare on: every shard holding a write
+    /// (these get durable prepare records) plus, under serializable
+    /// validation, every shard holding a read. Sorted ascending so lock
+    /// acquisition order is deterministic (no deadlock between
+    /// concurrent preparers).
+    pub fn participants(&self, txn: &Transaction) -> Vec<usize> {
+        let mut out: Vec<usize> = txn.write_set().map(|(k, _)| self.shard_of(k)).collect();
+        if self.stores().any(|s| s.level() == IsolationLevel::Serializable) {
+            out.extend(txn.read_keys().map(|k| self.shard_of(k)));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Shard indices holding writes of `txn` (the set that needs
+    /// durable prepare records and phase-2 installs), sorted.
+    pub fn write_shards(&self, txn: &Transaction) -> Vec<usize> {
+        let mut out: Vec<usize> = txn.write_set().map(|(k, _)| self.shard_of(k)).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// `txn`'s buffered writes owned by shard `si`, in key order.
+    pub fn shard_writes(&self, txn: &Transaction, si: usize) -> Vec<(Bytes, Option<Bytes>)> {
+        txn.write_set()
+            .filter(|(k, _)| self.shard_of(k) == si)
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// `txn`'s recorded reads owned by shard `si`, in key order.
+    pub fn shard_reads(&self, txn: &Transaction, si: usize) -> Vec<Bytes> {
+        txn.read_keys().filter(|k| self.shard_of(k) == si).cloned().collect()
+    }
+
+    /// Phase 1 on shard `si`: validate `txn`'s reads/writes there and
+    /// write-lock the writes.
+    pub fn prepare_shard(&self, txn: &Transaction, si: usize) -> MvResult<()> {
+        let reads = self.shard_reads(txn, si);
+        let writes: Vec<Bytes> = self.shard_writes(txn, si).into_iter().map(|(k, _)| k).collect();
+        self.store_at(si).prepare(txn, &reads, &writes)
+    }
+
+    /// Phase 2 (commit) on every write shard: install versions at
+    /// `commit_ts` and drop the locks.
+    pub fn install(&self, txn: &Transaction, commit_ts: u64) {
+        for si in self.write_shards(txn) {
+            let writes = self.shard_writes(txn, si);
+            self.store_at(si).install_prepared(txn.id, &writes, commit_ts);
+        }
+    }
+
+    /// Phase 2 (abort): release locks on shards `0..=locked_up_to`
+    /// (prepare acquires in ascending participant order, so a failure
+    /// at participant k leaves exactly the participants before k
+    /// locked).
+    pub fn release(&self, txn: &Transaction, participants: &[usize]) {
+        for &si in participants {
+            let writes: Vec<Bytes> =
+                self.shard_writes(txn, si).into_iter().map(|(k, _)| k).collect();
+            self.store_at(si).release_prepared(txn.id, &writes);
+        }
+    }
+
+    /// Install one version directly (recovery replay), routed to the
+    /// key's shard; advances the oracle past `commit_ts`.
+    pub fn install_version(&self, key: &[u8], value: Option<Bytes>, commit_ts: u64) {
+        self.store_for(key).install_version(Bytes::copy_from_slice(key), value, commit_ts);
+    }
+
+    /// One-call atomic commit across all shards at sim time `now` —
+    /// prepare everywhere, then install at one fresh timestamp (or
+    /// release everything and return the validation error).
+    pub fn commit_at(&self, txn: Transaction, now: SimTime) -> MvResult<u64> {
+        let participants = self.participants(&txn);
+        for (i, &si) in participants.iter().enumerate() {
+            if let Err(e) = self.prepare_shard(&txn, si) {
+                self.release(&txn, participants.get(..i).unwrap_or_default());
+                return Err(e);
+            }
+        }
+        let commit_ts = self.oracle.next(now);
+        self.install(&txn, commit_ts);
+        Ok(commit_ts)
+    }
+
+    /// Allocate a fresh transaction id (for embedders minting their own
+    /// handles).
+    pub fn next_txn_id(&self) -> TxnId {
+        self.ids.next()
+    }
+
+    /// Garbage-collect every shard at `horizon`; total versions dropped.
+    pub fn gc(&self, horizon: u64) -> usize {
+        self.stores().map(|s| s.gc(horizon)).sum()
+    }
+
+    /// Live keys across all shards.
+    pub fn key_count(&self) -> usize {
+        self.stores().map(MvccStore::key_count).sum()
+    }
+
+    /// Total versions across all shards.
+    pub fn version_count(&self) -> usize {
+        self.stores().map(MvccStore::version_count).sum()
+    }
+
+    /// Prepared-but-undecided locks across all shards (0 when quiesced).
+    pub fn lock_count(&self) -> usize {
+        self.stores().map(MvccStore::lock_count).sum()
+    }
+
+    /// Deterministic digest folding every shard's digest in shard
+    /// order.
+    pub fn digest(&self) -> u64 {
+        use std::hash::Hasher as _;
+        let mut h = mv_common::hash::FxHasher::default();
+        for s in self.stores() {
+            h.write_u64(s.digest());
+        }
+        h.finish()
+    }
+
+    fn store_for(&self, key: &[u8]) -> &MvccStore {
+        self.store_at(self.shard_of(key))
+    }
+
+    fn store_at(&self, si: usize) -> &MvccStore {
+        // shard_of clamps into range; out-of-range indices fall back to
+        // shard 0, which the `head` field guarantees exists.
+        match si.checked_sub(1) {
+            None => &self.head,
+            Some(r) => self.rest.get(r).unwrap_or(&self.head),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn db(shards: usize) -> ShardedMvcc {
+        ShardedMvcc::new(shards, IsolationLevel::Serializable, fx_router)
+    }
+
+    #[test]
+    fn cross_shard_commit_is_atomic_and_readable() {
+        let db = db(4);
+        let mut t = db.begin();
+        for i in 0..16 {
+            t.write(Bytes::from(format!("key{i}")), Bytes::from(vec![i as u8]));
+        }
+        let ts = db.commit_at(t, SimTime::from_millis(1)).unwrap();
+        for i in 0..16 {
+            assert_eq!(db.read_at(format!("key{i}").as_bytes(), ts), Some(Bytes::from(vec![i as u8])));
+        }
+        assert_eq!(db.lock_count(), 0, "no locks survive a decided txn");
+        assert_eq!(db.key_count(), 16);
+    }
+
+    #[test]
+    fn shard_count_never_changes_outcomes() {
+        // The same three-txn history (one conflict) plays out
+        // identically at every shard count.
+        for shards in [1usize, 2, 4, 8] {
+            let db = db(shards);
+            let mut init = db.begin();
+            init.write(b("a"), b("0"));
+            init.write(b("b"), b("0"));
+            db.commit_at(init, SimTime::ZERO).unwrap();
+
+            let mut t1 = db.begin();
+            let mut t2 = db.begin();
+            assert_eq!(db.read(&mut t1, b"a"), Some(b("0")));
+            t1.write(b("a"), b("1"));
+            t2.write(b("a"), b("2"));
+            assert!(db.commit_at(t1, SimTime::ZERO).is_ok(), "shards={shards}");
+            assert!(db.commit_at(t2, SimTime::ZERO).is_err(), "shards={shards}: FCW");
+            assert_eq!(db.read_latest(b"a"), Some(b("1")), "shards={shards}");
+            assert_eq!(db.lock_count(), 0, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn failed_prepare_releases_earlier_participants() {
+        let db = db(8);
+        // Seed a key, then have a blocker prepare-lock it.
+        let mut init = db.begin();
+        for i in 0..8 {
+            init.write(Bytes::from(format!("key{i}")), b("0"));
+        }
+        db.commit_at(init, SimTime::ZERO).unwrap();
+
+        let mut blocker = db.begin();
+        blocker.write(b("key7"), b("x"));
+        let bp = db.participants(&blocker);
+        for &si in &bp {
+            db.prepare_shard(&blocker, si).unwrap();
+        }
+
+        // A txn spanning many shards including the locked key must fail
+        // its commit and leave zero locks of its own behind.
+        let mut t = db.begin();
+        for i in 0..8 {
+            t.write(Bytes::from(format!("key{i}")), b("y"));
+        }
+        let before = db.lock_count();
+        assert!(db.commit_at(t, SimTime::ZERO).is_err());
+        assert_eq!(db.lock_count(), before, "failed commit released its own locks");
+
+        db.release(&blocker, &bp);
+        assert_eq!(db.lock_count(), 0);
+    }
+
+    #[test]
+    fn digest_tracks_content_not_construction_order() {
+        let a = db(4);
+        let b_ = db(4);
+        for dbx in [&a, &b_] {
+            let mut t = dbx.begin();
+            t.write(b("k1"), b("v1"));
+            t.write(b("k2"), b("v2"));
+            dbx.commit_at(t, SimTime::from_micros(7)).unwrap();
+        }
+        assert_eq!(a.digest(), b_.digest());
+        let mut t = a.begin();
+        t.write(b("k1"), b("v9"));
+        a.commit_at(t, SimTime::from_micros(8)).unwrap();
+        assert_ne!(a.digest(), b_.digest());
+    }
+}
