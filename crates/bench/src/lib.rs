@@ -23,6 +23,7 @@ pub mod exp_ledger;
 pub mod exp_obs;
 pub mod exp_pubsub;
 pub mod exp_query;
+pub mod exp_raft;
 pub mod exp_shard;
 pub mod exp_spatial;
 pub mod exp_storage;
@@ -33,9 +34,9 @@ pub mod exp_txn;
 use mv_common::table::Table;
 
 /// All experiment ids, in DESIGN.md order.
-pub const ALL_IDS: [&str; 21] = [
+pub const ALL_IDS: [&str; 22] = [
     "e1", "e1d", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e12b",
-    "e13", "e14", "e15", "e16", "e17", "e18", "e19",
+    "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20",
 ];
 
 /// Run one experiment by id.
@@ -65,6 +66,7 @@ pub fn run(id: &str) -> Vec<Table> {
         "e17" => exp_durable::e17(),
         "e18" => exp_obs::e18(),
         "e19" => exp_txn::e19(),
+        "e20" => exp_raft::e20(),
         other => panic!("unknown experiment id {other}"),
     }
 }

@@ -575,7 +575,13 @@ impl DurableMetaverse {
         for op in ops {
             self.log(&DurableOp::from_write(op));
         }
-        self.engine.apply_batch(ops)
+        let results = self.engine.apply_batch(ops);
+        for (op, r) in ops.iter().zip(&results) {
+            if r.is_ok() {
+                self.txns.install_plain(&DurableOp::from_write(op));
+            }
+        }
+        results
     }
 
     /// Logged ground-truth move.
@@ -599,8 +605,12 @@ impl DurableMetaverse {
         ctx: Option<TraceCtx>,
     ) -> MvResult<bool> {
         let (ctx, minted) = self.ingest_ctx(ctx, now);
-        self.log_with(&DurableOp::Position { id, position, ts: now }, ctx);
+        let op = DurableOp::Position { id, position, ts: now };
+        self.log_with(&op, ctx);
         let r = self.engine.update_position(id, position, now);
+        if r.is_ok() {
+            self.txns.install_plain(&op);
+        }
         self.finish_ingest(ctx, minted, now, r.is_ok());
         r
     }
@@ -626,8 +636,12 @@ impl DurableMetaverse {
         ctx: Option<TraceCtx>,
     ) -> MvResult<bool> {
         let (ctx, minted) = self.ingest_ctx(ctx, now);
-        self.log_with(&DurableOp::Attr { id, name: name.to_string(), value, ts: now }, ctx);
+        let op = DurableOp::Attr { id, name: name.to_string(), value, ts: now };
+        self.log_with(&op, ctx);
         let r = self.engine.update_attr(id, name, value, now);
+        if r.is_ok() {
+            self.txns.install_plain(&op);
+        }
         self.finish_ingest(ctx, minted, now, r.is_ok());
         r
     }
@@ -737,10 +751,26 @@ impl DurableMetaverse {
                         txns.stats.incr("recovered_aborts");
                     }
                 }
-                other => Self::replay(&mut engine, &mut ids, other),
+                other => {
+                    // Recovery mirrors the live path: a plain write that
+                    // the engine accepts reinstalls its MVCC version at
+                    // the same oracle-drawn timestamp.
+                    if Self::replay(&mut engine, &mut ids, other.clone()) {
+                        txns.install_plain(&other);
+                    }
+                }
             }
         }
         txns.stats.add("indoubt_aborted", prepared.len() as u64);
+        // Every pre-crash transaction is dead, so nothing pins the GC
+        // horizon: one final automatic collection lands the rebuilt
+        // chains in the same maximally-trimmed state the live path's
+        // per-commit collector maintains (the differential harness
+        // compares chain digests against a live twin).
+        let trimmed = txns.mvcc.auto_gc();
+        if trimmed > 0 {
+            txns.stats.add("gc_versions_auto", trimmed as u64);
+        }
         // Regenerated events are not "new" mutations — clear them, then
         // rebuild the materialized store from the recovered entities.
         engine.drain_events();
@@ -754,30 +784,36 @@ impl DurableMetaverse {
         report
     }
 
-    /// Re-execute one recovered op. Results are deliberately discarded:
+    /// Re-execute one recovered op. Errors are deliberately swallowed:
     /// an op that failed pre-crash (e.g. an update racing a retire)
     /// fails identically on replay — determinism, not error handling,
-    /// is what recovery needs. Transactional envelopes are never applied
-    /// here (`crash_and_recover` resolves them; the live commit path
-    /// replays their leaf ops directly).
-    pub(crate) fn replay(engine: &mut ShardedMetaverse, ids: &mut Vec<EntityId>, op: DurableOp) {
+    /// is what recovery needs. Returns whether the engine accepted the
+    /// op (recovery uses this to mirror the live path's conditional
+    /// MVCC install). Transactional envelopes are never applied here
+    /// (`crash_and_recover` resolves them; the live commit path replays
+    /// their leaf ops directly).
+    pub(crate) fn replay(
+        engine: &mut ShardedMetaverse,
+        ids: &mut Vec<EntityId>,
+        op: DurableOp,
+    ) -> bool {
         match op {
             DurableOp::Spawn { name, kind, position, ts } => {
                 ids.push(engine.spawn(name, kind, position, ts));
+                true
             }
             DurableOp::Position { id, position, ts } => {
-                let _ = engine.update_position(id, position, ts);
+                engine.update_position(id, position, ts).is_ok()
             }
             DurableOp::Attr { id, name, value, ts } => {
-                let _ = engine.update_attr(id, &name, value, ts);
+                engine.update_attr(id, &name, value, ts).is_ok()
             }
-            DurableOp::Retire { id, ts } => {
-                let _ = engine.retire(id, ts);
-            }
+            DurableOp::Retire { id, ts } => engine.retire(id, ts).is_ok(),
             DurableOp::AreaEffect { space, effect, region, action, retire, ts } => {
                 let _ = engine.area_effect(space, &effect, region, &action, retire, ts);
+                true
             }
-            DurableOp::TxnPrepare { .. } | DurableOp::TxnDecision { .. } => {}
+            DurableOp::TxnPrepare { .. } | DurableOp::TxnDecision { .. } => false,
         }
     }
 

@@ -27,6 +27,12 @@
 //!   wired to `mv-storage` (log-then-apply through a group-commit WAL,
 //!   event-log drain into a sharded LSM, replay-based crash recovery —
 //!   the §IV-F durable ingest path, measured in E17);
+//! * [`replicated`] — [`replicated::ReplicatedMetaverse`]: the durable
+//!   engine raft-replicated across a 3–5 node region over the fault
+//!   simulator (`mv-raft` leader election, log replication, snapshot
+//!   install), so acknowledged writes survive leader crashes, minority
+//!   partitions, and total per-node state loss (§IV disaggregation;
+//!   proven by `tests/raft_failover.rs`, measured in E20);
 //! * [`txn`] — cross-shard snapshot-isolation/serializable transactions
 //!   over the durable engine: MVCC version chains per entity field,
 //!   two-phase commit riding the group-commit WAL, in-doubt resolution
@@ -44,10 +50,12 @@ pub mod entity;
 pub mod events;
 pub mod interest;
 pub mod ops;
+pub mod replicated;
 pub mod sharded;
 pub mod txn;
 
 pub use durable::{DurableMetaverse, DurableOp};
+pub use replicated::{RegionConfig, ReplicatedMetaverse};
 pub use txn::{MetaTxn, TxnCrashPoint};
 pub use engine::{Metaverse, SyncPolicy};
 pub use entity::{Entity, EntityKind};

@@ -1,0 +1,670 @@
+//! `ReplicatedMetaverse` — a raft-replicated co-space region.
+//!
+//! The durable engine (`crate::durable`) survives a crash of its *own*
+//! node; §IV's consistency/disaggregation story needs region state to
+//! survive the node entirely. This module closes that gap: a group of
+//! 3–5 replicas each runs a [`RaftNode`] (`mv-raft`) over the fault
+//! simulator's [`Network`] + [`ReliableTransport`], and every client
+//! mutation travels as an encoded [`DurableOp`] through the leader's
+//! raft log. An operation is **acknowledged** only when the proposing
+//! leader applies it at its committed index — by Raft's log-matching
+//! and leader-completeness properties, an acknowledged op is then on a
+//! majority and survives any minority of crashes, partitions, and even
+//! total per-node state loss.
+//!
+//! Each replica's state machine is a [`DurableMetaverse`] fed strictly
+//! by committed raft entries in index order. The engine is
+//! deterministic, so replicas stay byte-identical (per
+//! `DurableMetaverse::state_encoding`) without further coordination —
+//! the fault harness (`tests/raft_failover.rs`) checks exactly that
+//! after every fault boundary.
+//!
+//! Snapshots reuse the engine's canonical encodings: a snapshot is the
+//! full committed command history plus the `state_encoding()` of the
+//! resulting engine. Install replays the history into a fresh engine
+//! and *verifies* the encoding byte-for-byte before accepting — a
+//! diverged snapshot is refused loudly rather than installed silently.
+//! (A page-image snapshot would replace the history; the op-prefix form
+//! keeps the integrity check and stays proportional to history length,
+//! which the compaction threshold bounds.)
+//!
+//! Faults arrive through [`FaultTarget`]: a node crash bumps the
+//! transport epoch, crashes the raft WAL (losing its unsynced tail) and
+//! discards the replica's entire engine; restart folds the surviving
+//! raft records back and rebuilds the engine by replay (or snapshot
+//! install, for a node flagged `wipe_on_crash` that lost its disk too).
+//! The replica's fresh `TimestampOracle` is re-anchored with
+//! `advance_past` so recovered MVCC versions never run backwards.
+
+use crate::durable::{DurableMetaverse, DurableOp};
+use mv_common::time::TS_SEQ_BITS;
+use mv_common::id::NodeId;
+use mv_common::time::{SimDuration, SimTime};
+use mv_net::fault::FaultTarget;
+use mv_net::{LinkSpec, Network, ReliableEvent, ReliableTransport, RetryPolicy};
+use mv_raft::{RaftConfig, RaftMsg, RaftNode};
+
+pub use mv_raft::RaftConfig as RaftTuning;
+use rand::rngs::StdRng;
+use std::collections::BTreeMap;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_u32(buf: &[u8], at: &mut usize) -> Option<u32> {
+    let chunk: [u8; 4] = buf.get(*at..*at + 4)?.try_into().ok()?;
+    *at += 4;
+    Some(u32::from_le_bytes(chunk))
+}
+
+/// One replica's deterministic state machine: the durable engine plus
+/// the committed command history that produced it (the snapshot body).
+struct MetaverseSm {
+    dm: DurableMetaverse,
+    /// Every applied command, in commit order (no-ops excluded).
+    history: Vec<Vec<u8>>,
+}
+
+impl MetaverseSm {
+    fn new(shards: usize) -> Self {
+        MetaverseSm { dm: DurableMetaverse::with_defaults(shards), history: Vec::new() }
+    }
+
+    /// Apply one committed command. Unknown/transactional frames are
+    /// refused (`false`) — the replicated log carries only plain ops.
+    fn apply(&mut self, cmd: &[u8]) -> bool {
+        let Some(op) = DurableOp::decode(cmd) else { return false };
+        match op {
+            DurableOp::Spawn { name, kind, position, ts } => {
+                self.dm.spawn(name, kind, position, ts);
+            }
+            DurableOp::Position { id, position, ts } => {
+                let _ = self.dm.update_position(id, position, ts);
+            }
+            DurableOp::Attr { id, name, value, ts } => {
+                let _ = self.dm.update_attr(id, &name, value, ts);
+            }
+            DurableOp::Retire { id, ts } => {
+                let _ = self.dm.retire(id, ts);
+            }
+            DurableOp::AreaEffect { space, effect, region, action, retire, ts } => {
+                let _ = self.dm.area_effect(space, &effect, region, &action, retire, ts);
+            }
+            DurableOp::TxnPrepare { .. } | DurableOp::TxnDecision { .. } => return false,
+        }
+        self.history.push(cmd.to_vec());
+        true
+    }
+
+    /// Snapshot = framed command history + the engine encoding it must
+    /// reproduce.
+    fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u32(&mut out, self.history.len() as u32);
+        for cmd in &self.history {
+            put_u32(&mut out, cmd.len() as u32);
+            out.extend_from_slice(cmd);
+        }
+        let state = self.dm.state_encoding();
+        put_u32(&mut out, state.len() as u32);
+        out.extend_from_slice(&state);
+        out
+    }
+
+    /// Rebuild from a snapshot: replay the history into a fresh engine
+    /// and verify it reproduces the recorded encoding byte-for-byte.
+    /// `None` on structural damage *or* divergence.
+    fn install(shards: usize, bytes: &[u8]) -> Option<MetaverseSm> {
+        let mut at = 0usize;
+        let count = read_u32(bytes, &mut at)? as usize;
+        let mut sm = MetaverseSm::new(shards);
+        for _ in 0..count {
+            let len = read_u32(bytes, &mut at)? as usize;
+            let cmd = bytes.get(at..at.checked_add(len)?)?.to_vec();
+            at += len;
+            if !sm.apply(&cmd) {
+                return None;
+            }
+        }
+        let state_len = read_u32(bytes, &mut at)? as usize;
+        let state = bytes.get(at..at.checked_add(state_len)?)?;
+        if at + state_len != bytes.len() || sm.dm.state_encoding() != state {
+            return None;
+        }
+        sm.reanchor_oracle();
+        Some(sm)
+    }
+
+    /// Push the fresh oracle past every replayed op timestamp so MVCC
+    /// commit timestamps allocated after recovery never run backwards
+    /// relative to pre-crash ones.
+    fn reanchor_oracle(&mut self) {
+        let max_ts = self
+            .history
+            .iter()
+            .filter_map(|c| DurableOp::decode(c))
+            .map(|op| op.ts().as_micros())
+            .max()
+            .unwrap_or(0);
+        self.dm.txns.mvcc.oracle().advance_past(max_ts << TS_SEQ_BITS);
+    }
+}
+
+/// Per-replica tuning for a [`ReplicatedMetaverse`] region.
+#[derive(Debug, Clone, Copy)]
+pub struct RegionConfig {
+    /// Group size (3 or 5 in the harness).
+    pub replicas: usize,
+    /// Engine shards per replica.
+    pub shards: usize,
+    /// Raft protocol timing.
+    pub raft: RaftConfig,
+    /// One-way link latency between any two replicas.
+    pub link_latency: SimDuration,
+    /// Link loss fraction.
+    pub link_loss: f64,
+    /// Compact a replica's raft log once it holds more than this many
+    /// applied-but-uncompacted entries.
+    pub compact_threshold: u64,
+}
+
+impl Default for RegionConfig {
+    fn default() -> Self {
+        RegionConfig {
+            replicas: 3,
+            shards: 2,
+            raft: RaftConfig::default(),
+            link_latency: SimDuration::from_millis(5),
+            link_loss: 0.0,
+            compact_threshold: 64,
+        }
+    }
+}
+
+struct ReplicaSlot {
+    node: RaftNode,
+    /// `None` while the process is down (volatile state dropped).
+    sm: Option<MetaverseSm>,
+    up: bool,
+    /// Crash also destroys the disk: restart via [`RaftNode::wipe`].
+    wipe_on_crash: bool,
+    /// Highest raft index applied into `sm`.
+    applied_raft: u64,
+}
+
+/// A raft-replicated co-space region over the fault simulator. See the
+/// module docs for the guarantees; drive it by calling
+/// [`Self::tick`] every simulated millisecond (or finer) and submitting
+/// client ops through [`Self::submit`].
+pub struct ReplicatedMetaverse {
+    net: Network,
+    transport: ReliableTransport<RaftMsg>,
+    rng: StdRng,
+    cfg: RegionConfig,
+    members: Vec<NodeId>,
+    replicas: Vec<ReplicaSlot>,
+    /// Client writes awaiting commit at their proposing leader:
+    /// `(leader, index, cmd)`.
+    pending: Vec<(NodeId, u64, Vec<u8>)>,
+    /// Commands acknowledged to the client, in ack order. The safety
+    /// harness checks every one survives on every replica.
+    acked: Vec<Vec<u8>>,
+    /// First leader observed per term; a second, different one is a
+    /// safety violation.
+    leaders_by_term: BTreeMap<u64, NodeId>,
+    /// Safety violations observed while running (must stay empty).
+    violations: Vec<String>,
+    /// Event log for whole-run determinism hashing.
+    pub log: Vec<String>,
+    now: SimTime,
+}
+
+impl FaultTarget for ReplicatedMetaverse {
+    fn fault_network(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    fn on_node_crash(&mut self, node: NodeId) {
+        self.transport.on_node_crash(node);
+        let now = self.now;
+        if let Some(slot) = self.replicas.iter_mut().find(|s| s.node.id() == node) {
+            slot.up = false;
+            slot.sm = None; // volatile engine state is gone
+            slot.applied_raft = 0;
+            slot.node.crash();
+            self.log.push(format!("{now} crash {node:?}"));
+        }
+    }
+
+    fn on_node_restart(&mut self, node: NodeId) {
+        let now = self.now;
+        let wipe = self
+            .replicas
+            .iter()
+            .find(|s| s.node.id() == node)
+            .is_some_and(|s| s.wipe_on_crash);
+        if let Some(slot) = self.replicas.iter_mut().find(|s| s.node.id() == node) {
+            slot.up = true;
+            if wipe {
+                slot.node.wipe(now);
+            } else {
+                slot.node.restart(now);
+            }
+            // The engine rebuilds from the node's durable image: its
+            // snapshot (if any) is re-flagged for install by restart();
+            // committed entries above it re-drain through the normal
+            // apply path in `tick`.
+            slot.sm = Some(MetaverseSm::new(self.cfg.shards));
+            slot.applied_raft = 0;
+            self.log.push(format!("{now} restart {node:?} wipe={wipe}"));
+        }
+    }
+}
+
+impl ReplicatedMetaverse {
+    /// Build a fully-meshed region of `cfg.replicas` nodes. `seed` pins
+    /// everything: election timeouts, transport jitter, link loss.
+    pub fn new(cfg: RegionConfig, seed: u64) -> Self {
+        let members: Vec<NodeId> = (0..cfg.replicas as u64).map(NodeId::new).collect();
+        let mut net = Network::new();
+        for &m in &members {
+            net.add_node(m, "replica");
+        }
+        for (i, &a) in members.iter().enumerate() {
+            for &b in members.iter().skip(i + 1) {
+                net.add_link_bidi(
+                    a,
+                    b,
+                    LinkSpec::new(cfg.link_latency, 1e8).with_loss(cfg.link_loss),
+                );
+            }
+        }
+        let replicas = members
+            .iter()
+            .map(|&m| ReplicaSlot {
+                node: RaftNode::new(m, &members, cfg.raft, seed ^ 0x5eed, SimTime::ZERO),
+                sm: Some(MetaverseSm::new(cfg.shards)),
+                up: true,
+                wipe_on_crash: false,
+                applied_raft: 0,
+            })
+            .collect();
+        // Raft retries at its own cadence (heartbeats); the transport's
+        // retry budget stays short so a partitioned message dies fast
+        // instead of ghost-delivering after the heal.
+        let policy = RetryPolicy {
+            initial_rto: SimDuration::from_millis(50),
+            backoff: 2.0,
+            max_rto: SimDuration::from_millis(500),
+            max_attempts: 3,
+            jitter_frac: 0.1,
+        };
+        ReplicatedMetaverse {
+            net,
+            transport: ReliableTransport::new(policy, seed ^ 0x7a57),
+            rng: mv_common::seeded_rng(seed),
+            cfg,
+            members,
+            replicas,
+            pending: Vec::new(),
+            acked: Vec::new(),
+            leaders_by_term: BTreeMap::new(),
+            violations: Vec::new(),
+            log: Vec::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Flag one replica so its next crash also loses its disk (restart
+    /// through [`RaftNode::wipe`] → snapshot/backfill recovery).
+    pub fn set_wipe_on_crash(&mut self, node: NodeId, wipe: bool) {
+        if let Some(slot) = self.replicas.iter_mut().find(|s| s.node.id() == node) {
+            slot.wipe_on_crash = wipe;
+        }
+    }
+
+    /// The group's member ids, in replica order.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// The current leader among *up* replicas, if any.
+    pub fn leader(&self) -> Option<NodeId> {
+        self.replicas.iter().find(|s| s.up && s.node.is_leader()).map(|s| s.node.id())
+    }
+
+    /// The leader whose read lease is currently valid (safe local
+    /// reads), if any.
+    pub fn lease_holder(&self, now: SimTime) -> Option<NodeId> {
+        self.replicas
+            .iter()
+            .find(|s| s.up && s.node.is_leader() && s.node.lease_valid(now))
+            .map(|s| s.node.id())
+    }
+
+    /// Submit one client op. Returns the raft index it was proposed at,
+    /// or `None` when no up replica currently leads (the client must
+    /// retry — that window is the measured unavailability).
+    pub fn submit(&mut self, op: &DurableOp, now: SimTime) -> Option<u64> {
+        let cmd = op.encode();
+        let slot = self.replicas.iter_mut().find(|s| s.up && s.node.is_leader())?;
+        let leader = slot.node.id();
+        let index = slot.node.client_append(cmd.clone(), now)?;
+        self.pending.push((leader, index, cmd));
+        Some(index)
+    }
+
+    /// Commands acknowledged as committed, in ack order.
+    pub fn acked(&self) -> &[Vec<u8>] {
+        &self.acked
+    }
+
+    /// Safety violations observed so far (two leaders in a term,
+    /// refused snapshot installs, commit divergence). Must stay empty.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Number of distinct terms that elected a leader (election churn).
+    pub fn elected_terms(&self) -> usize {
+        self.leaders_by_term.len()
+    }
+
+    /// Per-replica engine digests (`None` while down).
+    pub fn replica_digests(&self) -> Vec<Option<u64>> {
+        self.replicas.iter().map(|s| s.sm.as_ref().map(|sm| sm.dm.state_digest())).collect()
+    }
+
+    /// Per-replica committed-log digests (up replicas only).
+    pub fn committed_digests(&self) -> Vec<Option<u64>> {
+        self.replicas
+            .iter()
+            .map(|s| s.up.then(|| s.node.committed_digest()))
+            .collect()
+    }
+
+    /// Hash of replica `i`'s full applied-command history (`None` while
+    /// down). Compaction-invariant, so equal hashes across replicas
+    /// mean the same committed commands applied in the same order.
+    pub fn history_hash(&self, i: usize) -> Option<u64> {
+        use std::hash::Hasher as _;
+        let sm = self.replicas.get(i)?.sm.as_ref()?;
+        let mut h = mv_common::hash::FxHasher::default();
+        for cmd in &sm.history {
+            h.write(cmd);
+        }
+        Some(h.finish())
+    }
+
+    /// Number of commands replica `i` has applied (`None` while down).
+    pub fn history_len(&self, i: usize) -> Option<usize> {
+        Some(self.replicas.get(i)?.sm.as_ref()?.history.len())
+    }
+
+    /// Does `cmd` appear in replica `i`'s applied history?
+    pub fn replica_applied(&self, i: usize, cmd: &[u8]) -> bool {
+        self.replicas
+            .get(i)
+            .and_then(|s| s.sm.as_ref())
+            .is_some_and(|sm| sm.history.iter().any(|c| c == cmd))
+    }
+
+    /// Number of replicas currently up.
+    pub fn up_count(&self) -> usize {
+        self.replicas.iter().filter(|s| s.up).count()
+    }
+
+    /// Move the leader (and enough followers to form a minority) into
+    /// partition group 1 and sever it from the rest. Returns the
+    /// severed minority, `None` when no leader is up.
+    pub fn partition_minority_with_leader(&mut self) -> Option<Vec<NodeId>> {
+        let leader = self.leader()?;
+        let minority_size = (self.members.len() - 1) / 2; // 3→1, 5→2
+        let mut minority = vec![leader];
+        minority.extend(
+            self.members
+                .iter()
+                .copied()
+                .filter(|&m| m != leader)
+                .take(minority_size.saturating_sub(1)),
+        );
+        for &m in &self.members {
+            let group = u32::from(minority.contains(&m));
+            let _ = self.net.set_group(m, group);
+        }
+        self.net.sever(0, 1);
+        self.log.push(format!("{} sever minority {minority:?}", self.now));
+        Some(minority)
+    }
+
+    /// Heal the minority partition and put every node back in group 0.
+    pub fn heal_partition(&mut self) {
+        self.net.heal(0, 1);
+        for &m in &self.members {
+            let _ = self.net.set_group(m, 0);
+        }
+        self.log.push(format!("{} heal", self.now));
+    }
+
+    /// Raw transport statistics (retransmits, expiries, …).
+    pub fn transport_stats(&self) -> &mv_obs::StatSet {
+        &self.transport.stats
+    }
+
+    /// One scheduler tick: deliver transport arrivals to up replicas,
+    /// fire raft timers, ship outgoing messages, drain committed
+    /// entries into each engine, resolve client acks, and compact logs
+    /// past the threshold.
+    pub fn tick(&mut self, now: SimTime) {
+        self.now = now;
+        let mut sends: Vec<(NodeId, mv_raft::Outgoing)> = Vec::new();
+
+        for ev in self.transport.poll(&mut self.net, &mut self.rng, now) {
+            let ReliableEvent::Delivered { src, dst, payload, .. } = ev else { continue };
+            let Some(slot) = self.replicas.iter_mut().find(|s| s.node.id() == dst && s.up)
+            else {
+                continue;
+            };
+            for o in slot.node.handle(src, payload, now) {
+                sends.push((dst, o));
+            }
+        }
+
+        for slot in self.replicas.iter_mut().filter(|s| s.up) {
+            let from = slot.node.id();
+            for o in slot.node.tick(now) {
+                sends.push((from, o));
+            }
+        }
+
+        for (src, out) in sends {
+            let bytes = out.msg.wire_bytes();
+            self.transport.send(&mut self.net, &mut self.rng, src, out.to, out.msg, bytes, now);
+        }
+
+        self.pump_state_machines(now);
+        self.observe_leaders(now);
+    }
+
+    fn pump_state_machines(&mut self, now: SimTime) {
+        let shards = self.cfg.shards;
+        let compact_threshold = self.cfg.compact_threshold;
+        for slot in self.replicas.iter_mut().filter(|s| s.up) {
+            let id = slot.node.id();
+            // A freshly accepted (or restart-recovered) snapshot
+            // replaces the engine wholesale.
+            if let Some((base, _term, data)) = slot.node.take_pending_install() {
+                match MetaverseSm::install(shards, &data) {
+                    Some(sm) => {
+                        slot.sm = Some(sm);
+                        slot.applied_raft = base;
+                        self.log.push(format!("{now} install {id:?} base={base}"));
+                    }
+                    None => {
+                        self.violations
+                            .push(format!("{now} {id:?}: snapshot at base={base} refused"));
+                    }
+                }
+            }
+            let Some(sm) = slot.sm.as_mut() else { continue };
+            let committed = slot.node.take_committed();
+            for (index, cmd) in committed {
+                slot.applied_raft = index;
+                if !cmd.is_empty() {
+                    sm.apply(&cmd);
+                    // The proposing leader's commit is the client ack.
+                    let acked = &mut self.acked;
+                    self.pending.retain(|(leader, idx, pcmd)| {
+                        let ours = *leader == id && *idx == index && *pcmd == cmd;
+                        if ours {
+                            acked.push(pcmd.clone());
+                        }
+                        !ours
+                    });
+                }
+            }
+            if slot.applied_raft.saturating_sub(slot.node.base_index()) > compact_threshold {
+                slot.node.compact(slot.applied_raft, sm.snapshot(), now);
+                self.log.push(format!(
+                    "{now} compact {id:?} base={}",
+                    slot.node.base_index()
+                ));
+            }
+        }
+    }
+
+    /// Record leadership per term; a term with two distinct leaders is
+    /// the election-safety violation the harness asserts never happens.
+    fn observe_leaders(&mut self, now: SimTime) {
+        for slot in self.replicas.iter().filter(|s| s.up && s.node.is_leader()) {
+            let (term, id) = (slot.node.term(), slot.node.id());
+            match self.leaders_by_term.get(&term) {
+                None => {
+                    self.leaders_by_term.insert(term, id);
+                    self.log.push(format!("{now} leader {id:?} term={term}"));
+                }
+                Some(&prev) if prev != id => {
+                    self.violations
+                        .push(format!("{now} two leaders in term {term}: {prev:?} and {id:?}"));
+                }
+                Some(_) => {}
+            }
+        }
+        // Two simultaneously valid read leases would let both serve
+        // stale local reads — the lease-safety property says it cannot
+        // happen (a rival needs at least one election-min of silence).
+        let holders = self
+            .replicas
+            .iter()
+            .filter(|s| s.up && s.node.is_leader() && s.node.lease_valid(now))
+            .count();
+        if holders > 1 {
+            self.violations.push(format!("{now} {holders} simultaneous lease holders"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_common::geom::Point;
+    use mv_common::Space;
+    use mv_common::time::SimTime;
+    use crate::entity::EntityKind;
+
+    fn spawn_op(i: u64, now: SimTime) -> DurableOp {
+        DurableOp::Spawn {
+            name: format!("e{i}"),
+            kind: EntityKind::Avatar,
+            position: Point::new(i as f64, 0.0),
+            ts: now,
+        }
+    }
+
+    fn drive(world: &mut ReplicatedMetaverse, from_ms: u64, to_ms: u64) {
+        for ms in from_ms..to_ms {
+            world.tick(SimTime::from_millis(ms));
+        }
+    }
+
+    #[test]
+    fn region_elects_replicates_and_acks() {
+        let mut w = ReplicatedMetaverse::new(RegionConfig::default(), 7);
+        drive(&mut w, 0, 1_000);
+        let leader = w.leader().expect("a leader by 1s");
+        for i in 0..5 {
+            let op = spawn_op(i, SimTime::from_millis(1_000 + i * 20));
+            assert!(w.submit(&op, SimTime::from_millis(1_000 + i * 20)).is_some());
+            drive(&mut w, 1_000 + i * 20, 1_000 + (i + 1) * 20);
+        }
+        drive(&mut w, 1_100, 1_600);
+        assert_eq!(w.acked().len(), 5, "all submissions commit and ack");
+        assert!(w.violations().is_empty(), "{:?}", w.violations());
+        let digests = w.replica_digests();
+        assert!(digests.iter().all(|d| *d == digests[0] && d.is_some()), "{digests:?}");
+        assert_eq!(w.leader(), Some(leader), "stable leadership in a quiet net");
+        // Every acked command survives on every replica.
+        for cmd in w.acked().to_vec() {
+            for i in 0..w.members().len() {
+                assert!(w.replica_applied(i, &cmd), "replica {i} lost an acked write");
+            }
+        }
+    }
+
+    #[test]
+    fn area_effect_commands_replicate_deterministically() {
+        use mv_common::geom::Aabb;
+        let mut w = ReplicatedMetaverse::new(RegionConfig::default(), 11);
+        drive(&mut w, 0, 1_000);
+        for i in 0..4 {
+            let t = SimTime::from_millis(1_000 + i * 30);
+            w.submit(&spawn_op(i, t), t);
+            drive(&mut w, 1_000 + i * 30, 1_000 + (i + 1) * 30);
+        }
+        let t = SimTime::from_millis(1_200);
+        let raid = DurableOp::AreaEffect {
+            space: Space::Virtual,
+            effect: "air_raid".into(),
+            region: Aabb::new(Point::new(-1.0, -1.0), Point::new(2.5, 1.0)),
+            action: "perish".into(),
+            retire: true,
+            ts: t,
+        };
+        w.submit(&raid, t);
+        drive(&mut w, 1_200, 1_700);
+        let digests = w.replica_digests();
+        assert!(digests.iter().all(|d| *d == digests[0] && d.is_some()), "{digests:?}");
+        assert!(w.violations().is_empty(), "{:?}", w.violations());
+    }
+
+    #[test]
+    fn snapshot_install_verifies_and_refuses_damage() {
+        let mut sm = MetaverseSm::new(2);
+        for i in 0..3 {
+            assert!(sm.apply(&spawn_op(i, SimTime::from_millis(i + 1)).encode()));
+        }
+        let snap = sm.snapshot();
+        let rebuilt = MetaverseSm::install(2, &snap).expect("clean install");
+        assert_eq!(rebuilt.dm.state_encoding(), sm.dm.state_encoding());
+        // Any flipped byte must refuse, not silently diverge.
+        let mut bad = snap.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        assert!(MetaverseSm::install(2, &bad).is_none());
+        assert!(MetaverseSm::install(2, &snap[..snap.len() - 2]).is_none());
+    }
+
+    #[test]
+    fn oracle_reanchors_past_replayed_timestamps() {
+        let mut sm = MetaverseSm::new(2);
+        sm.apply(&spawn_op(0, SimTime::from_millis(500)).encode());
+        let snap = sm.snapshot();
+        let rebuilt = MetaverseSm::install(2, &snap).expect("install");
+        let anchored = rebuilt.dm.txns.mvcc.oracle().current();
+        assert!(
+            anchored >= SimTime::from_millis(500).as_micros() << TS_SEQ_BITS,
+            "oracle must not run behind replayed history: {anchored}"
+        );
+    }
+}

@@ -29,11 +29,20 @@
 //! `tests/txn_differential.rs` sweeps every crash boundary and checks
 //! byte-identical recovery.
 //!
-//! Known anomaly (documented in DESIGN.md §10): non-transactional writes
-//! (`update_attr` & co.) bypass the version chains. A key becomes
-//! versioned at its first transactional write; until then transactional
-//! reads fall back to live engine state, which is current-state, not
-//! snapshot-at-begin.
+//! Plain (non-transactional) writes share the version store: every
+//! engine-accepted `update_attr`/`update_position`/`apply_batch` write
+//! installs a single-op committed version at a fresh oracle timestamp,
+//! live and on recovery alike — a transactional snapshot can never
+//! observe a torn read from a bypassing write (the anomaly DESIGN.md
+//! §10 used to document). Keys written *only* at spawn time still read
+//! through to the engine; a key's chain begins at its first write of
+//! either kind, and a snapshot older than the chain reads
+//! absent-at-snapshot, never a newer live value.
+//!
+//! GC is automatic: every commit and abort collects at the oldest live
+//! snapshot's begin timestamp (a long-running transaction pins the
+//! horizon), and recovery finishes with one collection pass so rebuilt
+//! chains land in the same trimmed state.
 
 use crate::durable::{DurableMetaverse, DurableOp};
 use bytes::Bytes;
@@ -144,6 +153,22 @@ impl TxnState {
         }
         self.stats.incr("recovered_commits");
     }
+
+    /// Install the single-key version a *plain* (non-transactional)
+    /// write produces, at a fresh commit timestamp drawn from the op's
+    /// own time. Plain ingest and transactional commits now share one
+    /// version store, so a transactional snapshot can never observe a
+    /// torn read from a bypassing write (the old §10 anomaly). Called on
+    /// the live path after the engine accepts the write, and on recovery
+    /// after a successful replay — same order, same timestamps, so the
+    /// rebuilt chains stay byte-identical.
+    pub(crate) fn install_plain(&mut self, op: &DurableOp) {
+        if let Some((k, v)) = mvcc_kv_for(op) {
+            let commit_ts = self.mvcc.oracle().next(op.ts());
+            self.mvcc.install_version(&k, v, commit_ts);
+            self.stats.incr("plain_versions");
+        }
+    }
 }
 
 /// An open transaction against a [`DurableMetaverse`]: a snapshot
@@ -228,8 +253,9 @@ impl DurableMetaverse {
     }
 
     /// Read an attribute inside `txn`: buffered write, else snapshot
-    /// version, else (for keys never written transactionally) the live
-    /// engine value. `None` = entity/attribute absent at the snapshot.
+    /// version, else (for keys with no version chain at all — written
+    /// only at spawn time) the live engine value. `None` =
+    /// entity/attribute absent at the snapshot.
     pub fn txn_read_attr(&self, txn: &mut MetaTxn, id: EntityId, name: &str) -> Option<f64> {
         let key = attr_key(id, name);
         match self.txns.mvcc.read_versioned(&mut txn.inner, &key) {
@@ -268,7 +294,12 @@ impl DurableMetaverse {
         crash: Option<TxnCrashPoint>,
     ) -> MvResult<Option<u64>> {
         let MetaTxn { inner, ops, root } = txn;
-        let crashed = |dm: &mut Self, root: Option<TraceCtx>| {
+        let txn_id = inner.id;
+        let crashed = move |dm: &mut Self, root: Option<TraceCtx>| {
+            // The snapshot is retired even on a simulated process kill:
+            // recovery rebuilds `TxnState` wholesale, but the surviving
+            // in-memory registry must not pin the GC horizon on a ghost.
+            dm.txns.mvcc.finish(txn_id);
             dm.txns.stats.incr("crash_interrupted");
             if let (Some(tr), Some(c)) = (&dm.tracer, root) {
                 tr.abort(c.span, "lost");
@@ -297,6 +328,8 @@ impl DurableMetaverse {
                         tr.close(s, now, "conflict");
                     }
                     self.txns.mvcc.release(&inner, participants.get(..i).unwrap_or(&[]));
+                    self.txns.mvcc.finish(inner.id);
+                    self.auto_gc();
                     self.txns.stats.incr("aborted_conflict");
                     if let (Some(tr), Some(c)) = (&self.tracer, root) {
                         tr.event(c, "txn.abort", now, "conflict");
@@ -363,6 +396,8 @@ impl DurableMetaverse {
                 Self::replay(&mut self.engine, &mut self.ids, op);
             }
         }
+        self.txns.mvcc.finish(inner.id);
+        self.auto_gc();
         self.txns.stats.incr("committed");
         match write_shards.len() {
             0 => self.txns.stats.incr("readonly_commits"),
@@ -379,6 +414,8 @@ impl DurableMetaverse {
     /// Abort an open transaction explicitly (nothing was locked or
     /// logged — begin/read/write touch no shared state).
     pub fn abort_txn(&mut self, txn: MetaTxn, now: SimTime) {
+        self.txns.mvcc.finish(txn.inner.id);
+        self.auto_gc();
         self.txns.stats.incr("aborted_explicit");
         if let (Some(tr), Some(c)) = (&self.tracer, txn.root) {
             tr.event(c, "txn.abort", now, "explicit");
@@ -431,9 +468,37 @@ impl DurableMetaverse {
         self.txns.mvcc.digest()
     }
 
-    /// Garbage-collect version chains at `horizon`; versions dropped.
+    /// Garbage-collect version chains at an explicit `horizon`;
+    /// versions dropped. Normally unnecessary: every commit and abort
+    /// runs the automatic collector (see [`Self::txn_auto_gc`]), which
+    /// tracks the oldest live snapshot by itself.
     pub fn txn_gc(&mut self, horizon: u64) -> usize {
         self.txns.mvcc.gc(horizon)
+    }
+
+    /// Run the automatic collector now: GC at the oldest live
+    /// snapshot's begin timestamp (or the oracle's current time when no
+    /// transaction is open). A long-running transaction pins the
+    /// horizon — nothing it could still read is collected.
+    pub fn txn_auto_gc(&mut self) -> usize {
+        let dropped = self.txns.mvcc.auto_gc();
+        if dropped > 0 {
+            self.txns.stats.add("gc_versions_auto", dropped as u64);
+        }
+        dropped
+    }
+
+    /// Begin timestamp of the oldest open transaction, if any (the
+    /// automatic GC horizon clamp).
+    pub fn txn_oldest_live_snapshot(&self) -> Option<u64> {
+        self.txns.mvcc.oldest_live_snapshot()
+    }
+
+    fn auto_gc(&mut self) {
+        let dropped = self.txns.mvcc.auto_gc();
+        if dropped > 0 {
+            self.txns.stats.add("gc_versions_auto", dropped as u64);
+        }
     }
 
     /// Prepared-but-undecided locks (0 whenever no commit is mid-flight
@@ -473,6 +538,7 @@ impl DurableMetaverse {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sharded::WriteOp;
     use crate::entity::EntityKind;
 
     fn t(ms: u64) -> SimTime {
@@ -529,6 +595,92 @@ mod tests {
         assert_eq!(dm.engine().entity(ids[0]).unwrap().attr("gold"), 90.0, "no double spend");
         assert_eq!(dm.txn_stats().get("aborted_conflict"), 1);
         assert_eq!(dm.txn_lock_count(), 0);
+    }
+
+    #[test]
+    fn long_running_txn_pins_the_auto_gc_horizon() {
+        let (mut dm, ids) = world(4, 4);
+        // Establish a transactional baseline version, then open a
+        // long-running reader snapshotted on top of it.
+        let mut init = dm.txn(t(2));
+        let base = dm.txn_read_attr(&mut init, ids[0], "gold").expect("seeded");
+        init.write_attr(ids[0], "gold", base, t(2));
+        dm.commit_txn(init, t(2)).expect("baseline");
+        let mut reader = dm.txn(t(2));
+        let seen = dm.txn_read_attr(&mut reader, ids[0], "gold").expect("seeded");
+
+        // Twenty commits rewrite the same attribute. Every commit runs
+        // the automatic collector, but the reader's snapshot pins the
+        // horizon — the version chain must keep growing.
+        for i in 0..20u64 {
+            let mut txn = dm.txn(t(3 + i));
+            let cur = dm.txn_read_attr(&mut txn, ids[0], "gold").expect("seeded");
+            txn.write_attr(ids[0], "gold", cur + 1.0, t(3 + i));
+            dm.commit_txn(txn, t(3 + i)).expect("no contention");
+        }
+        assert!(
+            dm.txn_version_count() >= 20,
+            "pinned horizon must retain the churned chain, got {}",
+            dm.txn_version_count()
+        );
+        assert!(dm.txn_oldest_live_snapshot().is_some());
+        assert_eq!(
+            dm.txn_read_attr(&mut reader, ids[0], "gold"),
+            Some(seen),
+            "the pinned snapshot still reads its original value"
+        );
+
+        // Retiring the reader unpins the horizon; the next commit's
+        // automatic collection trims every superseded version.
+        dm.abort_txn(reader, t(40));
+        assert_eq!(dm.txn_oldest_live_snapshot(), None);
+        let mut last = dm.txn(t(41));
+        let cur = dm.txn_read_attr(&mut last, ids[0], "gold").expect("seeded");
+        last.write_attr(ids[0], "gold", cur, t(41));
+        dm.commit_txn(last, t(41)).expect("no contention");
+        assert!(
+            dm.txn_version_count() <= 1 + ids.len() * 3,
+            "unpinned collector must trim the chain, got {}",
+            dm.txn_version_count()
+        );
+        assert!(dm.txn_stats().get("gc_versions_auto") > 0);
+    }
+
+    #[test]
+    fn txn_snapshot_never_observes_a_bypassing_plain_write() {
+        let (mut dm, ids) = world(2, 2);
+        // The plain seed write installed a version; snapshot on top.
+        let mut reader = dm.txn(t(2));
+        assert_eq!(dm.txn_read_attr(&mut reader, ids[0], "gold"), Some(100.0));
+
+        // Plain writes land *after* the snapshot, bypassing 2PC...
+        dm.update_attr(ids[0], "gold", 9_999.0, t(3)).unwrap();
+        dm.update_position(ids[0], Point::new(777.0, 777.0), t(3)).unwrap();
+        let batch = vec![WriteOp::Attr { id: ids[0], name: "gold".into(), value: 4_242.0, ts: t(4) }];
+        assert!(dm.apply_batch(&batch).iter().all(|r| r.is_ok()));
+
+        // ...the live engine sees them immediately...
+        assert_eq!(dm.engine().entity(ids[0]).unwrap().attr("gold"), 4_242.0);
+        // ...but the open snapshot still reads its own version — no tear.
+        assert_eq!(dm.txn_read_attr(&mut reader, ids[0], "gold"), Some(100.0));
+        // A position chain born after the snapshot reads absent-at-
+        // snapshot, never the newer live value.
+        assert_eq!(dm.txn_read_position(&mut reader, ids[0]), None);
+
+        // Serializable validation sees the plain write as a conflict: a
+        // stale read-modify-write on top of it must abort.
+        let stale = dm.txn_read_attr(&mut reader, ids[0], "gold").unwrap();
+        reader.write_attr(ids[0], "gold", stale + 1.0, t(5));
+        assert!(dm.commit_txn(reader, t(5)).is_err(), "plain write must conflict");
+        assert_eq!(dm.engine().entity(ids[0]).unwrap().attr("gold"), 4_242.0);
+
+        // Recovery rebuilds the plain-write versions byte-identically
+        // (sync first — unsynced tail writes die with the crash).
+        dm.commit(t(6));
+        let chains = dm.txn_digest();
+        dm.crash_and_recover();
+        assert_eq!(dm.txn_digest(), chains, "plain versions rebuilt identically");
+        assert!(dm.txn_stats().get("plain_versions") > 0);
     }
 
     #[test]
@@ -713,9 +865,11 @@ mod tests {
             txn.write_attr(ids[0], "gold", i as f64, t(2 + i));
             dm.commit_txn(txn, t(2 + i)).expect("serial commits");
         }
-        assert!(dm.txn_version_count() >= 10);
-        let dropped = dm.txn_gc(dm.txn_current_ts());
-        assert!(dropped >= 9, "old versions reclaimed, got {dropped}");
+        // With no snapshot live, the automatic collector already trimmed
+        // each superseded version at commit time — manual GC is a no-op
+        // and the latest state stays readable.
+        assert!(dm.txn_stats().get("gc_versions_auto") >= 9);
+        assert_eq!(dm.txn_gc(dm.txn_current_ts()), 0, "nothing left for the manual horizon");
         let mut check = dm.txn(t(20));
         assert_eq!(dm.txn_read_attr(&mut check, ids[0], "gold"), Some(9.0));
     }

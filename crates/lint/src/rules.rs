@@ -83,6 +83,10 @@ pub const CATALOGUE: &[RuleSpec] = &[
             "crates/core/src/txn.rs",
             "crates/txn/src/mvcc.rs",
             "crates/txn/src/sharded.rs",
+            "crates/raft/src/record.rs",
+            "crates/raft/src/node.rs",
+            "crates/raft/src/msg.rs",
+            "crates/core/src/replicated.rs",
         ],
         exclude: &[],
     },

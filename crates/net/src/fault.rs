@@ -299,6 +299,63 @@ mod tests {
     }
 
     #[test]
+    fn zero_length_crash_window_restarts_in_the_same_instant() {
+        // `from == until` degenerates to crash+restart at one timestamp;
+        // plan order resolves the tie, so the node is up afterwards and
+        // both hooks fired (in order) and were counted.
+        let t = SimTime::from_millis(2);
+        let b = NodeId::new(1);
+        let mut sim = Sim::new(world());
+        FaultPlan::new().crash_window(b, t, t).install(sim.scheduler());
+        sim.run_to_completion();
+        assert!(sim.world.net.is_up(b), "zero-length window leaves the node up");
+        assert_eq!(sim.world.crash_log, vec![(b, "crash"), (b, "restart")]);
+        assert_eq!(sim.world.net.stats.get("faults_node_crash"), 1);
+        assert_eq!(sim.world.net.stats.get("faults_node_restart"), 1);
+    }
+
+    #[test]
+    fn overlapping_partitions_on_one_pair_heal_at_the_first_until() {
+        // Two overlapping windows on the same group pair: severed state
+        // is a set, not a counter, so the first window's heal reconnects
+        // the pair even though the second window is still "open" — and
+        // every injection (including the no-op second heal) is audited.
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let mut sim = Sim::new(world());
+        FaultPlan::new()
+            .partition_between(0, 1, SimTime::from_millis(10), SimTime::from_millis(30))
+            .partition_between(0, 1, SimTime::from_millis(20), SimTime::from_millis(40))
+            .install(sim.scheduler());
+        let mut rng = seeded_rng(3);
+        sim.run_until(SimTime::from_millis(25));
+        assert!(sim.world.net.transfer(a, b, 1, sim.now(), &mut rng).is_err(), "both open");
+        sim.run_until(SimTime::from_millis(35));
+        assert!(
+            sim.world.net.transfer(a, b, 1, sim.now(), &mut rng).is_ok(),
+            "first heal reconnects the pair (set semantics, not refcounts)"
+        );
+        sim.run_to_completion();
+        assert_eq!(sim.world.net.stats.get("faults_severed"), 2);
+        assert_eq!(sim.world.net.stats.get("faults_healed"), 2);
+    }
+
+    #[test]
+    fn fault_scheduled_at_the_current_tick_still_fires() {
+        // Installing a fault at the scheduler's current instant (t = 0,
+        // before any run) must fire it on the next drain, not drop it.
+        let b = NodeId::new(1);
+        let mut sim = Sim::new(world());
+        FaultPlan::new()
+            .at(SimTime::ZERO, Fault::Crash { node: b })
+            .install(sim.scheduler());
+        assert!(sim.world.net.is_up(b), "nothing fires before the scheduler drains");
+        sim.run_until(SimTime::ZERO);
+        assert!(!sim.world.net.is_up(b), "a current-tick fault fires on the next drain");
+        assert_eq!(sim.world.crash_log, vec![(b, "crash")]);
+        assert_eq!(sim.world.net.stats.get("faults_node_crash"), 1);
+    }
+
+    #[test]
     fn simultaneous_faults_fire_in_plan_order() {
         // Heal listed before sever at the same instant: sever wins the
         // tie because plan order is preserved; listed the other way the

@@ -1,0 +1,1088 @@
+//! The per-replica raft state machine.
+//!
+//! [`RaftNode`] is pure protocol state plus a `GroupCommitWal` standing
+//! in for its disk: [`RaftNode::tick`] fires timers (election timeout,
+//! heartbeat), [`RaftNode::handle`] processes one delivered message,
+//! and both return the messages to ship. The embedder applies committed
+//! commands by draining [`RaftNode::take_committed`] and reacts to an
+//! accepted snapshot via [`RaftNode::take_pending_install`].
+//!
+//! Every protocol rule that Raft requires to be *stable* is appended to
+//! the WAL and synced before the node acts on it (grant a vote, ack an
+//! append, advertise a term). A crash (`crash`) drops volatile state —
+//! role, commit index, peer bookkeeping, unsynced WAL tail — and
+//! [`RaftNode::restart`] folds the surviving records back; a wiped node
+//! ([`RaftNode::wipe`]) restarts empty and catches up via snapshot
+//! install.
+
+use crate::msg::{LogEntry, Outgoing, RaftMsg};
+use crate::record::{FoldedState, RaftRecord};
+use crate::{mix, unit_f64};
+use mv_common::id::NodeId;
+use mv_common::time::{SimDuration, SimTime};
+use mv_obs::{SharedRegistry, SharedTracer, StatSet};
+use mv_storage::wal::WalRecord;
+use mv_storage::{GroupCommitPolicy, GroupCommitWal};
+use std::collections::BTreeMap;
+
+/// Protocol timing and compaction tuning. All durations are virtual.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RaftConfig {
+    /// Minimum election timeout (also the lease extension unit — a
+    /// rival cannot win an election in less than this).
+    pub election_min: SimDuration,
+    /// Seeded spread added on top: timeout ∈ `[min, min + spread)`,
+    /// drawn as a pure function of `(seed, node, term)`.
+    pub election_spread: SimDuration,
+    /// Leader heartbeat interval (must be well under `election_min`).
+    pub heartbeat: SimDuration,
+    /// Max entries per AppendEntries message.
+    pub max_batch: usize,
+}
+
+impl Default for RaftConfig {
+    fn default() -> Self {
+        RaftConfig {
+            election_min: SimDuration::from_millis(150),
+            election_spread: SimDuration::from_millis(150),
+            heartbeat: SimDuration::from_millis(50),
+            max_batch: 64,
+        }
+    }
+}
+
+/// A node's current protocol role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Accepting entries from a leader.
+    Follower,
+    /// Soliciting votes after an election timeout.
+    Candidate,
+    /// Replicating entries; the only role that accepts client appends.
+    Leader,
+}
+
+/// See the module docs. One instance per region replica.
+pub struct RaftNode {
+    id: NodeId,
+    /// Every *other* member, sorted (deterministic send order).
+    peers: Vec<NodeId>,
+    cfg: RaftConfig,
+    seed: u64,
+    // -- persistent (mirrored in `wal`) ----------------------------------
+    term: u64,
+    voted: Option<NodeId>,
+    /// Last index covered by `snapshot` (0 = none).
+    base_index: u64,
+    base_term: u64,
+    snapshot: Option<Vec<u8>>,
+    /// Entries above `base_index`.
+    log: Vec<LogEntry>,
+    /// The node's "disk".
+    wal: GroupCommitWal,
+    // -- volatile --------------------------------------------------------
+    role: Role,
+    leader_hint: Option<NodeId>,
+    commit_index: u64,
+    /// Everything at or below this was handed to the embedder.
+    applied_index: u64,
+    votes: Vec<NodeId>,
+    next_index: BTreeMap<NodeId, u64>,
+    match_index: BTreeMap<NodeId, u64>,
+    election_deadline: SimTime,
+    heartbeat_due: SimTime,
+    /// Freshest same-term acknowledgement per peer (lease input).
+    last_ack: BTreeMap<NodeId, SimTime>,
+    /// An accepted snapshot the embedder has not yet installed.
+    pending_install: bool,
+    /// Open `raft.election` span, if an election is in flight.
+    election_span: Option<u64>,
+    tracer: Option<SharedTracer>,
+    /// `raft.*` counters (`elections_started`, `leaders_elected`,
+    /// `entries_committed`, `snapshots_installed`, …).
+    pub stats: StatSet,
+}
+
+impl RaftNode {
+    /// A fresh member of the group `members` (must contain `id`).
+    /// `seed` pins the election-timeout stream.
+    pub fn new(id: NodeId, members: &[NodeId], cfg: RaftConfig, seed: u64, now: SimTime) -> Self {
+        let mut peers: Vec<NodeId> = members.iter().copied().filter(|m| *m != id).collect();
+        peers.sort_unstable();
+        peers.dedup();
+        let mut node = RaftNode {
+            id,
+            peers,
+            cfg,
+            seed,
+            term: 0,
+            voted: None,
+            base_index: 0,
+            base_term: 0,
+            snapshot: None,
+            log: Vec::new(),
+            wal: GroupCommitWal::with_policy(GroupCommitPolicy::by_records(usize::MAX)),
+            role: Role::Follower,
+            leader_hint: None,
+            commit_index: 0,
+            applied_index: 0,
+            votes: Vec::new(),
+            next_index: BTreeMap::new(),
+            match_index: BTreeMap::new(),
+            election_deadline: SimTime::ZERO,
+            heartbeat_due: SimTime::ZERO,
+            last_ack: BTreeMap::new(),
+            pending_install: false,
+            election_span: None,
+            tracer: None,
+            stats: StatSet::new("raft"),
+        };
+        node.election_deadline = now + node.election_timeout(0);
+        node
+    }
+
+    /// Collect `raft.election/append/commit/snapshot` spans here.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Re-home this node's counters onto a shared registry.
+    pub fn attach_registry(&mut self, registry: &SharedRegistry) {
+        self.stats.attach(registry);
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// True when this node believes it is the leader.
+    pub fn is_leader(&self) -> bool {
+        self.role == Role::Leader
+    }
+
+    /// Current term.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// Where this node believes the leader is (itself when leading).
+    pub fn leader_hint(&self) -> Option<NodeId> {
+        if self.role == Role::Leader {
+            Some(self.id)
+        } else {
+            self.leader_hint
+        }
+    }
+
+    /// Highest log index (snapshot base + entries).
+    pub fn last_index(&self) -> u64 {
+        self.base_index + self.log.len() as u64
+    }
+
+    /// Highest committed index.
+    pub fn commit_index(&self) -> u64 {
+        self.commit_index
+    }
+
+    /// Last index covered by the local snapshot (0 = none).
+    pub fn base_index(&self) -> u64 {
+        self.base_index
+    }
+
+    /// The stored snapshot payload, if any.
+    pub fn snapshot_data(&self) -> Option<&[u8]> {
+        self.snapshot.as_deref()
+    }
+
+    /// Group size (peers + self).
+    pub fn members(&self) -> usize {
+        self.peers.len() + 1
+    }
+
+    fn majority(&self) -> usize {
+        self.members() / 2 + 1
+    }
+
+    /// The seeded election timeout for `term`: a pure function, so two
+    /// same-seed runs elect identically.
+    fn election_timeout(&self, term: u64) -> SimDuration {
+        let jitter = self.cfg.election_spread.mul_f64(unit_f64(mix(
+            mix(self.seed, self.id.raw()),
+            term,
+        )));
+        self.cfg.election_min + jitter
+    }
+
+    /// Term of the entry at `index`, if this node still has it.
+    fn term_at(&self, index: u64) -> Option<u64> {
+        if index == 0 {
+            return Some(0);
+        }
+        if index == self.base_index {
+            return Some(self.base_term);
+        }
+        let off = index.checked_sub(self.base_index + 1)? as usize;
+        self.log.get(off).map(|e| e.term)
+    }
+
+    fn last_term(&self) -> u64 {
+        self.log.last().map_or(self.base_term, |e| e.term)
+    }
+
+    /// Append `recs` to the WAL and sync: the group-commit batch is the
+    /// durability unit, so one protocol step costs one sync however
+    /// many records it wrote.
+    fn persist(&mut self, recs: &[RaftRecord], now: SimTime) {
+        if recs.is_empty() {
+            return;
+        }
+        for rec in recs {
+            self.wal.append(WalRecord::Put { key: Vec::new(), value: rec.encode() }, now);
+        }
+        self.wal.sync();
+        self.stats.add("wal_records", recs.len() as u64);
+    }
+
+    fn persist_hard_state(&mut self, now: SimTime) {
+        self.persist(&[RaftRecord::HardState { term: self.term, voted: self.voted }], now);
+    }
+
+    /// Observe a higher term: adopt it and fall back to follower.
+    fn step_down(&mut self, term: u64, now: SimTime) {
+        if self.role == Role::Leader {
+            self.stats.incr("step_downs");
+        }
+        self.close_election(now, "lost");
+        self.term = term;
+        self.voted = None;
+        self.role = Role::Follower;
+        self.votes.clear();
+        self.last_ack.clear();
+        self.election_deadline = now + self.election_timeout(term);
+        self.persist_hard_state(now);
+    }
+
+    fn close_election(&mut self, now: SimTime, status: &'static str) {
+        if let (Some(tr), Some(span)) = (&self.tracer, self.election_span.take()) {
+            tr.close(span, now, status);
+        }
+    }
+
+    // -- timers ----------------------------------------------------------
+
+    /// Advance timers to `now`: start an election when the timeout
+    /// lapses, send heartbeats when leading. Returns messages to ship.
+    pub fn tick(&mut self, now: SimTime) -> Vec<Outgoing> {
+        let mut out = Vec::new();
+        match self.role {
+            Role::Leader => {
+                if now >= self.heartbeat_due {
+                    self.heartbeat_due = now + self.cfg.heartbeat;
+                    self.broadcast_appends(now, &mut out);
+                }
+            }
+            Role::Follower | Role::Candidate => {
+                if now >= self.election_deadline {
+                    self.start_election(now, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    fn start_election(&mut self, now: SimTime, out: &mut Vec<Outgoing>) {
+        self.close_election(now, "lost");
+        self.term += 1;
+        self.role = Role::Candidate;
+        self.voted = Some(self.id);
+        self.votes = vec![self.id];
+        self.leader_hint = None;
+        self.election_deadline = now + self.election_timeout(self.term);
+        self.persist_hard_state(now);
+        self.stats.incr("elections_started");
+        if let Some(tr) = &self.tracer {
+            if let Some(ctx) = tr.maybe_trace("raft.election", now) {
+                self.election_span = Some(ctx.span);
+            }
+        }
+        let msg = RaftMsg::Vote {
+            term: self.term,
+            last_index: self.last_index(),
+            last_term: self.last_term(),
+        };
+        for &p in &self.peers {
+            out.push(Outgoing { to: p, msg: msg.clone() });
+        }
+        if self.votes.len() >= self.majority() {
+            // Single-node group: win immediately.
+            self.become_leader(now, out);
+        }
+    }
+
+    fn become_leader(&mut self, now: SimTime, out: &mut Vec<Outgoing>) {
+        self.role = Role::Leader;
+        self.leader_hint = Some(self.id);
+        self.stats.incr("leaders_elected");
+        self.close_election(now, "won");
+        let next = self.last_index() + 1;
+        self.next_index = self.peers.iter().map(|&p| (p, next)).collect();
+        self.match_index = self.peers.iter().map(|&p| (p, 0)).collect();
+        self.last_ack.clear();
+        // A no-op entry gives the new term something to commit (§5.4.2:
+        // older-term entries only commit transitively through it).
+        let index = self.last_index() + 1;
+        self.log.push(LogEntry { term: self.term, cmd: Vec::new() });
+        self.persist(&[RaftRecord::Entry { index, term: self.term, cmd: Vec::new() }], now);
+        self.advance_commit(now);
+        self.heartbeat_due = now + self.cfg.heartbeat;
+        self.broadcast_appends(now, out);
+    }
+
+    fn broadcast_appends(&mut self, now: SimTime, out: &mut Vec<Outgoing>) {
+        for p in self.peers.clone() {
+            out.extend(self.append_for(p, now));
+        }
+    }
+
+    /// Build the AppendEntries (or InstallSnapshot) currently owed to
+    /// peer `p`.
+    fn append_for(&mut self, p: NodeId, now: SimTime) -> Option<Outgoing> {
+        let next = *self.next_index.get(&p)?;
+        if next <= self.base_index {
+            // The peer needs entries we compacted away: ship the
+            // snapshot instead.
+            let data = self.snapshot.clone()?;
+            self.stats.incr("snapshots_sent");
+            self.trace_instant("raft.snapshot", now, "sent");
+            return Some(Outgoing {
+                to: p,
+                msg: RaftMsg::Snap {
+                    term: self.term,
+                    base_index: self.base_index,
+                    base_term: self.base_term,
+                    data,
+                },
+            });
+        }
+        let prev_index = next - 1;
+        let prev_term = self.term_at(prev_index)?;
+        let from = (next - self.base_index - 1) as usize;
+        let entries: Vec<LogEntry> =
+            self.log.get(from..).unwrap_or_default().iter().take(self.cfg.max_batch).cloned().collect();
+        if !entries.is_empty() {
+            self.stats.incr("appends_sent");
+            self.stats.add("entries_sent", entries.len() as u64);
+        } else {
+            self.stats.incr("heartbeats_sent");
+        }
+        Some(Outgoing {
+            to: p,
+            msg: RaftMsg::Append {
+                term: self.term,
+                prev_index,
+                prev_term,
+                entries,
+                commit: self.commit_index,
+            },
+        })
+    }
+
+    /// A zero-duration span marking one protocol event (sampled).
+    fn trace_instant(&self, name: &'static str, now: SimTime, status: &'static str) {
+        if let Some(tr) = &self.tracer {
+            if let Some(ctx) = tr.maybe_trace(name, now) {
+                tr.close(ctx.span, now, status);
+            }
+        }
+    }
+
+    // -- client surface --------------------------------------------------
+
+    /// Append a client command to the leader's log. Returns the entry's
+    /// index (acknowledge the client only once `commit_index` reaches
+    /// it), or `None` when this node is not the leader.
+    pub fn client_append(&mut self, cmd: Vec<u8>, now: SimTime) -> Option<u64> {
+        if self.role != Role::Leader {
+            return None;
+        }
+        let index = self.last_index() + 1;
+        self.log.push(LogEntry { term: self.term, cmd: cmd.clone() });
+        self.persist(&[RaftRecord::Entry { index, term: self.term, cmd }], now);
+        self.stats.incr("client_appends");
+        self.advance_commit(now);
+        Some(index)
+    }
+
+    /// True while the leader's read lease is valid: a majority of the
+    /// group acknowledged this term within the last minimum election
+    /// timeout, so no rival can have been elected yet — local reads are
+    /// safe without a round trip.
+    pub fn lease_valid(&self, now: SimTime) -> bool {
+        if self.role != Role::Leader {
+            return false;
+        }
+        let needed = self.majority() - 1; // self counts implicitly
+        if needed == 0 {
+            return true;
+        }
+        let mut acks: Vec<SimTime> = self.last_ack.values().copied().collect();
+        acks.sort_unstable_by(|a, b| b.cmp(a));
+        match acks.get(needed - 1) {
+            Some(&kth) => now < kth + self.cfg.election_min,
+            None => false,
+        }
+    }
+
+    /// Drain entries committed since the last drain, in index order.
+    /// No-op entries are included (callers skip empty commands) so the
+    /// index bookkeeping stays dense.
+    pub fn take_committed(&mut self) -> Vec<(u64, Vec<u8>)> {
+        let mut out = Vec::new();
+        while self.applied_index < self.commit_index {
+            let idx = self.applied_index + 1;
+            let Some(off) = idx.checked_sub(self.base_index + 1) else { break };
+            let Some(entry) = self.log.get(off as usize) else { break };
+            out.push((idx, entry.cmd.clone()));
+            self.applied_index = idx;
+        }
+        out
+    }
+
+    /// An accepted InstallSnapshot the embedder has not yet applied:
+    /// returns `(base_index, base_term, payload)` once per install.
+    pub fn take_pending_install(&mut self) -> Option<(u64, u64, Vec<u8>)> {
+        if !self.pending_install {
+            return None;
+        }
+        self.pending_install = false;
+        Some((self.base_index, self.base_term, self.snapshot.clone()?))
+    }
+
+    /// Compact the log: `snapshot` covers everything up to `index`
+    /// (which must be applied). Entries at or below `index` are
+    /// discarded and the WAL is rewritten to the compact image —
+    /// snapshot record, hard state, surviving entries — so recovery
+    /// replay stays proportional to the live suffix.
+    pub fn compact(&mut self, index: u64, snapshot: Vec<u8>, now: SimTime) {
+        if index <= self.base_index || index > self.applied_index {
+            return;
+        }
+        let Some(term) = self.term_at(index) else { return };
+        let covered = (index - self.base_index) as usize;
+        self.log.drain(..covered.min(self.log.len()));
+        self.base_index = index;
+        self.base_term = term;
+        self.snapshot = Some(snapshot.clone());
+        self.stats.incr("compactions");
+        self.trace_instant("raft.snapshot", now, "compacted");
+        // Rewrite the WAL as a fresh compact image.
+        self.wal = GroupCommitWal::with_policy(GroupCommitPolicy::by_records(usize::MAX));
+        let mut recs = vec![
+            RaftRecord::Snapshot { index, term, data: snapshot },
+            RaftRecord::HardState { term: self.term, voted: self.voted },
+        ];
+        for (i, e) in self.log.iter().enumerate() {
+            recs.push(RaftRecord::Entry {
+                index: self.base_index + 1 + i as u64,
+                term: e.term,
+                cmd: e.cmd.clone(),
+            });
+        }
+        self.persist(&recs, now);
+    }
+
+    // -- message handling ------------------------------------------------
+
+    /// Process one delivered message. Returns replies/side-sends.
+    pub fn handle(&mut self, from: NodeId, msg: RaftMsg, now: SimTime) -> Vec<Outgoing> {
+        let mut out = Vec::new();
+        if msg.term() > self.term {
+            self.step_down(msg.term(), now);
+        }
+        match msg {
+            RaftMsg::Vote { term, last_index, last_term } => {
+                self.on_vote(from, term, last_index, last_term, now, &mut out);
+            }
+            RaftMsg::VoteReply { term, granted } => {
+                self.on_vote_reply(from, term, granted, now, &mut out);
+            }
+            RaftMsg::Append { term, prev_index, prev_term, entries, commit } => {
+                self.on_append(from, term, prev_index, prev_term, entries, commit, now, &mut out);
+            }
+            RaftMsg::AppendReply { term, ok, match_index } => {
+                self.on_append_reply(from, term, ok, match_index, now, &mut out);
+            }
+            RaftMsg::Snap { term, base_index, base_term, data } => {
+                self.on_snap(from, term, base_index, base_term, data, now, &mut out);
+            }
+            RaftMsg::SnapReply { term, match_index } => {
+                self.on_reply_progress(from, term, match_index, now, &mut out);
+            }
+        }
+        out
+    }
+
+    fn on_vote(
+        &mut self,
+        from: NodeId,
+        term: u64,
+        last_index: u64,
+        last_term: u64,
+        now: SimTime,
+        out: &mut Vec<Outgoing>,
+    ) {
+        let up_to_date = (last_term, last_index) >= (self.last_term(), self.last_index());
+        let grant = term == self.term
+            && self.voted.is_none_or(|v| v == from)
+            && up_to_date
+            && self.role != Role::Leader;
+        if grant {
+            self.voted = Some(from);
+            self.election_deadline = now + self.election_timeout(term);
+            // The vote must be durable before the reply leaves: a
+            // restarted node must not vote twice in one term.
+            self.persist_hard_state(now);
+            self.stats.incr("votes_granted");
+        }
+        out.push(Outgoing { to: from, msg: RaftMsg::VoteReply { term: self.term, granted: grant } });
+    }
+
+    fn on_vote_reply(
+        &mut self,
+        from: NodeId,
+        term: u64,
+        granted: bool,
+        now: SimTime,
+        out: &mut Vec<Outgoing>,
+    ) {
+        if self.role != Role::Candidate || term != self.term || !granted {
+            return;
+        }
+        if !self.votes.contains(&from) {
+            self.votes.push(from);
+        }
+        if self.votes.len() >= self.majority() {
+            self.become_leader(now, out);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_append(
+        &mut self,
+        from: NodeId,
+        term: u64,
+        prev_index: u64,
+        prev_term: u64,
+        entries: Vec<LogEntry>,
+        commit: u64,
+        now: SimTime,
+        out: &mut Vec<Outgoing>,
+    ) {
+        if term < self.term {
+            out.push(Outgoing {
+                to: from,
+                msg: RaftMsg::AppendReply { term: self.term, ok: false, match_index: 0 },
+            });
+            return;
+        }
+        // A current-term AppendEntries is proof of a legitimate leader.
+        if self.role != Role::Follower {
+            self.close_election(now, "lost");
+            self.role = Role::Follower;
+        }
+        self.leader_hint = Some(from);
+        self.election_deadline = now + self.election_timeout(term);
+
+        // Entries our snapshot already covers are skipped, not re-checked
+        // — the snapshot is authoritative for its prefix.
+        let (mut prev_index, mut prev_term, mut entries) = (prev_index, prev_term, entries);
+        if prev_index < self.base_index {
+            let skip = (self.base_index - prev_index) as usize;
+            if skip >= entries.len() {
+                out.push(Outgoing {
+                    to: from,
+                    msg: RaftMsg::AppendReply {
+                        term: self.term,
+                        ok: true,
+                        match_index: self.base_index,
+                    },
+                });
+                return;
+            }
+            entries.drain(..skip);
+            prev_index = self.base_index;
+            prev_term = self.base_term;
+        }
+
+        let consistent = self.term_at(prev_index) == Some(prev_term);
+        if !consistent {
+            // Back-off hint: the highest index the leader should try
+            // next (our last index, or just below the conflict).
+            let hint = self.last_index().min(prev_index.saturating_sub(1)).max(self.base_index);
+            out.push(Outgoing {
+                to: from,
+                msg: RaftMsg::AppendReply { term: self.term, ok: false, match_index: hint },
+            });
+            return;
+        }
+
+        let mut recs = Vec::new();
+        let mut idx = prev_index;
+        for e in entries.iter() {
+            idx += 1;
+            match self.term_at(idx) {
+                Some(t) if t == e.term => continue, // already have it
+                Some(_) => {
+                    // Conflict: discard our suffix, then append.
+                    let keep = (idx - self.base_index - 1) as usize;
+                    self.log.truncate(keep);
+                    recs.push(RaftRecord::Truncate { from: idx });
+                    self.log.push(e.clone());
+                    recs.push(RaftRecord::Entry { index: idx, term: e.term, cmd: e.cmd.clone() });
+                }
+                None => {
+                    self.log.push(e.clone());
+                    recs.push(RaftRecord::Entry { index: idx, term: e.term, cmd: e.cmd.clone() });
+                }
+            }
+        }
+        // Durable before acknowledged: the ack promises the entries
+        // survive this node's crash.
+        self.persist(&recs, now);
+        if !entries.is_empty() {
+            self.stats.add("entries_accepted", entries.len() as u64);
+        }
+        let match_index = prev_index + entries.len() as u64;
+        let new_commit = commit.min(self.last_index());
+        if new_commit > self.commit_index {
+            self.commit_index = new_commit;
+            self.stats.incr("commit_advances");
+        }
+        out.push(Outgoing {
+            to: from,
+            msg: RaftMsg::AppendReply { term: self.term, ok: true, match_index },
+        });
+    }
+
+    fn on_append_reply(
+        &mut self,
+        from: NodeId,
+        term: u64,
+        ok: bool,
+        match_index: u64,
+        now: SimTime,
+        out: &mut Vec<Outgoing>,
+    ) {
+        if self.role != Role::Leader || term != self.term {
+            return;
+        }
+        self.last_ack.insert(from, now);
+        if ok {
+            self.on_reply_progress(from, term, match_index, now, out);
+        } else {
+            // Back off next_index to the follower's hint and retry
+            // immediately (the hint only ever decreases, so this
+            // terminates).
+            let next = self.next_index.entry(from).or_insert(1);
+            *next = (match_index + 1).min((*next).saturating_sub(1).max(1));
+            out.extend(self.append_for(from, now));
+        }
+    }
+
+    /// Success progress shared by AppendReply and SnapReply.
+    fn on_reply_progress(
+        &mut self,
+        from: NodeId,
+        term: u64,
+        match_index: u64,
+        now: SimTime,
+        out: &mut Vec<Outgoing>,
+    ) {
+        if self.role != Role::Leader || term != self.term {
+            return;
+        }
+        self.last_ack.insert(from, now);
+        let m = self.match_index.entry(from).or_insert(0);
+        if match_index > *m {
+            *m = match_index;
+        }
+        let next = self.next_index.entry(from).or_insert(1);
+        if match_index + 1 > *next {
+            *next = match_index + 1;
+        }
+        self.advance_commit(now);
+        // More to send? Keep the pipe full without waiting a heartbeat.
+        if *self.next_index.get(&from).unwrap_or(&u64::MAX) <= self.last_index() {
+            out.extend(self.append_for(from, now));
+        }
+    }
+
+    /// Leader commit rule: the majority-replicated index whose entry is
+    /// from the current term.
+    fn advance_commit(&mut self, now: SimTime) {
+        if self.role != Role::Leader {
+            return;
+        }
+        let mut matches: Vec<u64> = self.match_index.values().copied().collect();
+        matches.push(self.last_index());
+        matches.sort_unstable_by(|a, b| b.cmp(a));
+        let Some(&candidate) = matches.get(self.majority() - 1) else { return };
+        if candidate > self.commit_index && self.term_at(candidate) == Some(self.term) {
+            let advanced = candidate - self.commit_index;
+            self.commit_index = candidate;
+            self.stats.add("entries_committed", advanced);
+            self.trace_instant("raft.commit", now, "advanced");
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_snap(
+        &mut self,
+        from: NodeId,
+        term: u64,
+        base_index: u64,
+        base_term: u64,
+        data: Vec<u8>,
+        now: SimTime,
+        out: &mut Vec<Outgoing>,
+    ) {
+        if term < self.term {
+            out.push(Outgoing {
+                to: from,
+                msg: RaftMsg::SnapReply { term: self.term, match_index: 0 },
+            });
+            return;
+        }
+        if self.role != Role::Follower {
+            self.close_election(now, "lost");
+            self.role = Role::Follower;
+        }
+        self.leader_hint = Some(from);
+        self.election_deadline = now + self.election_timeout(term);
+        if base_index <= self.commit_index {
+            // Nothing new: we already committed past the snapshot.
+            out.push(Outgoing {
+                to: from,
+                msg: RaftMsg::SnapReply { term: self.term, match_index: self.commit_index },
+            });
+            return;
+        }
+        // Accept: the snapshot replaces our log wholesale (any suffix
+        // we hold may conflict; the leader backfills from base_index).
+        self.log.clear();
+        self.base_index = base_index;
+        self.base_term = base_term;
+        self.snapshot = Some(data.clone());
+        self.commit_index = base_index;
+        self.applied_index = base_index;
+        self.pending_install = true;
+        self.stats.incr("snapshots_installed");
+        self.trace_instant("raft.snapshot", now, "installed");
+        // Rewrite the WAL as the fresh image.
+        self.wal = GroupCommitWal::with_policy(GroupCommitPolicy::by_records(usize::MAX));
+        self.persist(
+            &[
+                RaftRecord::Snapshot { index: base_index, term: base_term, data },
+                RaftRecord::HardState { term: self.term, voted: self.voted },
+            ],
+            now,
+        );
+        out.push(Outgoing {
+            to: from,
+            msg: RaftMsg::SnapReply { term: self.term, match_index: base_index },
+        });
+    }
+
+    // -- crash / restart -------------------------------------------------
+
+    /// The node's process dies: the unsynced WAL tail is lost (the
+    /// protocol syncs before acting, so in practice nothing is pending)
+    /// and all volatile state becomes garbage. The embedder must call
+    /// [`Self::restart`] before using the node again.
+    pub fn crash(&mut self) {
+        self.wal.crash_with_report();
+        self.stats.incr("crashes");
+    }
+
+    /// Rebuild from the durable WAL image: term/vote/log/snapshot fold
+    /// back; role, commit index, and peer bookkeeping reset. The
+    /// embedder rebuilds its state machine from
+    /// [`Self::take_pending_install`] (set when a snapshot survived)
+    /// plus re-delivered committed entries.
+    pub fn restart(&mut self, now: SimTime) {
+        let folded = FoldedState::from_records(self.wal.durable().iter().filter_map(|r| {
+            let WalRecord::Put { value, .. } = r else { return None };
+            Some(value.as_slice())
+        }));
+        self.term = folded.term;
+        self.voted = folded.voted;
+        self.base_index = folded.base_index;
+        self.base_term = folded.base_term;
+        self.snapshot = folded.snapshot;
+        self.log = folded.log;
+        self.role = Role::Follower;
+        self.leader_hint = None;
+        self.commit_index = self.base_index;
+        self.applied_index = self.base_index;
+        self.votes.clear();
+        self.next_index.clear();
+        self.match_index.clear();
+        self.last_ack.clear();
+        self.pending_install = self.snapshot.is_some();
+        self.election_span = None;
+        self.election_deadline = now + self.election_timeout(self.term);
+        self.stats.incr("restarts");
+    }
+
+    /// Total state loss: disk *and* memory gone (a replaced machine).
+    /// The node restarts empty and catches up via snapshot install or
+    /// full log backfill.
+    pub fn wipe(&mut self, now: SimTime) {
+        self.wal = GroupCommitWal::with_policy(GroupCommitPolicy::by_records(usize::MAX));
+        self.term = 0;
+        self.voted = None;
+        self.base_index = 0;
+        self.base_term = 0;
+        self.snapshot = None;
+        self.log.clear();
+        self.restart(now);
+        self.stats.incr("wipes");
+    }
+
+    /// Deterministic digest of the committed log prefix (index, term,
+    /// command bytes, folded over the snapshot base). Two replicas with
+    /// equal digests agree on the committed history.
+    pub fn committed_digest(&self) -> u64 {
+        use std::hash::Hasher as _;
+        let mut h = mv_common::hash::FxHasher::default();
+        h.write_u64(self.base_index);
+        h.write_u64(self.base_term);
+        if let Some(s) = &self.snapshot {
+            h.write(s);
+        }
+        for i in (self.base_index + 1)..=self.commit_index {
+            let Some(off) = i.checked_sub(self.base_index + 1) else { continue };
+            let Some(e) = self.log.get(off as usize) else { continue };
+            h.write_u64(i);
+            h.write_u64(e.term);
+            h.write(&e.cmd);
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(n: u64) -> Vec<RaftNode> {
+        let members: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+        members
+            .iter()
+            .map(|&m| RaftNode::new(m, &members, RaftConfig::default(), 42, SimTime::ZERO))
+            .collect()
+    }
+
+    /// Deliver every outgoing message instantly until quiescent.
+    fn settle(nodes: &mut [RaftNode], mut pending: Vec<(NodeId, Outgoing)>, now: SimTime) {
+        let mut guard = 0;
+        while let Some((from, Outgoing { to, msg })) = pending.pop() {
+            guard += 1;
+            assert!(guard < 100_000, "message storm");
+            let Some(node) = nodes.iter_mut().find(|n| n.id() == to) else { continue };
+            for o in node.handle(from, msg, now) {
+                pending.push((to, o));
+            }
+        }
+    }
+
+    fn tick_all(nodes: &mut [RaftNode], now: SimTime) {
+        let ids: Vec<NodeId> = nodes.iter().map(|n| n.id()).collect();
+        let mut pending = Vec::new();
+        for (i, node) in nodes.iter_mut().enumerate() {
+            for o in node.tick(now) {
+                pending.push((ids[i], o));
+            }
+        }
+        settle(nodes, pending, now);
+    }
+
+    /// A group plus a continuously advancing clock. Time must move in
+    /// small steps: a silent gap longer than an election timeout is a
+    /// leader failure, by design.
+    struct Cluster {
+        nodes: Vec<RaftNode>,
+        now: SimTime,
+    }
+
+    impl Cluster {
+        fn new(n: u64) -> Self {
+            Cluster { nodes: group(n), now: SimTime::ZERO }
+        }
+
+        /// Advance `ms` milliseconds, ticking every ms.
+        fn run_ms(&mut self, ms: u64) {
+            for _ in 0..ms {
+                self.now += SimDuration::from_millis(1);
+                tick_all(&mut self.nodes, self.now);
+            }
+        }
+
+        fn run_until_leader(&mut self, to_ms: u64) -> usize {
+            for _ in 0..to_ms {
+                self.run_ms(1);
+                if let Some(i) = self.nodes.iter().position(|n| n.is_leader()) {
+                    return i;
+                }
+            }
+            panic!("no leader by {to_ms}ms");
+        }
+    }
+
+    #[test]
+    fn three_nodes_elect_exactly_one_leader() {
+        let mut c = Cluster::new(3);
+        let li = c.run_until_leader(1_000);
+        assert_eq!(c.nodes.iter().filter(|n| n.is_leader()).count(), 1);
+        let term = c.nodes[li].term();
+        for n in &c.nodes {
+            assert_eq!(n.term(), term, "all converge on the leader's term");
+        }
+    }
+
+    #[test]
+    fn appends_replicate_and_commit() {
+        let mut c = Cluster::new(3);
+        let li = c.run_until_leader(1_000);
+        c.run_ms(100);
+        let idx = c.nodes[li].client_append(b"w1".to_vec(), c.now).expect("leader");
+        c.run_ms(120);
+        assert!(c.nodes[li].commit_index() >= idx, "majority replication commits");
+        for n in c.nodes.iter_mut() {
+            let cmds: Vec<Vec<u8>> =
+                n.take_committed().into_iter().map(|(_, c)| c).filter(|c| !c.is_empty()).collect();
+            assert_eq!(cmds, vec![b"w1".to_vec()], "node {:?}", n.id());
+        }
+        let d0 = c.nodes[0].committed_digest();
+        assert!(c.nodes.iter().all(|n| n.committed_digest() == d0));
+    }
+
+    #[test]
+    fn crash_and_restart_preserve_durable_log() {
+        let mut c = Cluster::new(3);
+        let li = c.run_until_leader(1_000);
+        c.run_ms(100);
+        c.nodes[li].client_append(b"x".to_vec(), c.now).unwrap();
+        c.run_ms(60);
+        let fi = (li + 1) % 3;
+        let (term, last) = (c.nodes[fi].term(), c.nodes[fi].last_index());
+        c.nodes[fi].crash();
+        c.nodes[fi].restart(c.now);
+        assert_eq!(c.nodes[fi].term(), term, "term survives");
+        assert_eq!(c.nodes[fi].last_index(), last, "log survives");
+        assert_eq!(c.nodes[fi].role(), Role::Follower);
+    }
+
+    #[test]
+    fn compaction_serves_snapshot_to_wiped_follower() {
+        let mut c = Cluster::new(3);
+        let li = c.run_until_leader(1_000);
+        c.run_ms(100);
+        for i in 0..8u8 {
+            c.nodes[li].client_append(vec![i], c.now).unwrap();
+            c.run_ms(60);
+        }
+        // Apply + compact on the leader.
+        let applied: u64 = {
+            let now = c.now;
+            let n = &mut c.nodes[li];
+            n.take_committed();
+            let a = n.commit_index();
+            n.compact(a, b"sm-snapshot".to_vec(), now);
+            a
+        };
+        assert_eq!(c.nodes[li].base_index(), applied);
+        assert!(applied >= 9, "8 commands + no-op all committed");
+        // A follower loses everything; the leader must snapshot it.
+        let fi = (li + 1) % 3;
+        c.nodes[fi].wipe(c.now);
+        c.run_ms(500);
+        let f = &mut c.nodes[fi];
+        assert!(f.base_index() >= applied, "snapshot installed");
+        let (bi, _bt, data) = f.take_pending_install().expect("pending install for embedder");
+        assert_eq!(bi, applied);
+        assert_eq!(data, b"sm-snapshot".to_vec());
+        let d = c.nodes[li].committed_digest();
+        assert_eq!(c.nodes[fi].committed_digest(), d, "wiped node reconverges");
+    }
+
+    #[test]
+    fn votes_are_durable_across_restart() {
+        let members: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        let mut n =
+            RaftNode::new(NodeId::new(0), &members, RaftConfig::default(), 1, SimTime::ZERO);
+        let now = SimTime::from_millis(1);
+        let out = n.handle(
+            NodeId::new(1),
+            RaftMsg::Vote { term: 5, last_index: 0, last_term: 0 },
+            now,
+        );
+        assert!(matches!(out[0].msg, RaftMsg::VoteReply { granted: true, .. }));
+        n.crash();
+        n.restart(now);
+        // Same-term rival asks after restart: must refuse (vote durable).
+        let out = n.handle(
+            NodeId::new(2),
+            RaftMsg::Vote { term: 5, last_index: 9, last_term: 4 },
+            now,
+        );
+        assert!(
+            matches!(out[0].msg, RaftMsg::VoteReply { granted: false, .. }),
+            "restart must not forget the vote: {out:?}"
+        );
+    }
+
+    #[test]
+    fn stale_term_messages_are_rejected() {
+        let mut c = Cluster::new(3);
+        let li = c.run_until_leader(1_000);
+        let term = c.nodes[li].term();
+        let out = c.nodes[li].handle(
+            NodeId::new(99),
+            RaftMsg::Append { term: term - 1, prev_index: 0, prev_term: 0, entries: vec![], commit: 0 },
+            c.now,
+        );
+        assert!(matches!(out[0].msg, RaftMsg::AppendReply { ok: false, .. }));
+        assert!(c.nodes[li].is_leader(), "stale append must not depose the leader");
+    }
+
+    #[test]
+    fn lease_expires_without_majority_contact() {
+        let mut c = Cluster::new(3);
+        let li = c.run_until_leader(1_000);
+        c.run_ms(100);
+        assert!(
+            c.nodes[li].lease_valid(c.now + SimDuration::from_millis(10)),
+            "fresh heartbeat acks extend the lease"
+        );
+        // No further acks: the lease dies within one election-min, well
+        // before a rival could have won.
+        assert!(!c.nodes[li].lease_valid(c.now + SimDuration::from_secs(10)));
+    }
+
+    #[test]
+    fn same_seed_elections_are_identical() {
+        let run = || {
+            let mut c = Cluster::new(5);
+            let li = c.run_until_leader(2_000);
+            (li, c.now, c.nodes[li].term(), c.nodes.iter().map(|n| n.term()).collect::<Vec<_>>())
+        };
+        assert_eq!(run(), run());
+    }
+}

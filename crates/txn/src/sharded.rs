@@ -21,6 +21,8 @@ use mv_common::hash::fx_hash_one;
 use mv_common::id::{IdGen, TxnId};
 use mv_common::time::{SimTime, TimestampOracle};
 use mv_common::MvResult;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A pure key → shard-index routing function. Must return a value in
@@ -45,6 +47,11 @@ pub struct ShardedMvcc {
     oracle: Arc<TimestampOracle>,
     router: ShardRouter,
     ids: IdGen,
+    /// Begin timestamps of transactions begun but not yet finished
+    /// (committed, aborted, or dropped via [`ShardedMvcc::finish`]),
+    /// keyed by raw txn id. The oldest entry pins the GC horizon:
+    /// versions it can still read are never collected under it.
+    live: Mutex<BTreeMap<u64, u64>>,
 }
 
 impl ShardedMvcc {
@@ -58,6 +65,7 @@ impl ShardedMvcc {
             oracle,
             router,
             ids: IdGen::new(),
+            live: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -90,9 +98,45 @@ impl ShardedMvcc {
     }
 
     /// Begin a transaction snapshotted at the oracle's current
-    /// timestamp. The handle works across every shard.
+    /// timestamp. The handle works across every shard. The snapshot is
+    /// registered live — it pins the automatic GC horizon until
+    /// [`ShardedMvcc::finish`] (or a [`ShardedMvcc::commit_at`] /
+    /// release path that calls it) retires the transaction.
     pub fn begin(&self) -> Transaction {
-        Transaction::with_snapshot(self.ids.next(), self.oracle.current())
+        let id: TxnId = self.ids.next();
+        let begin_ts = self.oracle.current();
+        self.live.lock().insert(id.raw(), begin_ts);
+        Transaction::with_snapshot(id, begin_ts)
+    }
+
+    /// Retire a transaction's snapshot registration (idempotent). Every
+    /// begun transaction must end up here — commit, abort, or explicit
+    /// drop — or its snapshot pins the GC horizon forever.
+    pub fn finish(&self, id: TxnId) {
+        self.live.lock().remove(&id.raw());
+    }
+
+    /// The begin timestamp of the oldest still-live snapshot, if any.
+    pub fn oldest_live_snapshot(&self) -> Option<u64> {
+        self.live.lock().values().copied().min()
+    }
+
+    /// Number of begun-but-unfinished transactions.
+    pub fn live_snapshot_count(&self) -> usize {
+        self.live.lock().len()
+    }
+
+    /// Garbage-collect every shard at the highest horizon no live
+    /// snapshot can observe below: the oldest live begin timestamp, or
+    /// the oracle's current timestamp when nothing is live. Callers no
+    /// longer pick a horizon by hand — a long-running transaction
+    /// simply pins it. Returns total versions dropped.
+    pub fn auto_gc(&self) -> usize {
+        let horizon = match self.oldest_live_snapshot() {
+            Some(oldest) => oldest.min(self.oracle.current()),
+            None => self.oracle.current(),
+        };
+        self.gc(horizon)
     }
 
     /// Read `key` inside `txn`, routed to its shard.
@@ -195,11 +239,13 @@ impl ShardedMvcc {
         for (i, &si) in participants.iter().enumerate() {
             if let Err(e) = self.prepare_shard(&txn, si) {
                 self.release(&txn, participants.get(..i).unwrap_or_default());
+                self.finish(txn.id);
                 return Err(e);
             }
         }
         let commit_ts = self.oracle.next(now);
         self.install(&txn, commit_ts);
+        self.finish(txn.id);
         Ok(commit_ts)
     }
 
@@ -333,6 +379,69 @@ mod tests {
 
         db.release(&blocker, &bp);
         assert_eq!(db.lock_count(), 0);
+    }
+
+    #[test]
+    fn auto_gc_collects_behind_the_oldest_live_snapshot() {
+        let db = db(4);
+        // Ten rewrites of the same key build a ten-version chain.
+        for i in 0..10 {
+            let mut t = db.begin();
+            t.write(b("hot"), Bytes::from(vec![i as u8]));
+            db.commit_at(t, SimTime::from_millis(1 + i)).unwrap();
+        }
+        assert!(db.version_count() >= 10);
+        assert_eq!(db.live_snapshot_count(), 0, "commit_at retires its txn");
+        // Nothing is live, so the collector trims to one version per key.
+        assert!(db.auto_gc() > 0);
+        assert_eq!(db.version_count(), 1);
+        assert_eq!(db.read_latest(b"hot"), Some(Bytes::from(vec![9u8])));
+    }
+
+    #[test]
+    fn long_running_transaction_pins_the_horizon() {
+        let db = db(4);
+        let mut init = db.begin();
+        init.write(b("hot"), b("v0"));
+        db.commit_at(init, SimTime::from_millis(1)).unwrap();
+
+        // A reader opens a snapshot, then ten writers churn the key.
+        let mut reader = db.begin();
+        let pinned = db.oldest_live_snapshot().expect("reader is live");
+        for i in 0..10 {
+            let mut t = db.begin();
+            t.write(b("hot"), Bytes::from(vec![i as u8]));
+            db.commit_at(t, SimTime::from_millis(2 + i)).unwrap();
+        }
+        // The collector may not take anything the reader can still see:
+        // its snapshot predates every churn commit, so the chain stays.
+        let before = db.version_count();
+        db.auto_gc();
+        assert_eq!(db.version_count(), before, "live snapshot pins the horizon");
+        assert_eq!(db.oldest_live_snapshot(), Some(pinned));
+        assert_eq!(db.read(&mut reader, b"hot"), Some(b("v0")), "snapshot intact after GC");
+
+        // Retiring the reader releases the pin; the chain collapses.
+        db.finish(reader.id);
+        assert_eq!(db.live_snapshot_count(), 0);
+        assert!(db.auto_gc() > 0);
+        assert_eq!(db.version_count(), 1);
+    }
+
+    #[test]
+    fn failed_commit_retires_its_snapshot() {
+        let db = db(2);
+        let mut init = db.begin();
+        init.write(b("k"), b("0"));
+        db.commit_at(init, SimTime::ZERO).unwrap();
+        let mut t1 = db.begin();
+        let mut t2 = db.begin();
+        assert_eq!(db.read(&mut t1, b"k"), Some(b("0")));
+        t1.write(b("k"), b("1"));
+        t2.write(b("k"), b("2"));
+        db.commit_at(t1, SimTime::ZERO).unwrap();
+        assert!(db.commit_at(t2, SimTime::ZERO).is_err());
+        assert_eq!(db.live_snapshot_count(), 0, "the loser's snapshot is retired too");
     }
 
     #[test]
