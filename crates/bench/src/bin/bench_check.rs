@@ -1,0 +1,229 @@
+//! `bench_check` — the BENCH_8.json perf-trajectory gate (DESIGN.md §13).
+//!
+//! Default mode (what CI runs):
+//!
+//! 1. run the macro-benchmark **smoke** profile twice and require the
+//!    deterministic block to be byte-identical across reruns;
+//! 2. validate the rendered report against the `mv-bench-macro/v1`
+//!    schema (required keys present, numeric where expected);
+//! 3. if a committed `BENCH_8.json` exists at the repo root, compare
+//!    every headline metric of the fresh smoke run against the
+//!    committed one and **fail on >10% regression**.
+//!
+//! `--write` additionally runs the **full** (1M-entity) profile and
+//! rewrites `BENCH_8.json` — run it on a quiet machine when a PR
+//! intentionally moves a headline number, and commit the diff. The
+//! deterministic block is seed-pinned, so the diff shows exactly what
+//! moved and the measured block shows the wall-clock trajectory.
+//!
+//! No JSON dependency is vendored; the reader below is a minimal
+//! scanner for the subset this tool itself emits (flat string/number
+//! values, no nested arrays), not a general parser.
+
+use mv_bench::macro_bench::{
+    full_profile, render_bench_json, run_macro, smoke_profile, MacroReport, HEADLINES,
+};
+use std::process::ExitCode;
+
+/// Allowed relative regression on a headline metric before the gate
+/// fires (10%, plus an absolute floor so near-zero metrics don't flap).
+const MAX_REGRESSION: f64 = 0.10;
+const ABS_FLOOR: f64 = 1e-6;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let write = args.iter().any(|a| a == "--write");
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_8.json".to_string());
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: bench_check [--write] [--baseline <path to BENCH_8.json>]");
+        return ExitCode::SUCCESS;
+    }
+
+    // 1. Same-seed determinism: the gated block must not wobble.
+    eprintln!("bench_check: running smoke profile (rerun 1/2)...");
+    let smoke_a = run_macro(&smoke_profile());
+    eprintln!("bench_check: running smoke profile (rerun 2/2)...");
+    let smoke_b = run_macro(&smoke_profile());
+    if smoke_a.det_bytes() != smoke_b.det_bytes() {
+        eprintln!("bench_check: FAIL — same-seed smoke reruns differ in the deterministic block");
+        for ((ka, va), (kb, vb)) in smoke_a.det.iter().zip(smoke_b.det.iter()) {
+            if ka != kb || va != vb {
+                eprintln!("  {ka}={va}  vs  {kb}={vb}");
+            }
+        }
+        return ExitCode::FAILURE;
+    }
+    eprintln!("bench_check: determinism OK ({} metrics byte-identical)", smoke_a.det.len());
+
+    // 2. Schema validation of the rendered document.
+    let rendered = render_bench_json(&[("smoke", &smoke_a)]);
+    if let Err(e) = validate_schema(&rendered) {
+        eprintln!("bench_check: FAIL — schema violation: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("bench_check: schema OK (mv-bench-macro/v1)");
+
+    // 3. Regression gate against the committed baseline, if present.
+    match std::fs::read_to_string(&baseline_path) {
+        Ok(committed) => {
+            if let Err(e) = validate_schema(&committed) {
+                eprintln!("bench_check: FAIL — committed {baseline_path} is malformed: {e}");
+                return ExitCode::FAILURE;
+            }
+            match gate_regressions(&committed, &smoke_a) {
+                Ok(lines) => {
+                    for l in lines {
+                        eprintln!("bench_check: {l}");
+                    }
+                }
+                Err(failures) => {
+                    eprintln!("bench_check: FAIL — headline regression(s) vs {baseline_path}:");
+                    for f in failures {
+                        eprintln!("  {f}");
+                    }
+                    eprintln!(
+                        "  (if intentional, regenerate with `cargo run --release -p mv-bench \
+                         --bin bench_check -- --write` and commit the diff)"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        Err(_) => {
+            eprintln!(
+                "bench_check: no committed {baseline_path}; skipping regression gate \
+                 (run with --write to establish the baseline)"
+            );
+        }
+    }
+
+    // 4. Optionally regenerate the committed artifact (smoke + full).
+    if write {
+        eprintln!("bench_check: running full profile (this is the 1M-entity run)...");
+        let full = run_macro(&full_profile());
+        let doc = render_bench_json(&[("smoke", &smoke_a), ("full", &full)]);
+        if let Err(e) = validate_schema(&doc) {
+            eprintln!("bench_check: FAIL — refusing to write malformed document: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(&baseline_path, &doc) {
+            eprintln!("bench_check: FAIL — cannot write {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bench_check: wrote {baseline_path} ({} bytes)", doc.len());
+    }
+
+    eprintln!("bench_check: PASS");
+    ExitCode::SUCCESS
+}
+
+/// Validate the `mv-bench-macro/v1` shape: schema tag, at least one
+/// profile with a `deterministic` block, and every headline metric
+/// present and finite in each deterministic block.
+fn validate_schema(doc: &str) -> Result<(), String> {
+    if !doc.contains("\"schema\": \"mv-bench-macro/v1\"") {
+        return Err("missing or wrong \"schema\" tag (want mv-bench-macro/v1)".into());
+    }
+    if !doc.contains("\"bench\": 8") {
+        return Err("missing \"bench\": 8 tag".into());
+    }
+    let blocks = deterministic_blocks(doc);
+    if blocks.is_empty() {
+        return Err("no \"deterministic\" blocks found".into());
+    }
+    for (profile, block) in &blocks {
+        for (key, _) in HEADLINES {
+            let v = scan_number(block, key)
+                .ok_or_else(|| format!("profile {profile}: headline \"{key}\" missing"))?;
+            if !v.is_finite() {
+                return Err(format!("profile {profile}: headline \"{key}\" is not finite"));
+            }
+        }
+        for key in ["entities", "ops", "state_digest"] {
+            if !block.contains(&format!("\"{key}\":")) {
+                return Err(format!("profile {profile}: required key \"{key}\" missing"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Compare the committed smoke deterministic block against a fresh run.
+/// Returns human lines on success, or the list of violations.
+fn gate_regressions(committed: &str, fresh: &MacroReport) -> Result<Vec<String>, Vec<String>> {
+    let blocks = deterministic_blocks(committed);
+    let Some((_, block)) = blocks.iter().find(|(p, _)| p == "smoke") else {
+        return Err(vec!["committed baseline has no smoke profile".into()]);
+    };
+    let mut ok_lines = Vec::new();
+    let mut failures = Vec::new();
+    for (key, lower_is_better) in HEADLINES {
+        let Some(old) = scan_number(block, key) else {
+            failures.push(format!("baseline missing headline {key}"));
+            continue;
+        };
+        let new: f64 = fresh
+            .det_value(key)
+            .and_then(|v| v.parse().ok())
+            .expect("fresh report carries every headline");
+        let worse = if lower_is_better { new - old } else { old - new };
+        let budget = (old.abs() * MAX_REGRESSION).max(ABS_FLOOR);
+        if worse > budget {
+            failures.push(format!(
+                "{key}: {old} -> {new} ({:+.1}% — budget {:.0}%)",
+                (new - old) / old.abs().max(ABS_FLOOR) * 100.0,
+                MAX_REGRESSION * 100.0
+            ));
+        } else {
+            ok_lines.push(format!("{key}: {old} -> {new} OK"));
+        }
+    }
+    if failures.is_empty() { Ok(ok_lines) } else { Err(failures) }
+}
+
+/// Extract `(profile_name, deterministic_block_text)` pairs from a
+/// rendered document. Relies on the renderer's stable 2-space-indent
+/// layout: a profile opens at 4-space indent, its deterministic block
+/// at 6-space indent.
+fn deterministic_blocks(doc: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut profile = String::new();
+    let mut in_det = false;
+    let mut block = String::new();
+    for line in doc.lines() {
+        let trimmed = line.trim();
+        if line.starts_with("    \"") && trimmed.ends_with('{') {
+            if let Some(name) = trimmed.strip_prefix('"').and_then(|r| r.split('"').next()) {
+                profile = name.to_string();
+            }
+        }
+        if trimmed.starts_with("\"deterministic\"") {
+            in_det = true;
+            block.clear();
+            continue;
+        }
+        if in_det {
+            if trimmed == "}," || trimmed == "}" {
+                out.push((profile.clone(), block.clone()));
+                in_det = false;
+            } else {
+                block.push_str(trimmed);
+                block.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Scan a flat JSON block for `"key": <number>` and parse the number.
+fn scan_number(block: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let at = block.find(&tag)? + tag.len();
+    let rest = block[at..].trim_start();
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}

@@ -30,13 +30,14 @@ pub mod exp_storage;
 pub mod exp_stream;
 pub mod exp_sync;
 pub mod exp_txn;
+pub mod macro_bench;
 
 use mv_common::table::Table;
 
 /// All experiment ids, in DESIGN.md order.
-pub const ALL_IDS: [&str; 22] = [
+pub const ALL_IDS: [&str; 23] = [
     "e1", "e1d", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e12b",
-    "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20",
+    "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21",
 ];
 
 /// Run one experiment by id.
@@ -67,6 +68,7 @@ pub fn run(id: &str) -> Vec<Table> {
         "e18" => exp_obs::e18(),
         "e19" => exp_txn::e19(),
         "e20" => exp_raft::e20(),
+        "e21" => macro_bench::e21(),
         other => panic!("unknown experiment id {other}"),
     }
 }

@@ -1,0 +1,368 @@
+//! Struct-of-arrays entity storage.
+//!
+//! The engine used to keep one `FastMap<EntityId, Entity>` — every
+//! access paid a hash hop and landed on a ~130-byte struct mixing the
+//! fields hot paths touch every tick (positions, retired flag) with
+//! cold ones they never do (name string, attribute map). This arena
+//! splits them: entities live in dense columns addressed by a stable
+//! `u32` slot, with one id→slot map at the edge. Query filters read a
+//! packed `retired` column, divergence analytics stream two position
+//! columns sequentially, and slots are handed out in spawn order — per
+//! shard that is ascending id order, so whole-arena scans are already
+//! id-sorted and skip the sort entirely.
+//!
+//! [`Entity`] remains the owned construction/transfer type;
+//! [`EntityRef`] is the borrowed column view the engine hands out.
+
+use crate::entity::{Entity, EntityKind};
+use mv_common::geom::Point;
+use mv_common::hash::FastMap;
+use mv_common::id::EntityId;
+use std::collections::BTreeMap;
+
+/// A borrowed view of one entity, assembled from the arena's columns.
+///
+/// Field-compatible with [`Entity`] at read sites (`.position`,
+/// `.retired`, `.attrs`, …), so swapping the map of structs for the
+/// arena did not ripple through every caller.
+#[derive(Debug, Clone, Copy)]
+pub struct EntityRef<'a> {
+    /// Identifier (shared across both presences).
+    pub id: EntityId,
+    /// Human-readable name.
+    pub name: &'a str,
+    /// Kind.
+    pub kind: EntityKind,
+    /// Ground-truth position in the authoritative space.
+    pub position: Point,
+    /// The other space's materialized view of the position.
+    pub twin_position: Point,
+    /// Free-form numeric attributes.
+    pub attrs: &'a BTreeMap<String, f64>,
+    /// True once destroyed/perished/sold out.
+    pub retired: bool,
+}
+
+impl EntityRef<'_> {
+    /// Distance between truth and the materialized twin — the §IV-C
+    /// incoherency of this entity.
+    pub fn divergence(&self) -> f64 {
+        self.position.dist(self.twin_position)
+    }
+
+    /// Read an attribute (0 default keeps call sites tidy).
+    pub fn attr(&self, name: &str) -> f64 {
+        self.attrs.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Copy into the owned form.
+    pub fn to_entity(&self) -> Entity {
+        Entity {
+            id: self.id,
+            name: self.name.to_owned(),
+            kind: self.kind,
+            position: self.position,
+            twin_position: self.twin_position,
+            attrs: self.attrs.clone(),
+            retired: self.retired,
+        }
+    }
+}
+
+/// The struct-of-arrays arena (see module docs). Slots are never
+/// reused: retirement flips a flag but keeps the row, matching the
+/// engine's keep-for-audit semantics.
+#[derive(Debug, Default)]
+pub struct EntityArena {
+    /// id → slot. The only hash map left on the entity path; every
+    /// access below it is a dense column read.
+    slots: FastMap<EntityId, u32>,
+    // Hot columns: touched every tick by updates, queries, analytics.
+    ids: Vec<EntityId>,
+    positions: Vec<Point>,
+    twin_positions: Vec<Point>,
+    kinds: Vec<EntityKind>,
+    retired: Vec<bool>,
+    // Cold columns: touched on spawn, attr ops, and encode only.
+    names: Vec<String>,
+    attrs: Vec<BTreeMap<String, f64>>,
+    /// Live (non-retired) rows, maintained incrementally so
+    /// `live_count` is O(1) instead of a full scan.
+    live: usize,
+    /// True while `ids` is strictly ascending by slot (spawn order is
+    /// id order everywhere in practice); lets whole-arena scans skip
+    /// sorting. Turns false — permanently — on an out-of-order insert.
+    ids_ascending: bool,
+}
+
+impl EntityArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        EntityArena { ids_ascending: true, ..EntityArena::default() }
+    }
+
+    /// Rows (live + retired).
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no entity was ever inserted.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Live (non-retired) rows.
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// Insert an entity, returning its slot. Ids must be unique; a
+    /// duplicate replaces nothing and panics in debug builds.
+    pub fn insert(&mut self, e: Entity) -> u32 {
+        debug_assert!(!self.slots.contains_key(&e.id), "duplicate entity id {}", e.id);
+        let slot = self.ids.len() as u32;
+        if let Some(&last) = self.ids.last() {
+            if e.id <= last {
+                self.ids_ascending = false;
+            }
+        }
+        self.slots.insert(e.id, slot);
+        self.ids.push(e.id);
+        self.positions.push(e.position);
+        self.twin_positions.push(e.twin_position);
+        self.kinds.push(e.kind);
+        self.retired.push(e.retired);
+        self.names.push(e.name);
+        self.attrs.push(e.attrs);
+        if !e.retired {
+            self.live += 1;
+        }
+        slot
+    }
+
+    /// Slot of an id, if registered.
+    pub fn slot_of(&self, id: EntityId) -> Option<u32> {
+        self.slots.get(&id).copied()
+    }
+
+    /// Borrowed view by id.
+    pub fn get(&self, id: EntityId) -> Option<EntityRef<'_>> {
+        self.slot_of(id).and_then(|s| self.get_slot(s))
+    }
+
+    /// Borrowed view by slot; `None` on an out-of-range slot.
+    ///
+    /// Slot accessors here are total: slots only ever come from this
+    /// arena, but the arena sits under the durable-replay path, so
+    /// every read degrades gracefully instead of panicking. Out-of-range
+    /// single-column reads below return the value a missing row would
+    /// have (retired, origin positions, zero attrs); engine flows check
+    /// [`retired`](EntityArena::retired) first, which turns an
+    /// out-of-range slot into an error before any other column is read.
+    pub fn get_slot(&self, slot: u32) -> Option<EntityRef<'_>> {
+        let s = slot as usize;
+        Some(EntityRef {
+            id: self.ids.get(s).copied()?,
+            name: self.names.get(s)?,
+            kind: self.kinds.get(s).copied()?,
+            position: self.positions.get(s).copied()?,
+            twin_position: self.twin_positions.get(s).copied()?,
+            attrs: self.attrs.get(s)?,
+            retired: self.retired.get(s).copied()?,
+        })
+    }
+
+    /// True when `id` is registered and retired. Unknown ids are not
+    /// retired (queries only see registered ids).
+    pub fn is_retired(&self, id: EntityId) -> bool {
+        self.slot_of(id)
+            .and_then(|s| self.retired.get(s as usize))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Retired flag by slot. Out-of-range slots read as retired, so a
+    /// bad slot fails closed (callers treat retired as "gone").
+    pub fn retired(&self, slot: u32) -> bool {
+        self.retired.get(slot as usize).copied().unwrap_or(true)
+    }
+
+    /// Kind by slot (out of range: the default kind; unreachable after
+    /// a [`retired`](EntityArena::retired) check, which fails closed).
+    pub fn kind(&self, slot: u32) -> EntityKind {
+        self.kinds.get(slot as usize).copied().unwrap_or(EntityKind::Person)
+    }
+
+    /// Ground-truth position by slot (out of range: origin).
+    pub fn position(&self, slot: u32) -> Point {
+        self.positions.get(slot as usize).copied().unwrap_or_default()
+    }
+
+    /// Twin position by slot (out of range: origin).
+    pub fn twin_position(&self, slot: u32) -> Point {
+        self.twin_positions.get(slot as usize).copied().unwrap_or_default()
+    }
+
+    /// Truth/twin distance by slot (out of range: 0).
+    pub fn divergence(&self, slot: u32) -> f64 {
+        match (self.positions.get(slot as usize), self.twin_positions.get(slot as usize)) {
+            (Some(p), Some(t)) => p.dist(*t),
+            _ => 0.0,
+        }
+    }
+
+    /// Write the ground-truth position (no-op out of range).
+    pub fn set_position(&mut self, slot: u32, p: Point) {
+        if let Some(q) = self.positions.get_mut(slot as usize) {
+            *q = p;
+        }
+    }
+
+    /// Write the twin position (no-op out of range).
+    pub fn set_twin_position(&mut self, slot: u32, p: Point) {
+        if let Some(q) = self.twin_positions.get_mut(slot as usize) {
+            *q = p;
+        }
+    }
+
+    /// Read an attribute (0 default, mirroring [`EntityRef::attr`]).
+    pub fn attr(&self, slot: u32, name: &str) -> f64 {
+        self.attrs
+            .get(slot as usize)
+            .and_then(|m| m.get(name))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Write an attribute (no-op out of range).
+    pub fn set_attr(&mut self, slot: u32, name: impl Into<String>, v: f64) {
+        if let Some(m) = self.attrs.get_mut(slot as usize) {
+            m.insert(name.into(), v);
+        }
+    }
+
+    /// Flip the retired flag on (idempotent calls are the caller's
+    /// bug; the engine checks first).
+    pub fn retire(&mut self, slot: u32) {
+        if let Some(r) = self.retired.get_mut(slot as usize) {
+            if !*r {
+                *r = true;
+                self.live -= 1;
+            }
+        }
+    }
+
+    /// `(sum, max, live count)` of twin divergences in ascending-id
+    /// order — f64 addition is not associative, so the fold order is
+    /// pinned. In the common case (spawn order = id order) this is one
+    /// sequential pass over two dense columns, no sort, no hashing.
+    pub fn divergence_parts(&self) -> (f64, f64, usize) {
+        let rows = self
+            .retired
+            .iter()
+            .zip(self.positions.iter().zip(self.twin_positions.iter()));
+        if self.ids_ascending {
+            let mut acc = (0.0f64, 0.0f64, 0usize);
+            for (&retired, (p, t)) in rows {
+                if !retired {
+                    let d = p.dist(*t);
+                    acc = (acc.0 + d, f64::max(acc.1, d), acc.2 + 1);
+                }
+            }
+            acc
+        } else {
+            let mut parts: Vec<(EntityId, f64)> = self
+                .ids
+                .iter()
+                .zip(rows)
+                .filter(|(_, (&retired, _))| !retired)
+                .map(|(&id, (_, (p, t)))| (id, p.dist(*t)))
+                .collect();
+            parts.sort_unstable_by_key(|&(id, _)| id);
+            parts.iter().fold((0.0, 0.0, 0), |(sum, max, count), &(_, d)| {
+                (sum + d, f64::max(max, d), count + 1)
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ent(i: u64, x: f64) -> Entity {
+        Entity::new(EntityId::new(i), format!("e{i}"), EntityKind::Person, Point::new(x, 0.0))
+    }
+
+    #[test]
+    fn insert_get_and_columns_agree() {
+        let mut a = EntityArena::new();
+        let s0 = a.insert(ent(0, 1.0));
+        let s1 = a.insert(ent(1, 2.0));
+        assert_eq!((s0, s1), (0, 1));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.live_count(), 2);
+        let r = a.get(EntityId::new(1)).unwrap();
+        assert_eq!(r.id, EntityId::new(1));
+        assert_eq!(r.name, "e1");
+        assert_eq!(r.position, Point::new(2.0, 0.0));
+        assert_eq!(r.twin_position, r.position);
+        assert!(!r.retired);
+        assert_eq!(r.divergence(), 0.0);
+        assert!(a.get(EntityId::new(9)).is_none());
+    }
+
+    #[test]
+    fn retire_is_a_flag_not_a_removal() {
+        let mut a = EntityArena::new();
+        a.insert(ent(0, 0.0));
+        let s = a.slot_of(EntityId::new(0)).unwrap();
+        a.retire(s);
+        assert!(a.is_retired(EntityId::new(0)));
+        assert_eq!(a.live_count(), 0);
+        assert_eq!(a.len(), 1, "row kept for audit");
+        assert_eq!(a.get(EntityId::new(0)).unwrap().name, "e0");
+    }
+
+    #[test]
+    fn attrs_and_positions_update_in_place() {
+        let mut a = EntityArena::new();
+        let s = a.insert(ent(3, 0.0));
+        a.set_position(s, Point::new(5.0, 0.0));
+        assert_eq!(a.divergence(s), 5.0);
+        a.set_twin_position(s, Point::new(5.0, 0.0));
+        assert_eq!(a.divergence(s), 0.0);
+        assert_eq!(a.attr(s, "fuel"), 0.0);
+        a.set_attr(s, "fuel", 0.75);
+        assert_eq!(a.attr(s, "fuel"), 0.75);
+        assert_eq!(a.get_slot(s).unwrap().attr("fuel"), 0.75);
+        assert!(a.get_slot(999).is_none());
+        assert!(a.retired(999), "out-of-range slots fail closed as retired");
+    }
+
+    #[test]
+    fn divergence_parts_match_between_fast_and_sorted_paths() {
+        // Build the same population twice: in id order (fast path) and
+        // shuffled (sort fallback); the fold must agree bit-for-bit.
+        let mut moved = Vec::new();
+        for i in 0..40u64 {
+            let mut e = ent(i, 0.0);
+            e.position = Point::new(i as f64 * 0.1, 0.3);
+            if i % 7 == 0 {
+                e.retired = true;
+            }
+            moved.push(e);
+        }
+        let mut ordered = EntityArena::new();
+        for e in &moved {
+            ordered.insert(e.clone());
+        }
+        let mut shuffled = EntityArena::new();
+        for e in moved.iter().rev() {
+            shuffled.insert(e.clone());
+        }
+        assert!(!shuffled.ids_ascending);
+        assert_eq!(ordered.divergence_parts(), shuffled.divergence_parts());
+        assert_eq!(ordered.live_count(), shuffled.live_count());
+    }
+}

@@ -20,7 +20,8 @@
 //! last durable point, which [`DurableMetaverse::state_encoding`]
 //! makes checkable byte-for-byte (`tests/fault_recovery.rs` does).
 
-use crate::entity::{Entity, EntityKind};
+use crate::arena::EntityRef;
+use crate::entity::EntityKind;
 use crate::events::Command;
 use crate::sharded::{ShardedMetaverse, WriteOp};
 use mv_common::geom::{Aabb, Point};
@@ -29,6 +30,7 @@ use mv_common::id::EntityId;
 use mv_common::time::SimTime;
 use mv_common::{MvResult, Space};
 use mv_obs::{SharedTracer, TraceCtx};
+use mv_storage::codec::SliceReader;
 use mv_storage::kv::KvConfig;
 use mv_storage::wal::{RecoveryReport, WalRecord};
 use mv_storage::{GroupCommitPolicy, GroupCommitWal, ShardedKv};
@@ -225,56 +227,18 @@ fn space_from_tag(tag: u8) -> Option<Space> {
     }
 }
 
-/// A little-endian cursor over encoded bytes; every read is checked
-/// (recovery must never panic on damaged input).
-struct Reader<'a> {
-    buf: &'a [u8],
-    at: usize,
+/// Read a length-prefixed UTF-8 string. Validation happens in place on
+/// the borrowed slice ([`SliceReader`] is zero-copy), so damaged input
+/// is rejected before any allocation; the single copy is the `String`
+/// the kept op actually owns.
+fn read_str(r: &mut SliceReader<'_>) -> Option<String> {
+    let bytes = r.chunk()?;
+    std::str::from_utf8(bytes).ok().map(str::to_owned)
 }
 
-impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, at: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
-        let chunk = self.buf.get(self.at..self.at + n)?;
-        self.at += n;
-        Some(chunk)
-    }
-
-    fn u8(&mut self) -> Option<u8> {
-        self.take(1).and_then(|b| b.first().copied())
-    }
-
-    fn u32(&mut self) -> Option<u32> {
-        let chunk: [u8; 4] = self.take(4)?.try_into().ok()?;
-        Some(u32::from_le_bytes(chunk))
-    }
-
-    fn u64(&mut self) -> Option<u64> {
-        let chunk: [u8; 8] = self.take(8)?.try_into().ok()?;
-        Some(u64::from_le_bytes(chunk))
-    }
-
-    fn f64(&mut self) -> Option<f64> {
-        let chunk: [u8; 8] = self.take(8)?.try_into().ok()?;
-        Some(f64::from_le_bytes(chunk))
-    }
-
-    fn str(&mut self) -> Option<String> {
-        let len = self.u32()? as usize;
-        let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).ok()
-    }
-
-    fn point(&mut self) -> Option<Point> {
-        Some(Point::new(self.f64()?, self.f64()?))
-    }
-
-    fn done(&self) -> bool {
-        self.at == self.buf.len()
-    }
+/// Read two little-endian `f64`s as a point.
+fn read_point(r: &mut SliceReader<'_>) -> Option<Point> {
+    Some(Point::new(r.f64()?, r.f64()?))
 }
 
 impl DurableOp {
@@ -341,32 +305,34 @@ impl DurableOp {
     }
 
     /// Decode the canonical byte form; `None` on any structural damage.
+    /// The walk is zero-copy (a [`SliceReader`] over the WAL value);
+    /// only fields the kept op owns — the strings — are copied out.
     pub fn decode(bytes: &[u8]) -> Option<DurableOp> {
-        let mut r = Reader::new(bytes);
+        let mut r = SliceReader::new(bytes);
         let op = match r.u8()? {
             1 => DurableOp::Spawn {
-                name: r.str()?,
+                name: read_str(&mut r)?,
                 kind: kind_from_tag(r.u8()?)?,
-                position: r.point()?,
+                position: read_point(&mut r)?,
                 ts: SimTime(r.u64()?),
             },
             2 => DurableOp::Position {
                 id: EntityId::new(r.u64()?),
-                position: r.point()?,
+                position: read_point(&mut r)?,
                 ts: SimTime(r.u64()?),
             },
             3 => DurableOp::Attr {
                 id: EntityId::new(r.u64()?),
-                name: r.str()?,
+                name: read_str(&mut r)?,
                 value: r.f64()?,
                 ts: SimTime(r.u64()?),
             },
             4 => DurableOp::Retire { id: EntityId::new(r.u64()?), ts: SimTime(r.u64()?) },
             5 => DurableOp::AreaEffect {
                 space: space_from_tag(r.u8()?)?,
-                effect: r.str()?,
-                region: Aabb::new(r.point()?, r.point()?),
-                action: r.str()?,
+                effect: read_str(&mut r)?,
+                region: Aabb::new(read_point(&mut r)?, read_point(&mut r)?),
+                action: read_str(&mut r)?,
                 retire: r.u8()? != 0,
                 ts: SimTime(r.u64()?),
             },
@@ -406,14 +372,14 @@ impl DurableOp {
 
 /// Canonical byte encoding of one entity (the KV snapshot value, and a
 /// section of [`DurableMetaverse::state_encoding`]).
-fn encode_entity(out: &mut Vec<u8>, e: &Entity) {
+fn encode_entity(out: &mut Vec<u8>, e: EntityRef<'_>) {
     put_u64(out, e.id.raw());
-    put_str(out, &e.name);
+    put_str(out, e.name);
     out.push(kind_tag(e.kind));
     put_point(out, e.position);
     put_point(out, e.twin_position);
     put_u32(out, e.attrs.len() as u32);
-    for (name, value) in &e.attrs {
+    for (name, value) in e.attrs {
         put_str(out, name);
         put_f64(out, *value);
     }

@@ -9,10 +9,10 @@
 //! effects) query the virtual index and produce commands relayed to
 //! physical actors.
 
+use crate::arena::{EntityArena, EntityRef};
 use crate::entity::{Entity, EntityKind};
 use crate::events::{Command, CoEvent, EventBus, EventKind};
 use mv_common::geom::{Aabb, Point};
-use mv_common::hash::FastMap;
 use mv_common::id::{EntityId, IdGen};
 use mv_common::metrics::Counters;
 use mv_common::time::SimTime;
@@ -39,7 +39,9 @@ impl Default for SyncPolicy {
 /// The co-space engine.
 pub struct Metaverse {
     policy: SyncPolicy,
-    entities: FastMap<EntityId, Entity>,
+    /// Struct-of-arrays entity storage: dense hot columns behind stable
+    /// u32 slots (see [`EntityArena`]).
+    entities: EntityArena,
     /// Spatial index over *ground-truth* positions, per authoritative space.
     truth_index: [GridIndex; 2],
     /// Spatial index over *twin* positions, per materialized space (the
@@ -64,7 +66,7 @@ impl Metaverse {
     pub fn new(policy: SyncPolicy, cell_size: f64) -> Self {
         Metaverse {
             policy,
-            entities: FastMap::default(),
+            entities: EntityArena::new(),
             truth_index: [GridIndex::new(cell_size), GridIndex::new(cell_size)],
             twin_index: [GridIndex::new(cell_size), GridIndex::new(cell_size)],
             ids: IdGen::new(),
@@ -113,18 +115,19 @@ impl Metaverse {
         let auth = entity.kind.authoritative_space();
         self.truth_index[space_slot(auth)].insert(id, position);
         self.twin_index[space_slot(auth.other())].insert(id, position);
-        self.entities.insert(id, entity);
+        self.entities.insert(entity);
         self.bus.emit(now, auth, Some(id), EventKind::Moved);
     }
 
-    /// Access an entity.
-    pub fn entity(&self, id: EntityId) -> MvResult<&Entity> {
-        self.entities.get(&id).ok_or(MvError::not_found("entity", id.raw()))
+    /// Access an entity as a borrowed column view.
+    pub fn entity(&self, id: EntityId) -> MvResult<EntityRef<'_>> {
+        self.entities.get(id).ok_or(MvError::not_found("entity", id.raw()))
     }
 
-    /// Number of live (non-retired) entities.
+    /// Number of live (non-retired) entities (O(1): the arena keeps
+    /// the count).
     pub fn live_count(&self) -> usize {
-        self.entities.values().filter(|e| !e.retired).count()
+        self.entities.live_count()
     }
 
     /// Move an entity's ground truth (in its authoritative space). The
@@ -133,19 +136,19 @@ impl Metaverse {
     pub fn update_position(&mut self, id: EntityId, position: Point, now: SimTime) -> MvResult<bool> {
         self.advance(now);
         let policy = self.policy;
-        let entity = self
+        let slot = self
             .entities
-            .get_mut(&id)
+            .slot_of(id)
             .ok_or(MvError::not_found("entity", id.raw()))?;
-        if entity.retired {
+        if self.entities.retired(slot) {
             return Err(MvError::IllegalState(format!("entity {id} is retired")));
         }
-        entity.position = position;
-        let auth = entity.kind.authoritative_space();
+        self.entities.set_position(slot, position);
+        let auth = self.entities.kind(slot).authoritative_space();
         self.truth_index[space_slot(auth)].update(id, position);
-        let diverged = entity.divergence() > policy.position_bound;
+        let diverged = self.entities.divergence(slot) > policy.position_bound;
         if diverged {
-            entity.twin_position = position;
+            self.entities.set_twin_position(slot, position);
             self.twin_index[space_slot(auth.other())].update(id, position);
             self.stats.incr("sync_msgs");
             self.bus.emit(now, auth.other(), Some(id), EventKind::TwinSynced);
@@ -163,18 +166,18 @@ impl Metaverse {
     pub fn update_attr(&mut self, id: EntityId, name: &str, value: f64, now: SimTime) -> MvResult<bool> {
         self.advance(now);
         let policy = self.policy;
-        let entity = self
+        let slot = self
             .entities
-            .get_mut(&id)
+            .slot_of(id)
             .ok_or(MvError::not_found("entity", id.raw()))?;
-        if entity.retired {
+        if self.entities.retired(slot) {
             return Err(MvError::IllegalState(format!("entity {id} is retired")));
         }
-        let old = entity.attr(name);
-        entity.set_attr(name, value);
+        let old = self.entities.attr(slot, name);
+        self.entities.set_attr(slot, name, value);
         let relayed = (value - old).abs() > policy.attr_bound;
         if relayed {
-            let auth = entity.kind.authoritative_space();
+            let auth = self.entities.kind(slot).authoritative_space();
             self.stats.incr("sync_msgs");
             self.bus.emit(
                 now,
@@ -194,7 +197,7 @@ impl Metaverse {
         let mut ids: Vec<EntityId> = self.truth_index[space_slot(space)]
             .range(area)
             .into_iter()
-            .filter(|id| !self.entities[id].retired)
+            .filter(|&id| !self.entities.is_retired(id))
             .collect();
         ids.sort_unstable();
         ids
@@ -209,11 +212,55 @@ impl Metaverse {
             self.twin_index[space_slot(space)]
                 .range(area)
                 .into_iter()
-                .filter(|id| !self.entities[id].retired),
+                .filter(|&id| !self.entities.is_retired(id)),
         );
         ids.sort_unstable();
         ids.dedup();
         ids
+    }
+
+    /// Batched [`query_truth`]: element `i` equals
+    /// `query_truth(space, &areas[i])`. All probes share one grid pass
+    /// ([`GridIndex::range_batch`]), so wide probes amortize the
+    /// occupied-cell sweep instead of repeating it per query.
+    ///
+    /// [`query_truth`]: Metaverse::query_truth
+    pub fn query_truth_batch(&self, space: Space, areas: &[Aabb]) -> Vec<Vec<EntityId>> {
+        self.truth_index[space_slot(space)]
+            .range_batch(areas)
+            .into_iter()
+            .map(|hits| {
+                let mut ids: Vec<EntityId> =
+                    hits.into_iter().filter(|&id| !self.entities.is_retired(id)).collect();
+                ids.sort_unstable();
+                ids
+            })
+            .collect()
+    }
+
+    /// Batched [`query_visible`]: element `i` equals
+    /// `query_visible(space, &areas[i])`, with one shared grid pass per
+    /// index for the whole probe set.
+    ///
+    /// [`query_visible`]: Metaverse::query_visible
+    pub fn query_visible_batch(&self, space: Space, areas: &[Aabb]) -> Vec<Vec<EntityId>> {
+        let slot = space_slot(space);
+        let truth = self.truth_index[slot].range_batch(areas);
+        let twins = self.twin_index[slot].range_batch(areas);
+        truth
+            .into_iter()
+            .zip(twins)
+            .map(|(t, w)| {
+                let mut ids: Vec<EntityId> = t
+                    .into_iter()
+                    .chain(w)
+                    .filter(|&id| !self.entities.is_retired(id))
+                    .collect();
+                ids.sort_unstable();
+                ids.dedup();
+                ids
+            })
+            .collect()
     }
 
     /// Raise an area effect in `space` (e.g. a virtual air-raid). Every
@@ -261,7 +308,7 @@ impl Metaverse {
         self.twin_index[space_slot(space)]
             .range(region)
             .into_iter()
-            .filter(|id| !self.entities[id].retired)
+            .filter(|&id| !self.entities.is_retired(id))
             .collect()
     }
 
@@ -271,7 +318,8 @@ impl Metaverse {
     ///
     /// [`area_effect`]: Metaverse::area_effect
     pub(crate) fn relay_command(&mut self, id: EntityId, action: &str, retire: bool, now: SimTime) -> Command {
-        let target_space = self.entities[&id].kind.authoritative_space();
+        let slot = self.entities.slot_of(id).expect("affected twin is registered");
+        let target_space = self.entities.kind(slot).authoritative_space();
         let command = Command {
             target_space,
             entity: id,
@@ -288,15 +336,15 @@ impl Metaverse {
     /// Retire an entity from both spaces.
     pub fn retire(&mut self, id: EntityId, now: SimTime) -> MvResult<()> {
         self.advance(now);
-        let entity = self
+        let slot = self
             .entities
-            .get_mut(&id)
+            .slot_of(id)
             .ok_or(MvError::not_found("entity", id.raw()))?;
-        if entity.retired {
+        if self.entities.retired(slot) {
             return Err(MvError::IllegalState(format!("entity {id} already retired")));
         }
-        entity.retired = true;
-        let auth = entity.kind.authoritative_space();
+        self.entities.retire(slot);
+        let auth = self.entities.kind(slot).authoritative_space();
         self.truth_index[space_slot(auth)].remove(id);
         self.twin_index[space_slot(auth.other())].remove(id);
         self.bus.emit(now, auth, Some(id), EventKind::Retired);
@@ -327,18 +375,11 @@ impl Metaverse {
     /// [`mean_divergence`]: Metaverse::mean_divergence
     /// [`max_divergence`]: Metaverse::max_divergence
     pub(crate) fn divergence_parts(&self) -> (f64, f64, usize) {
-        // f64 addition is not associative, so fold in ascending-id order —
-        // otherwise the sum's low bits depend on the map's iteration order.
-        let mut parts: Vec<(EntityId, f64)> = self
-            .entities
-            .iter()
-            .filter(|(_, e)| !e.retired)
-            .map(|(id, e)| (*id, e.divergence()))
-            .collect();
-        parts.sort_unstable_by_key(|&(id, _)| id);
-        parts.iter().fold((0.0, 0.0, 0), |(sum, max, count), &(_, d)| {
-            (sum + d, f64::max(max, d), count + 1)
-        })
+        // f64 addition is not associative, so the arena folds in
+        // ascending-id order — one sequential pass over the dense
+        // position columns when spawn order was id order (it always is;
+        // the arena falls back to a sort if not).
+        self.entities.divergence_parts()
     }
 
     /// Drain the event log.

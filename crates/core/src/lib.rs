@@ -44,16 +44,19 @@
 //! The examples in the repository root (`examples/`) drive this façade
 //! through the paper's five §II scenarios.
 
+pub mod arena;
 pub mod durable;
 pub mod engine;
 pub mod entity;
 pub mod events;
 pub mod interest;
+pub mod merge;
 pub mod ops;
 pub mod replicated;
 pub mod sharded;
 pub mod txn;
 
+pub use arena::{EntityArena, EntityRef};
 pub use durable::{DurableMetaverse, DurableOp};
 pub use replicated::{RegionConfig, ReplicatedMetaverse};
 pub use txn::{MetaTxn, TxnCrashPoint};
@@ -61,4 +64,5 @@ pub use engine::{Metaverse, SyncPolicy};
 pub use entity::{Entity, EntityKind};
 pub use events::{Command, CoEvent, EventKind};
 pub use interest::{InterestManager, InterestUpdate};
+pub use merge::KwayMerger;
 pub use sharded::{shard_of, ShardedMetaverse, WriteOp};

@@ -27,9 +27,11 @@
 //!
 //! [`GridIndex`]: mv_spatial::GridIndex
 
+use crate::arena::EntityRef;
 use crate::engine::{Metaverse, SyncPolicy};
 use crate::entity::{Entity, EntityKind};
 use crate::events::{CoEvent, Command};
+use crate::merge::KwayMerger;
 use mv_common::geom::{Aabb, Point};
 use mv_common::id::{EntityId, EventId, IdGen};
 use mv_common::metrics::Counters;
@@ -113,6 +115,10 @@ pub struct ShardedMetaverse {
     /// Span collector: each (sampled) `apply_batch` call mints a
     /// `core.sharded.apply_batch` root marking the batch's ingest.
     tracer: Option<SharedTracer>,
+    /// Reusable k-way merge scratch for query reassembly (a `Mutex` so
+    /// queries keep `&self`; uncontended in the engine's tick loop).
+    /// Steady-state queries perform zero merge-scratch allocations.
+    merge_scratch: std::sync::Mutex<KwayMerger>,
 }
 
 impl ShardedMetaverse {
@@ -130,6 +136,7 @@ impl ShardedMetaverse {
             last_shard_walls: vec![0.0; shards],
             parallel_apply: true,
             tracer: None,
+            merge_scratch: std::sync::Mutex::new(KwayMerger::new()),
         }
     }
 
@@ -327,8 +334,9 @@ impl ShardedMetaverse {
         self.shards[owner].retire(id, now)
     }
 
-    /// Access an entity (routes to the owner shard).
-    pub fn entity(&self, id: EntityId) -> MvResult<&Entity> {
+    /// Access an entity as a borrowed column view (routes to the owner
+    /// shard).
+    pub fn entity(&self, id: EntityId) -> MvResult<EntityRef<'_>> {
         self.shards[self.owner(id)].entity(id)
     }
 
@@ -354,10 +362,17 @@ impl ShardedMetaverse {
         })
     }
 
+    /// Merge per-shard sorted lists through the engine's reusable
+    /// scratch (zero merge-scratch allocations in steady state).
+    fn merge_shard_lists<L: AsRef<[EntityId]>>(&self, lists: &[L]) -> Vec<EntityId> {
+        self.merge_scratch.lock().expect("merge scratch poisoned").merge(lists)
+    }
+
     /// Ground-truth entities of `space` within `area`, merged across
     /// shards, sorted by id — identical to [`Metaverse::query_truth`].
     pub fn query_truth(&self, space: Space, area: &Aabb) -> Vec<EntityId> {
-        kway_merge(self.fan_out(|shard| shard.query_truth(space, area)))
+        let lists = self.fan_out(|shard| shard.query_truth(space, area));
+        self.merge_shard_lists(&lists)
     }
 
     /// Entities visible in `space` within `area`, merged across shards,
@@ -366,7 +381,45 @@ impl ShardedMetaverse {
         // Shards partition entities, and an entity's truth and twin rows
         // both live on its owner shard, so per-shard visible sets are
         // disjoint: the merge needs no cross-shard dedup.
-        kway_merge(self.fan_out(|shard| shard.query_visible(space, area)))
+        let lists = self.fan_out(|shard| shard.query_visible(space, area));
+        self.merge_shard_lists(&lists)
+    }
+
+    /// Batched [`query_truth`]: element `i` equals
+    /// `query_truth(space, &areas[i])`, at one shard fan-out for the
+    /// whole probe set (instead of one scoped-thread round per probe)
+    /// and one shared grid pass per shard.
+    ///
+    /// [`query_truth`]: ShardedMetaverse::query_truth
+    pub fn query_truth_batch(&self, space: Space, areas: &[Aabb]) -> Vec<Vec<EntityId>> {
+        let per_shard = self.fan_out(|shard| shard.query_truth_batch(space, areas));
+        self.merge_batch(areas.len(), &per_shard)
+    }
+
+    /// Batched [`query_visible`]: element `i` equals
+    /// `query_visible(space, &areas[i])`, at one shard fan-out and one
+    /// shared grid pass per index for the whole probe set.
+    ///
+    /// [`query_visible`]: ShardedMetaverse::query_visible
+    pub fn query_visible_batch(&self, space: Space, areas: &[Aabb]) -> Vec<Vec<EntityId>> {
+        let per_shard = self.fan_out(|shard| shard.query_visible_batch(space, areas));
+        self.merge_batch(areas.len(), &per_shard)
+    }
+
+    /// Reassemble per-shard batch results: merge shard lists probe by
+    /// probe through the reusable scratch.
+    fn merge_batch(&self, probes: usize, per_shard: &[Vec<Vec<EntityId>>]) -> Vec<Vec<EntityId>> {
+        let mut merger = self.merge_scratch.lock().expect("merge scratch poisoned");
+        let mut refs: Vec<&[EntityId]> = Vec::with_capacity(per_shard.len());
+        (0..probes)
+            .map(|qi| {
+                refs.clear();
+                refs.extend(per_shard.iter().map(|lists| lists[qi].as_slice()));
+                let mut out = Vec::new();
+                merger.merge_into(&refs, &mut out);
+                out
+            })
+            .collect()
     }
 
     /// Raise an area effect in `space`: the target scan fans out over
@@ -387,11 +440,12 @@ impl ShardedMetaverse {
         // once. Shard 0 hosts globals so the merged log sees it exactly
         // once, like the sequential engine's log does.
         self.shards[0].note_area_effect(space, effect, region, now);
-        let affected = kway_merge(self.fan_out(|shard| {
+        let lists = self.fan_out(|shard| {
             let mut ids = shard.affected_twins(space, &region);
             ids.sort_unstable();
             ids
-        }));
+        });
+        let affected = self.merge_shard_lists(&lists);
         affected
             .into_iter()
             .map(|id| {
@@ -461,33 +515,6 @@ impl ShardedMetaverse {
             })
             .collect()
     }
-}
-
-/// Merge k id-sorted lists into one sorted list. The lists come from
-/// disjoint shards, so no equal keys exist across lists; ties cannot
-/// occur and the merge is trivially stable.
-fn kway_merge(mut lists: Vec<Vec<EntityId>>) -> Vec<EntityId> {
-    use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
-    let total = lists.iter().map(Vec::len).sum();
-    let mut cursors: Vec<usize> = vec![0; lists.len()];
-    let mut heap: BinaryHeap<Reverse<(EntityId, usize)>> = lists
-        .iter()
-        .enumerate()
-        .filter(|(_, l)| !l.is_empty())
-        .map(|(li, l)| Reverse((l[0], li)))
-        .collect();
-    let mut out = Vec::with_capacity(total);
-    while let Some(Reverse((id, li))) = heap.pop() {
-        out.push(id);
-        cursors[li] += 1;
-        if let Some(&next) = lists[li].get(cursors[li]) {
-            heap.push(Reverse((next, li)));
-        } else {
-            lists[li].clear();
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -595,15 +622,39 @@ mod tests {
     }
 
     #[test]
-    fn kway_merge_merges_disjoint_sorted_lists() {
-        let id = EntityId::new;
-        let merged = kway_merge(vec![
-            vec![id(0), id(5), id(9)],
-            vec![],
-            vec![id(2), id(3)],
-            vec![id(1), id(7)],
-        ]);
-        assert_eq!(merged, [0, 1, 2, 3, 5, 7, 9].map(id).to_vec());
+    fn batch_queries_match_per_probe_queries() {
+        let mut mv = ShardedMetaverse::with_defaults(4);
+        let mut rng = mv_common::seeded_rng(7);
+        use rand::Rng as _;
+        for i in 0..200 {
+            let p = Point::new(rng.gen_range(0.0..500.0), rng.gen_range(0.0..500.0));
+            mv.spawn(format!("e{i}"), EntityKind::Person, p, t(0));
+        }
+        // Move some so twins diverge and both indexes carry entries.
+        let ops: Vec<WriteOp> = (0..100u64)
+            .map(|i| WriteOp::Position {
+                id: EntityId::new(i),
+                position: Point::new(rng.gen_range(0.0..500.0), rng.gen_range(0.0..500.0)),
+                ts: t(1),
+            })
+            .collect();
+        mv.apply_batch(&ops);
+        mv.retire(EntityId::new(3), t(2)).unwrap();
+        let areas: Vec<Aabb> = (0..24)
+            .map(|_| {
+                let c = Point::new(rng.gen_range(0.0..500.0), rng.gen_range(0.0..500.0));
+                Aabb::centered(c, rng.gen_range(5.0..200.0))
+            })
+            .chain([Aabb::everything()])
+            .collect();
+        for space in [Space::Physical, Space::Virtual] {
+            let truth = mv.query_truth_batch(space, &areas);
+            let visible = mv.query_visible_batch(space, &areas);
+            for (i, area) in areas.iter().enumerate() {
+                assert_eq!(truth[i], mv.query_truth(space, area), "truth probe {i}");
+                assert_eq!(visible[i], mv.query_visible(space, area), "visible probe {i}");
+            }
+        }
     }
 
     #[test]

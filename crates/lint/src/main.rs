@@ -123,9 +123,15 @@ fn main() -> ExitCode {
     }
 
     let mut failed = false;
-    let denied: Vec<&Finding> = findings.iter().filter(|f| !f.is_allowed()).collect();
+    let denied: Vec<&Finding> =
+        findings.iter().filter(|f| !f.is_allowed() && !f.advisory).collect();
+    let advisories: Vec<&Finding> =
+        findings.iter().filter(|f| !f.is_allowed() && f.advisory).collect();
     for f in &denied {
         println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+    }
+    for f in &advisories {
+        println!("{}:{}: [{}] (advisory) {}", f.path, f.line, f.rule, f.message);
     }
     if !denied.is_empty() {
         failed = true;
@@ -149,9 +155,10 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "\nmv-lint: {} file(s), {} finding(s) denied, {} allowed\n{}",
+        "\nmv-lint: {} file(s), {} finding(s) denied, {} advisory, {} allowed\n{}",
         files.len(),
         denied.len(),
+        advisories.len(),
         findings.iter().filter(|f| f.is_allowed()).count(),
         report::summary(&findings)
     );

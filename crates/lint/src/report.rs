@@ -6,8 +6,8 @@
 //! discriminator, strings escaped by [`mv_obs::export::json_escape`].
 //!
 //! Line shape:
-//! `{"kind":"lint","rule":…,"path":…,"line":…,"allowed":…,"reason":…,
-//! "message":…}`
+//! `{"kind":"lint","rule":…,"path":…,"line":…,"allowed":…,"advisory":…,
+//! "reason":…,"message":…}`
 
 use crate::rules::{Finding, RULES};
 use mv_obs::export::json_escape;
@@ -22,11 +22,12 @@ pub fn findings_to_jsonl(findings: &[Finding]) -> String {
         let _ = writeln!(
             out,
             "{{\"kind\":\"lint\",\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\
-             \"allowed\":{},\"reason\":\"{}\",\"message\":\"{}\"}}",
+             \"allowed\":{},\"advisory\":{},\"reason\":\"{}\",\"message\":\"{}\"}}",
             json_escape(&f.rule),
             json_escape(&f.path),
             f.line,
             f.is_allowed(),
+            f.advisory,
             json_escape(f.allowed.as_deref().unwrap_or("")),
             json_escape(&f.message),
         );
@@ -105,24 +106,29 @@ pub fn diff_baseline(
     diffs
 }
 
-/// Human-readable summary table: per-rule unallowed/allowed counts.
+/// Human-readable summary table: per-rule denied/advisory/allowed
+/// counts (advisory findings never fail `--deny`, so they get their
+/// own column rather than inflating the deny one).
 pub fn summary(findings: &[Finding]) -> String {
-    let mut per: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    let mut per: BTreeMap<&str, (usize, usize, usize)> = BTreeMap::new();
     for f in findings {
-        let e = per.entry(f.rule.as_str()).or_insert((0, 0));
+        let e = per.entry(f.rule.as_str()).or_insert((0, 0, 0));
         if f.is_allowed() {
+            e.2 += 1;
+        } else if f.advisory {
             e.1 += 1;
         } else {
             e.0 += 1;
         }
     }
-    let mut out = String::from("rule                 deny  allow\n");
-    for (rule, (deny, allow)) in &per {
-        let _ = writeln!(out, "{rule:<20} {deny:>4} {allow:>6}");
+    let mut out = String::from("rule                 deny  advise  allow\n");
+    for (rule, (deny, advise, allow)) in &per {
+        let _ = writeln!(out, "{rule:<20} {deny:>4} {advise:>7} {allow:>6}");
     }
     let total_deny: usize = per.values().map(|v| v.0).sum();
-    let total_allow: usize = per.values().map(|v| v.1).sum();
-    let _ = writeln!(out, "{:<20} {total_deny:>4} {total_allow:>6}", "total");
+    let total_advise: usize = per.values().map(|v| v.1).sum();
+    let total_allow: usize = per.values().map(|v| v.2).sum();
+    let _ = writeln!(out, "{:<20} {total_deny:>4} {total_advise:>7} {total_allow:>6}", "total");
     out
 }
 
@@ -137,6 +143,7 @@ mod tests {
             line: 3,
             message: "msg with \"quotes\"".into(),
             allowed: allowed.map(Into::into),
+            advisory: false,
         }
     }
 

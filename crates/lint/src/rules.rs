@@ -24,6 +24,12 @@
 //! * `float-key` — `partial_cmp(..).unwrap()`-family comparators and
 //!   float-keyed ordered containers; the sanctioned idiom is
 //!   `f32::total_cmp`/`f64::total_cmp`.
+//! * `vec-realloc-in-loop` — **advisory**: a fresh `Vec` allocation
+//!   (`Vec::new()`, `vec![…]`, `.collect()`) inside a loop body on a
+//!   scoped hot path; the workspace idiom is a reused scratch buffer
+//!   (see `mv_core::merge`, `ShardedKv::apply_batch`). Advisory rules
+//!   are printed but never fail `--deny` — they point at churn, not
+//!   bugs.
 //!
 //! Two meta-rules police the escape hatch itself: `bad-allow` (unknown
 //! rule name, or a missing reason) and `unused-allow` (a directive that
@@ -39,6 +45,7 @@ pub const RULES: &[&str] = &[
     "relaxed-ordering",
     "unscoped-spawn",
     "float-key",
+    "vec-realloc-in-loop",
 ];
 
 /// Where each rule applies. Paths are workspace-relative with `/`
@@ -53,6 +60,9 @@ pub struct RuleSpec {
     pub include: &'static [&'static str],
     /// Paths matching one of these are skipped.
     pub exclude: &'static [&'static str],
+    /// Advisory rules are reported but never fail `--deny` — they
+    /// surface allocation churn and style drift, not correctness bugs.
+    pub advisory: bool,
 }
 
 /// The catalogue, including per-rule path scopes.
@@ -62,6 +72,7 @@ pub const CATALOGUE: &[RuleSpec] = &[
         summary: "hash-container iteration into an order-sensitive sink",
         include: &[],
         exclude: &[],
+        advisory: false,
     },
     RuleSpec {
         name: "wall-clock",
@@ -70,6 +81,7 @@ pub const CATALOGUE: &[RuleSpec] = &[
         // Benches measure real elapsed time by definition, and the
         // TickProfiler is the sanctioned wall-clock reader.
         exclude: &["crates/bench/", "crates/obs/src/profile.rs"],
+        advisory: false,
     },
     RuleSpec {
         name: "panic-path",
@@ -87,26 +99,51 @@ pub const CATALOGUE: &[RuleSpec] = &[
             "crates/raft/src/node.rs",
             "crates/raft/src/msg.rs",
             "crates/core/src/replicated.rs",
+            // The ISSUE 8 hot-path rewrites: the SoA entity arena sits
+            // under durable replay, and the k-way merge scratch under
+            // every cross-shard query — both must degrade, not panic.
+            "crates/core/src/arena.rs",
+            "crates/core/src/merge.rs",
         ],
         exclude: &[],
+        advisory: false,
     },
     RuleSpec {
         name: "relaxed-ordering",
         summary: "atomic Ordering::Relaxed outside the documented tracer fast path",
         include: &[],
         exclude: &[],
+        advisory: false,
     },
     RuleSpec {
         name: "unscoped-spawn",
         summary: "thread::spawn where std::thread::scope is the idiom",
         include: &[],
         exclude: &[],
+        advisory: false,
     },
     RuleSpec {
         name: "float-key",
         summary: "float ordering without a total order (use total_cmp)",
         include: &[],
         exclude: &[],
+        advisory: false,
+    },
+    RuleSpec {
+        name: "vec-realloc-in-loop",
+        summary: "fresh Vec allocation inside a hot loop (advisory — reuse a scratch buffer)",
+        // Scoped to the per-tick hot paths the macro-bench exercises;
+        // elsewhere a fresh Vec per call is usually the right API.
+        include: &[
+            "crates/core/src/arena.rs",
+            "crates/core/src/merge.rs",
+            "crates/core/src/sharded.rs",
+            "crates/storage/src/kv.rs",
+            "crates/storage/src/sharded_kv.rs",
+            "crates/spatial/src/grid.rs",
+        ],
+        exclude: &[],
+        advisory: true,
     },
 ];
 
@@ -123,6 +160,8 @@ pub struct Finding {
     pub message: String,
     /// `Some(reason)` when a `lint:allow` directive covers it.
     pub allowed: Option<String>,
+    /// Mirrors [`RuleSpec::advisory`]: printed but never denied.
+    pub advisory: bool,
 }
 
 impl Finding {
@@ -182,6 +221,9 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
     if path_in_scope(path, spec("float-key")) {
         ctx.float_key();
     }
+    if path_in_scope(path, spec("vec-realloc-in-loop")) {
+        ctx.vec_realloc_in_loop();
+    }
 
     bind_directives(path, &lexed.directives, toks, &in_test, whole_file_test, raw)
 }
@@ -223,6 +265,7 @@ fn bind_directives(
                 line: d.line,
                 message: format!("lint:allow names unknown rule `{}`", d.rule),
                 allowed: None,
+                advisory: false,
             });
             continue;
         }
@@ -236,6 +279,7 @@ fn bind_directives(
                     d.rule
                 ),
                 allowed: None,
+                advisory: false,
             });
             continue;
         }
@@ -253,7 +297,14 @@ fn bind_directives(
             }
             None => None,
         };
-        findings.push(Finding { rule: rule.into(), path: path.into(), line, message, allowed });
+        findings.push(Finding {
+            rule: rule.into(),
+            path: path.into(),
+            line,
+            message,
+            allowed,
+            advisory: spec(rule).advisory,
+        });
     }
 
     for (_, d, _, used) in &allows {
@@ -264,6 +315,7 @@ fn bind_directives(
                 line: d.line,
                 message: format!("lint:allow({}) suppresses nothing — remove it", d.rule),
                 allowed: None,
+                advisory: false,
             });
         }
     }
@@ -502,6 +554,98 @@ impl<'a> Ctx<'a> {
                     "float-key",
                     i,
                     "float-keyed ordered container — wrap the key in a total-order type".into(),
+                );
+            }
+        }
+    }
+
+    // ---- vec-realloc-in-loop (advisory) -------------------------------
+
+    /// Per-token "inside a loop body" flags: the `{…}` body of every
+    /// `for`/`while`/`loop` (nested bodies stay flagged). The loop
+    /// header itself (the iterable expression) is not marked — a
+    /// `collect()` that *builds* the thing being iterated runs once.
+    fn loop_regions(&self) -> Vec<bool> {
+        let mut flags = vec![false; self.toks.len()];
+        for i in 0..self.toks.len() {
+            if !matches!(self.ident(i), Some("for" | "while" | "loop")) {
+                continue;
+            }
+            // Find the body `{` at header depth 0; a `;` or `}` first
+            // means this was not a loop keyword position after all.
+            // `for` doubles as the trait-impl keyword (`impl T for U {`)
+            // and the HRTB binder (`for<'a>`): a for-*loop* header must
+            // contain `in` at depth 0 before its body brace.
+            let mut depth = 0i32;
+            let mut open = None;
+            let mut seen_in = false;
+            for k in i + 1..self.toks.len() {
+                match self.toks[k].kind {
+                    Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                    Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                    Tok::Punct('{') if depth == 0 => {
+                        open = Some(k);
+                        break;
+                    }
+                    Tok::Punct(';') | Tok::Punct('}') if depth == 0 => break,
+                    _ => {
+                        if depth == 0 && self.ident(k) == Some("in") {
+                            seen_in = true;
+                        }
+                    }
+                }
+            }
+            if self.ident(i) == Some("for") && !seen_in {
+                continue;
+            }
+            let Some(open) = open else { continue };
+            let close = matching(self.toks, open, '{', '}').unwrap_or(self.toks.len() - 1);
+            for f in flags.iter_mut().take(close).skip(open) {
+                *f = true;
+            }
+        }
+        flags
+    }
+
+    /// Advisory: a fresh `Vec` born inside a loop body on a scoped hot
+    /// path. Keys on `Vec::new()`, `vec![…]`, and `.collect(`/`
+    /// .collect::<…>(` — `Vec::with_capacity` is deliberately not
+    /// flagged (pre-sizing is itself the fix when reuse is impossible).
+    /// Type-blind: a `.collect()` into a map counts too; the point is
+    /// the per-iteration allocation, whatever the container.
+    fn vec_realloc_in_loop(&mut self) {
+        let in_loop = self.loop_regions();
+        for i in 0..self.toks.len() {
+            if !in_loop.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            if self.ident(i) == Some("Vec")
+                && self.is(i + 1, ':')
+                && self.is(i + 2, ':')
+                && self.ident(i + 3) == Some("new")
+            {
+                self.flag(
+                    "vec-realloc-in-loop",
+                    i,
+                    "Vec::new() inside a hot loop — hoist the buffer and reuse it \
+                     (clear() keeps capacity)"
+                        .into(),
+                );
+            }
+            if self.ident(i) == Some("vec") && self.is(i + 1, '!') {
+                self.flag(
+                    "vec-realloc-in-loop",
+                    i,
+                    "vec![…] inside a hot loop — hoist the buffer and reuse it".into(),
+                );
+            }
+            if self.ident(i) == Some("collect") && i > 0 && self.is(i - 1, '.') {
+                self.flag(
+                    "vec-realloc-in-loop",
+                    i,
+                    "collect() inside a hot loop allocates per iteration — reuse a \
+                     scratch buffer (extend into a cleared Vec)"
+                        .into(),
                 );
             }
         }
@@ -888,5 +1032,65 @@ mod tests {
         let src = "pub fn t() { let x = Instant::now(); foo.unwrap(); }";
         assert!(unallowed("tests/integration.rs", src).is_empty());
         assert!(unallowed("crates/x/examples/demo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn vec_realloc_flags_loop_bodies_only() {
+        let src = r#"
+            pub fn hot(items: &[u32]) {
+                let setup: Vec<u32> = items.iter().copied().collect();
+                for x in setup {
+                    let scratch = Vec::new();
+                    let boxed = vec![x];
+                    let doubled: Vec<u32> = items.iter().map(|i| i * x).collect();
+                }
+            }
+        "#;
+        // In scope: flagged as advisory, three findings (Vec::new,
+        // vec!, collect) — the collect() building the iterable is not.
+        let f = unallowed("crates/core/src/merge.rs", src);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == "vec-realloc-in-loop" && f.advisory), "{f:?}");
+        assert_eq!(f.iter().map(|f| f.line).collect::<Vec<_>>(), vec![5, 6, 7]);
+        // Out of scope: a fresh Vec per call is usually the right API.
+        assert!(unallowed("crates/obs/src/span.rs", src).is_empty());
+    }
+
+    #[test]
+    fn impl_for_is_not_a_loop() {
+        let src = "
+            impl Index for Grid {
+                fn range(&self) -> Vec<u32> {
+                    let mut out = Vec::new();
+                    out
+                }
+            }
+        ";
+        assert!(unallowed("crates/spatial/src/grid.rs", src).is_empty());
+    }
+
+    #[test]
+    fn while_and_loop_bodies_count_too() {
+        let src = "
+            pub fn pump(q: &mut Q) {
+                while let Some(batch) = q.pop() {
+                    let staged = Vec::new();
+                }
+            }
+        ";
+        let f = unallowed("crates/storage/src/kv.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].advisory);
+    }
+
+    #[test]
+    fn panic_path_covers_arena_and_merge() {
+        let src = "pub fn f(v: &[u32]) -> u32 { v[0] }";
+        for path in ["crates/core/src/arena.rs", "crates/core/src/merge.rs"] {
+            let f = unallowed(path, src);
+            assert_eq!(f.len(), 1, "{path}: {f:?}");
+            assert_eq!(f[0].rule, "panic-path");
+            assert!(!f[0].advisory, "panic-path stays deniable");
+        }
     }
 }

@@ -23,6 +23,13 @@ use std::fmt::Write as _;
 /// Escape a string for embedding in a JSON document.
 pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
+    json_escape_into(&mut out, s);
+    out
+}
+
+/// [`json_escape`] into a caller-owned buffer (no allocation when the
+/// buffer has capacity) — the hot-loop form used by [`JsonlSink`].
+pub fn json_escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -36,17 +43,18 @@ pub fn json_escape(s: &str) -> String {
             c => out.push(c),
         }
     }
-    out
 }
 
 /// A cell rendered as a bare JSON number when it parses as one, else as
 /// a quoted string — so `"12.5"` exports as `12.5` but `"3.42x"` stays
 /// a string.
-fn json_value(cell: &str) -> String {
+fn json_value_into(out: &mut String, cell: &str) {
     if !cell.is_empty() && cell.parse::<f64>().is_ok_and(f64::is_finite) {
-        cell.to_string()
+        out.push_str(cell);
     } else {
-        format!("\"{}\"", json_escape(cell))
+        out.push('"');
+        json_escape_into(out, cell);
+        out.push('"');
     }
 }
 
@@ -54,16 +62,24 @@ fn json_value(cell: &str) -> String {
 /// by the column headers.
 pub fn table_to_jsonl(table: &Table) -> String {
     let mut out = String::new();
-    for row in table.rows() {
-        let mut line = format!("{{\"kind\":\"table\",\"table\":\"{}\"", json_escape(table.title()));
-        for (header, cell) in table.headers().iter().zip(row) {
-            let _ = write!(line, ",\"{}\":{}", json_escape(header), json_value(cell));
-        }
-        line.push('}');
-        out.push_str(&line);
-        out.push('\n');
-    }
+    table_to_jsonl_into(&mut out, table);
     out
+}
+
+/// [`table_to_jsonl`] into a caller-owned buffer.
+pub fn table_to_jsonl_into(out: &mut String, table: &Table) {
+    for row in table.rows() {
+        out.push_str("{\"kind\":\"table\",\"table\":\"");
+        json_escape_into(out, table.title());
+        out.push('"');
+        for (header, cell) in table.headers().iter().zip(row) {
+            out.push_str(",\"");
+            json_escape_into(out, header);
+            out.push_str("\":");
+            json_value_into(out, cell);
+        }
+        out.push_str("}\n");
+    }
 }
 
 /// Export span records as JSONL, one span per line, in the order given.
@@ -71,39 +87,53 @@ pub fn table_to_jsonl(table: &Table) -> String {
 /// files.
 pub fn spans_to_jsonl(spans: &[SpanRecord]) -> String {
     let mut out = String::new();
-    for s in spans {
-        let _ = writeln!(
-            out,
-            "{{\"kind\":\"span\",\"trace\":{},\"span\":{},\"parent\":{},\"name\":\"{}\",\
-             \"start_us\":{},\"end_us\":{},\"status\":\"{}\"}}",
-            s.trace,
-            s.span,
-            s.parent,
-            json_escape(s.name),
-            s.start.as_micros(),
-            s.end.as_micros(),
-            json_escape(s.status),
-        );
-    }
+    spans_to_jsonl_into(&mut out, spans);
     out
+}
+
+/// [`spans_to_jsonl`] into a caller-owned buffer.
+pub fn spans_to_jsonl_into(out: &mut String, spans: &[SpanRecord]) {
+    for s in spans {
+        out.push_str("{\"kind\":\"span\",\"trace\":");
+        let _ = write!(out, "{}", s.trace);
+        out.push_str(",\"span\":");
+        let _ = write!(out, "{}", s.span);
+        out.push_str(",\"parent\":");
+        let _ = write!(out, "{}", s.parent);
+        out.push_str(",\"name\":\"");
+        json_escape_into(out, s.name);
+        let _ = write!(out, "\",\"start_us\":{},\"end_us\":{},\"status\":\"", s.start.as_micros(), s.end.as_micros());
+        json_escape_into(out, s.status);
+        out.push_str("\"}\n");
+    }
 }
 
 /// Export a registry snapshot as JSONL: counters, gauges, then
 /// histogram summaries, each name-sorted.
 pub fn registry_to_jsonl(reg: &Registry) -> String {
     let mut out = String::new();
+    registry_to_jsonl_into(&mut out, reg);
+    out
+}
+
+/// [`registry_to_jsonl`] into a caller-owned buffer.
+pub fn registry_to_jsonl_into(out: &mut String, reg: &Registry) {
     for (name, v) in reg.counters() {
-        let _ = writeln!(out, "{{\"kind\":\"counter\",\"name\":\"{}\",\"value\":{v}}}", json_escape(name));
+        out.push_str("{\"kind\":\"counter\",\"name\":\"");
+        json_escape_into(out, name);
+        let _ = writeln!(out, "\",\"value\":{v}}}");
     }
     for (name, v) in reg.gauges() {
-        let _ = writeln!(out, "{{\"kind\":\"gauge\",\"name\":\"{}\",\"value\":{v}}}", json_escape(name));
+        out.push_str("{\"kind\":\"gauge\",\"name\":\"");
+        json_escape_into(out, name);
+        let _ = writeln!(out, "\",\"value\":{v}}}");
     }
     for (name, h) in reg.histograms() {
+        out.push_str("{\"kind\":\"histogram\",\"name\":\"");
+        json_escape_into(out, name);
         let _ = writeln!(
             out,
-            "{{\"kind\":\"histogram\",\"name\":\"{}\",\"count\":{},\"mean\":{},\"p50\":{},\
-             \"p95\":{},\"max\":{}}}",
-            json_escape(name),
+            "\",\"count\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"max\":{}}}",
             h.count(),
             h.mean(),
             h.quantile(0.5),
@@ -111,7 +141,95 @@ pub fn registry_to_jsonl(reg: &Registry) -> String {
             h.max(),
         );
     }
-    out
+}
+
+/// A reusable JSONL encode buffer for per-tick export loops.
+///
+/// Exporting the profiler or a span batch every tick used to allocate a
+/// fresh `String` (and one more per escaped cell) per tick — the
+/// profiler itself showed up on the profile it was producing. A sink is
+/// allocated once, `clear`ed per tick (capacity kept), and written
+/// through the `*_into` encoders above. [`JsonlSink::grows`] counts
+/// buffer reallocations, so steady-state loops can *assert* the encode
+/// path has stopped allocating (see the macro-benchmark, DESIGN.md §13).
+#[derive(Debug, Default)]
+pub struct JsonlSink {
+    buf: String,
+    grows: u64,
+}
+
+impl JsonlSink {
+    /// A sink with a preallocated buffer.
+    pub fn with_capacity(bytes: usize) -> Self {
+        JsonlSink { buf: String::with_capacity(bytes), grows: 0 }
+    }
+
+    /// Clear the buffer for the next tick, keeping its capacity.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// The encoded JSONL so far.
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been encoded since the last clear.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many times a write outgrew the buffer and forced a
+    /// reallocation. Zero after warm-up means the encode path is
+    /// allocation-free in steady state.
+    pub fn grows(&self) -> u64 {
+        self.grows
+    }
+
+    fn track<R>(&mut self, f: impl FnOnce(&mut String) -> R) -> R {
+        let before = self.buf.capacity();
+        let r = f(&mut self.buf);
+        if self.buf.capacity() != before {
+            self.grows += 1;
+        }
+        r
+    }
+
+    /// Append a table's rows as JSONL.
+    pub fn table(&mut self, table: &Table) {
+        self.track(|buf| table_to_jsonl_into(buf, table));
+    }
+
+    /// Append span records as JSONL.
+    pub fn spans(&mut self, spans: &[SpanRecord]) {
+        self.track(|buf| spans_to_jsonl_into(buf, spans));
+    }
+
+    /// Append a registry snapshot as JSONL.
+    pub fn registry(&mut self, reg: &Registry) {
+        self.track(|buf| registry_to_jsonl_into(buf, reg));
+    }
+
+    /// Append one raw, pre-formed JSONL line (caller supplies valid
+    /// JSON; a newline is added).
+    pub fn raw_line(&mut self, line: &str) {
+        self.track(|buf| {
+            buf.push_str(line);
+            buf.push('\n');
+        });
+    }
+
+    /// Write through a closure with reallocation tracking — the hook
+    /// custom encoders (e.g. [`crate::profile::TickProfiler::export_jsonl`])
+    /// use to stay on the shared buffer.
+    pub fn write_with(&mut self, f: impl FnOnce(&mut String)) {
+        self.track(f);
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +268,43 @@ mod tests {
             "{\"kind\":\"span\",\"trace\":1,\"span\":1,\"parent\":0,\"name\":\"root\",\
              \"start_us\":1000,\"end_us\":3000,\"status\":\"ok\"}\n"
         );
+    }
+
+    #[test]
+    fn sink_reuse_stops_allocating_after_warmup() {
+        // The satellite-2 claim: a per-tick export loop through one sink
+        // reallocates only while warming up; once the buffer has grown to
+        // the per-tick high-water mark, steady state is allocation-free.
+        let mut t = Table::new("profile", &["stage", "mean_us"]);
+        t.row(&["ingest".into(), "12.5".into()]);
+        t.row(&["fanout".into(), "3.25".into()]);
+        let mut sink = JsonlSink::default();
+        for _ in 0..3 {
+            sink.clear();
+            sink.table(&t);
+            sink.raw_line("{\"kind\":\"tick\",\"n\":1}");
+        }
+        let after_warmup = sink.grows();
+        for _ in 0..1000 {
+            sink.clear();
+            sink.table(&t);
+            sink.raw_line("{\"kind\":\"tick\",\"n\":1}");
+        }
+        assert_eq!(sink.grows(), after_warmup, "steady-state export must not reallocate");
+        assert!(sink.as_str().contains("\"stage\":\"ingest\""));
+        assert_eq!(sink.as_str(), table_to_jsonl(&t) + "{\"kind\":\"tick\",\"n\":1}\n");
+    }
+
+    #[test]
+    fn preallocated_sink_never_grows() {
+        let mut sink = JsonlSink::with_capacity(1 << 16);
+        let mut t = Table::new("x", &["a"]);
+        t.row(&["1".into()]);
+        for _ in 0..100 {
+            sink.clear();
+            sink.table(&t);
+        }
+        assert_eq!(sink.grows(), 0);
     }
 
     #[test]

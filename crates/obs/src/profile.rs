@@ -13,9 +13,11 @@
 //! output out of determinism-hashed artifacts (the exporters segregate
 //! it for exactly this reason).
 
+use crate::export::JsonlSink;
 use crate::registry::LogHistogram;
 use mv_common::table::{f3, Table};
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Accumulates per-stage wall-clock histograms across engine ticks.
@@ -118,6 +120,42 @@ impl TickProfiler {
         }
         t
     }
+
+    /// Export the profile as JSONL through a reusable sink — the
+    /// per-tick form (`{"kind":"tick_profile","stage":…,…}` lines).
+    ///
+    /// Unlike [`TickProfiler::table`], this allocates nothing of its
+    /// own: everything is written into the sink's buffer, so a loop
+    /// exporting every tick stays off its own profile once the sink
+    /// has warmed up (assert with [`JsonlSink::grows`]).
+    pub fn export_jsonl(&self, sink: &mut JsonlSink) {
+        let us = 1_000_000.0;
+        sink.write_with(|buf| {
+            for (name, h) in &self.stages {
+                let _ = writeln!(
+                    buf,
+                    "{{\"kind\":\"tick_profile\",\"stage\":\"{name}\",\"calls\":{},\
+                     \"mean_us\":{:.3},\"max_us\":{:.3},\"total_ms\":{:.3}}}",
+                    h.count(),
+                    h.mean() * us,
+                    h.max() * us,
+                    h.sum() * 1_000.0,
+                );
+            }
+            if !self.tick_histo.is_empty() {
+                let h = &self.tick_histo;
+                let _ = writeln!(
+                    buf,
+                    "{{\"kind\":\"tick_profile\",\"stage\":\"(tick)\",\"calls\":{},\
+                     \"mean_us\":{:.3},\"max_us\":{:.3},\"total_ms\":{:.3}}}",
+                    h.count(),
+                    h.mean() * us,
+                    h.max() * us,
+                    h.sum() * 1_000.0,
+                );
+            }
+        });
+    }
 }
 
 /// RAII guard from [`TickProfiler::scope`]; records on drop.
@@ -168,6 +206,27 @@ mod tests {
         let t = p.table("profile");
         assert_eq!(t.len(), 3); // a, b, (tick)
         assert!(t.render().contains("(tick)"));
+    }
+
+    #[test]
+    fn jsonl_export_reuses_the_sink_buffer() {
+        let mut p = TickProfiler::new();
+        let mut sink = JsonlSink::default();
+        for _ in 0..200 {
+            p.tick();
+            p.record("apply", 0.001);
+            sink.clear();
+            p.export_jsonl(&mut sink);
+        }
+        p.finish();
+        // Stage set is fixed after the first tick, so line lengths are
+        // stable and the buffer stops growing almost immediately.
+        let grows = sink.grows();
+        sink.clear();
+        p.export_jsonl(&mut sink);
+        assert_eq!(sink.grows(), grows, "steady-state export must not reallocate");
+        assert!(sink.as_str().contains("\"stage\":\"apply\""));
+        assert!(sink.as_str().contains("\"stage\":\"(tick)\""));
     }
 
     #[test]

@@ -26,6 +26,15 @@ pub trait SpatialIndex {
     /// All entities inside `area` (boundary inclusive), in arbitrary order.
     fn range(&self, area: &Aabb) -> Vec<EntityId>;
 
+    /// Answer many range probes at once; element `i` equals
+    /// `self.range(&areas[i])`. The default is the probe-at-a-time
+    /// loop; indexes override it when a shared pass over their
+    /// structure amortizes per-probe setup (see
+    /// [`crate::GridIndex::range_batch`]).
+    fn range_batch(&self, areas: &[Aabb]) -> Vec<Vec<EntityId>> {
+        areas.iter().map(|a| self.range(a)).collect()
+    }
+
     /// The `k` entities nearest to `p`, nearest first. Ties are broken by
     /// entity id so results are deterministic.
     fn knn(&self, p: Point, k: usize) -> Vec<EntityId>;

@@ -27,6 +27,81 @@ pub fn read_chunk(bytes: &[u8], at: usize) -> Option<(&[u8], usize)> {
     Some((bytes.get(start..end)?, end))
 }
 
+/// A checked little-endian cursor over borrowed bytes.
+///
+/// Every decode path in the workspace used to carry its own copy of
+/// this cursor (offset math in the WAL, a private `Reader` in the
+/// durable engine); this is the shared one. All reads are total —
+/// out-of-range returns `None`, never panics — and all slice outputs
+/// borrow from the input (`&'a [u8]`), so callers can route, validate,
+/// and filter without copying; owned copies happen only where an owned
+/// type is actually constructed.
+#[derive(Debug, Clone, Copy)]
+pub struct SliceReader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> SliceReader<'a> {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        SliceReader { buf, at: 0 }
+    }
+
+    /// Borrow the next `n` bytes and advance past them.
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        let chunk = self.buf.get(self.at..end)?;
+        self.at = end;
+        Some(chunk)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1).and_then(|b| b.first().copied())
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        let chunk: [u8; 4] = self.take(4)?.try_into().ok()?;
+        Some(u32::from_le_bytes(chunk))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        let chunk: [u8; 8] = self.take(8)?.try_into().ok()?;
+        Some(u64::from_le_bytes(chunk))
+    }
+
+    /// Read a little-endian `f64`.
+    pub fn f64(&mut self) -> Option<f64> {
+        let chunk: [u8; 8] = self.take(8)?.try_into().ok()?;
+        Some(f64::from_le_bytes(chunk))
+    }
+
+    /// Read a `u32` length prefix then borrow that many bytes.
+    pub fn chunk(&mut self) -> Option<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Byte offset of the cursor from the start of the buffer.
+    pub fn position(&self) -> usize {
+        self.at
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    /// True once the cursor has consumed the whole buffer — decoders
+    /// use this to reject trailing garbage.
+    pub fn done(&self) -> bool {
+        self.at == self.buf.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -46,6 +121,43 @@ mod tests {
         assert_eq!(read_u32_le(&b, usize::MAX), None);
         assert_eq!(read_u64_le(&b, 1), None);
         assert_eq!(read_chunk(&b, usize::MAX - 2), None);
+    }
+
+    #[test]
+    fn slice_reader_walks_a_frame_borrowing_chunks() {
+        let mut b = Vec::new();
+        b.push(7u8);
+        b.extend_from_slice(&3u32.to_le_bytes());
+        b.extend_from_slice(b"abc");
+        b.extend_from_slice(&42u64.to_le_bytes());
+        b.extend_from_slice(&1.5f64.to_le_bytes());
+        let mut r = SliceReader::new(&b);
+        assert_eq!(r.u8(), Some(7));
+        let chunk = r.chunk().unwrap();
+        assert_eq!(chunk, b"abc");
+        // The chunk borrows the input buffer — same allocation.
+        assert!(std::ptr::eq(chunk.as_ptr(), b[5..].as_ptr()));
+        assert_eq!(r.u64(), Some(42));
+        assert_eq!(r.f64(), Some(1.5));
+        assert!(r.done());
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.position(), b.len());
+    }
+
+    #[test]
+    fn slice_reader_is_total_on_truncated_and_hostile_input() {
+        let mut r = SliceReader::new(&[1, 2, 3]);
+        assert_eq!(r.u32(), None, "short read must not advance-panic");
+        assert_eq!(r.u8(), Some(1), "failed read must not consume bytes");
+        // Hostile length prefix far past the buffer.
+        let mut hostile = u32::MAX.to_le_bytes().to_vec();
+        hostile.extend_from_slice(b"abc");
+        let mut r = SliceReader::new(&hostile);
+        assert_eq!(r.chunk(), None);
+        let mut r = SliceReader::new(&[]);
+        assert_eq!(r.u8(), None);
+        assert_eq!(r.u64(), None);
+        assert!(r.done());
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //! trigger triple — or when the caller forces `sync()`.
 
 use crate::codec;
-use crate::wal::{checksum, decode_payload, encode_payload, Corruption, RecoveryReport, WalRecord};
+use crate::wal::{
+    checksum, decode_payload_ref, encode_payload, Corruption, RecoveryReport, WalRecord,
+    WalRecordRef,
+};
 use mv_common::metrics::Counters;
 use mv_common::time::{SimDuration, SimTime};
 use mv_obs::{SharedTracer, TraceCtx};
@@ -315,34 +318,29 @@ fn decode_batches(log: &[u8]) -> (Vec<Vec<WalRecord>>, RecoveryReport) {
             corruption = Some(Corruption::ChecksumMismatch { at });
             break;
         }
-        // Split the payload back into records. The count field sits
-        // outside the checksummed payload, so clamp the preallocation by
-        // what the payload could possibly hold (≥ 4 bytes per record);
-        // a damaged count then fails the record walk below instead of
-        // provoking a monster allocation.
-        let mut records = Vec::with_capacity(count.min(payload.len() / 4 + 1));
-        let mut cursor = 0usize;
+        // Split the payload back into records, borrowed-first: the walk
+        // validates every record as a zero-copy [`WalRecordRef`] view
+        // over the log, and copies into owned records only once the
+        // whole batch has proven intact — a damaged batch allocates
+        // nothing. The count field sits outside the checksummed payload,
+        // so clamp the preallocation by what the payload could possibly
+        // hold (≥ 4 bytes per record); a damaged count then fails the
+        // record walk instead of provoking a monster allocation.
+        let mut refs = Vec::with_capacity(count.min(payload.len() / 4 + 1));
+        let mut pr = codec::SliceReader::new(payload);
         for _ in 0..count {
-            let Some(rec_len) = codec::read_u32_le(payload, cursor) else {
+            let Some(rec) = pr.chunk().and_then(decode_payload_ref) else {
                 corruption = Some(Corruption::ChecksumMismatch { at });
                 break 'scan;
             };
-            let rec_len = rec_len as usize;
-            let Some(rec) =
-                payload.get(cursor + 4..cursor + 4 + rec_len).and_then(decode_payload)
-            else {
-                corruption = Some(Corruption::ChecksumMismatch { at });
-                break 'scan;
-            };
-            records.push(rec);
-            cursor += 4 + rec_len;
+            refs.push(rec);
         }
-        if cursor != payload.len() {
+        if !pr.done() {
             corruption = Some(Corruption::ChecksumMismatch { at });
             break;
         }
-        replayed += records.len();
-        batches.push(records);
+        replayed += refs.len();
+        batches.push(refs.iter().map(WalRecordRef::to_owned).collect());
         at += BATCH_HEADER + len;
     }
     let report = RecoveryReport {

@@ -100,6 +100,10 @@ pub struct KvStore {
     /// Read-path accounting (Cells: `get` takes `&self`).
     run_probes: Cell<u64>,
     bloom_skips: Cell<u64>,
+    /// Reused k-way merge cursors (one per window run); cleared and
+    /// refilled per compaction so steady-state merges allocate only the
+    /// output run itself.
+    merge_cursors: Vec<usize>,
 }
 
 impl KvStore {
@@ -133,6 +137,7 @@ impl KvStore {
             compaction_write_bytes: 0,
             run_probes: Cell::new(0),
             bloom_skips: Cell::new(0),
+            merge_cursors: Vec::new(),
         }
     }
 
@@ -269,19 +274,54 @@ impl KvStore {
     /// Merge `len` runs starting at `start` (age-contiguous; newer runs
     /// shadow older). Tombstones drop only when the window includes the
     /// oldest run — otherwise they may still shadow entries below.
+    ///
+    /// The merge is a cursor-based k-way pass over the window's sorted
+    /// entries, straight into a `Vec` sized to the worst case. The
+    /// previous implementation funnelled every entry through a
+    /// `BTreeMap` (one node allocation per entry, `O(total log total)`
+    /// ordered inserts) only to drain it again; the k-way pass is
+    /// `O(total · k)` key comparisons with `k = tier_fanout` (usually 4)
+    /// and allocates nothing but the output run. Output is identical:
+    /// sorted unique keys, newest version wins, same tombstone rule.
     fn merge_window(&mut self, start: usize, len: usize) {
         let drop_tombstones = start == 0;
-        let mut merged: BTreeMap<Bytes, Option<Bytes>> = BTreeMap::new();
-        for run in self.runs.drain(start..start + len) {
-            self.compaction_read_bytes += run.bytes as u64;
-            for (k, v) in run.entries {
-                merged.insert(k, v);
+        let total: usize =
+            self.runs[start..start + len].iter().map(|r| r.entries.len()).sum();
+        self.merge_cursors.clear();
+        self.merge_cursors.resize(len, 0);
+        let mut entries: Vec<(Bytes, Option<Bytes>)> = Vec::with_capacity(total);
+        loop {
+            // Find the smallest key under any cursor. On ties the newer
+            // run (larger window index) shadows: advance the older
+            // cursor past its dead entry and keep scanning.
+            let mut best: Option<usize> = None;
+            for wi in 0..len {
+                let run = &self.runs[start + wi].entries;
+                let Some((key, _)) = run.get(self.merge_cursors[wi]) else { continue };
+                match best {
+                    None => best = Some(wi),
+                    Some(b) => {
+                        let best_key = &self.runs[start + b].entries[self.merge_cursors[b]].0;
+                        if key < best_key {
+                            best = Some(wi);
+                        } else if key == best_key {
+                            // wi > b, so wi is the newer run.
+                            self.merge_cursors[b] += 1;
+                            best = Some(wi);
+                        }
+                    }
+                }
+            }
+            let Some(wi) = best else { break };
+            let (key, value) = self.runs[start + wi].entries[self.merge_cursors[wi]].clone();
+            self.merge_cursors[wi] += 1;
+            if !drop_tombstones || value.is_some() {
+                entries.push((key, value));
             }
         }
-        let entries: Vec<(Bytes, Option<Bytes>)> = merged
-            .into_iter()
-            .filter(|(_, v)| !drop_tombstones || v.is_some())
-            .collect();
+        for run in self.runs.drain(start..start + len) {
+            self.compaction_read_bytes += run.bytes as u64;
+        }
         let run = Run::build(entries, self.config.bloom_bits_per_key);
         self.compaction_write_bytes += run.bytes as u64;
         self.runs.insert(start, run);

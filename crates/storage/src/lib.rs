@@ -47,4 +47,4 @@ pub use kv::{KvConfig, KvStore};
 pub use object::ObjectStore;
 pub use organization::{DataOrganization, Layout};
 pub use sharded_kv::ShardedKv;
-pub use wal::{RecoveryReport, Wal, WalRecord};
+pub use wal::{RecoveryReport, Wal, WalRecord, WalRecordRef};

@@ -53,6 +53,15 @@ pub struct ShardedKv {
     /// thread so the per-shard walls measure pure per-shard work — the
     /// honest-timing mode E17's critical-path model requires (cf. E1d).
     parallel_apply: bool,
+    /// Per-shard staging queues of record indices, kept across
+    /// [`apply_batch`] calls so steady-state batches route with zero
+    /// queue allocations (cleared, capacity retained).
+    ///
+    /// [`apply_batch`]: ShardedKv::apply_batch
+    staging: Vec<Vec<usize>>,
+    /// Times a staging queue had to grow mid-routing. Flat across
+    /// same-shaped batches once warm; exported via [`ShardedKv::stats`].
+    staging_reallocs: u64,
 }
 
 impl ShardedKv {
@@ -66,6 +75,8 @@ impl ShardedKv {
             shards: (0..shards).map(|_| KvStore::with_config(config)).collect(),
             last_shard_walls: vec![0.0; shards],
             parallel_apply: true,
+            staging: (0..shards).map(|_| Vec::new()).collect(),
+            staging_reallocs: 0,
         }
     }
 
@@ -122,19 +133,29 @@ impl ShardedKv {
     /// `mv_core::sharded` ownership discipline.
     pub fn apply_batch(&mut self, records: &[WalRecord]) {
         let n = self.shards.len();
-        let mut queues: Vec<Vec<&WalRecord>> = vec![Vec::new(); n];
-        for rec in records {
+        // Route into the persistent staging queues (record indices, not
+        // references, so the scratch can outlive the borrow): clear keeps
+        // capacity, so a steady stream of same-shaped batches routes with
+        // zero allocations after the first.
+        for q in &mut self.staging {
+            q.clear();
+        }
+        for (i, rec) in records.iter().enumerate() {
             let key = match rec {
                 WalRecord::Put { key, .. } | WalRecord::Delete { key } => key.as_slice(),
             };
-            queues[shard_of_key(key, n)].push(rec);
+            let q = &mut self.staging[shard_of_key(key, n)];
+            if q.len() == q.capacity() {
+                self.staging_reallocs += 1;
+            }
+            q.push(i);
         }
         let mut walls = vec![0.0f64; n];
-        let run_queue = |shard: &mut KvStore, queue: &[&WalRecord]| {
+        let run_queue = |shard: &mut KvStore, queue: &[usize]| {
             // lint:allow(wall-clock): measures real CPU time of the serial replay path for the speedup report; never feeds sim state
             let t0 = Instant::now();
-            for rec in queue {
-                match rec {
+            for &ri in queue {
+                match &records[ri] {
                     WalRecord::Put { key, value } => shard.put(
                         Bytes::copy_from_slice(key),
                         Bytes::copy_from_slice(value),
@@ -149,7 +170,7 @@ impl ShardedKv {
                 let handles: Vec<_> = self
                     .shards
                     .iter_mut()
-                    .zip(queues.iter())
+                    .zip(self.staging.iter())
                     .map(|(shard, queue)| scope.spawn(|| run_queue(shard, queue)))
                     .collect();
                 for (si, handle) in handles.into_iter().enumerate() {
@@ -157,7 +178,9 @@ impl ShardedKv {
                 }
             });
         } else {
-            for (si, (shard, queue)) in self.shards.iter_mut().zip(queues.iter()).enumerate() {
+            for (si, (shard, queue)) in
+                self.shards.iter_mut().zip(self.staging.iter()).enumerate()
+            {
                 walls[si] = run_queue(shard, queue);
             }
         }
@@ -192,12 +215,25 @@ impl ShardedKv {
         self.shards.iter().map(KvStore::run_count).collect()
     }
 
-    /// Per-shard [`KvStore::stats`], merged.
+    /// Total bytes held in immutable runs across all shards.
+    pub fn run_bytes(&self) -> usize {
+        self.shards.iter().map(KvStore::run_bytes).sum()
+    }
+
+    /// Total memtable fill in bytes across all shards.
+    pub fn memtable_bytes(&self) -> usize {
+        self.shards.iter().map(KvStore::memtable_bytes).sum()
+    }
+
+    /// Per-shard [`KvStore::stats`], merged, plus the router's own
+    /// `staging_reallocs` (growths of the persistent per-shard staging
+    /// queues — flat in steady state).
     pub fn stats(&self) -> Counters {
         let mut all = Counters::new();
         for shard in &self.shards {
             all.merge(&shard.stats());
         }
+        all.add("staging_reallocs", self.staging_reallocs);
         all
     }
 }
@@ -278,6 +314,29 @@ mod tests {
         ser.apply_batch(&records);
         assert_eq!(par.scan(b"", b"\xff"), ser.scan(b"", b"\xff"));
         assert!(ser.last_shard_walls().iter().all(|w| *w >= 0.0));
+    }
+
+    #[test]
+    fn staging_queues_stop_reallocating_after_first_batch() {
+        let records: Vec<WalRecord> = (0..600u32)
+            .map(|i| WalRecord::Put {
+                key: format!("entity-{}", i % 150).into_bytes(),
+                value: format!("v{i}").into_bytes(),
+            })
+            .collect();
+        let mut kv = ShardedKv::with_defaults(4);
+        kv.set_parallel_apply(false);
+        kv.apply_batch(&records);
+        let warm = kv.stats().get("staging_reallocs");
+        assert!(warm > 0, "first batch must grow the staging queues");
+        for _ in 0..20 {
+            kv.apply_batch(&records);
+        }
+        assert_eq!(
+            kv.stats().get("staging_reallocs"),
+            warm,
+            "steady-state batches must reuse staging capacity"
+        );
     }
 
     #[test]

@@ -39,6 +39,48 @@ pub enum WalRecord {
     },
 }
 
+/// A borrowed view of one logged mutation — the zero-copy decode form.
+///
+/// Recovery scans decode into this first: the key/value slices borrow
+/// the log buffer, so validation, routing, and filtering allocate
+/// nothing. [`WalRecordRef::to_owned`] copies only once a record is
+/// actually kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalRecordRef<'a> {
+    /// Insert/overwrite (borrowed).
+    Put {
+        /// Key bytes, borrowing the log.
+        key: &'a [u8],
+        /// Value bytes, borrowing the log.
+        value: &'a [u8],
+    },
+    /// Tombstone (borrowed).
+    Delete {
+        /// Key bytes, borrowing the log.
+        key: &'a [u8],
+    },
+}
+
+impl WalRecordRef<'_> {
+    /// The key of either variant.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            WalRecordRef::Put { key, .. } | WalRecordRef::Delete { key } => key,
+        }
+    }
+
+    /// Copy into the owned form (the only allocation on the decode
+    /// path).
+    pub fn to_owned(&self) -> WalRecord {
+        match *self {
+            WalRecordRef::Put { key, value } => {
+                WalRecord::Put { key: key.to_vec(), value: value.to_vec() }
+            }
+            WalRecordRef::Delete { key } => WalRecord::Delete { key: key.to_vec() },
+        }
+    }
+}
+
 /// Why recovery stopped early.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Corruption {
@@ -103,24 +145,23 @@ fn append_frame(log: &mut Vec<u8>, rec: &WalRecord) {
     log.extend_from_slice(&payload);
 }
 
-/// Decode one payload; `None` on any structural damage (a checksum that
-/// still matched makes this vanishingly rare, but recovery must never
-/// panic on hostile bytes).
+/// Decode one payload into the borrowed form; `None` on any structural
+/// damage (a checksum that still matched makes this vanishingly rare,
+/// but recovery must never panic on hostile bytes). Nothing is copied:
+/// the returned record borrows `payload`.
+pub(crate) fn decode_payload_ref(payload: &[u8]) -> Option<WalRecordRef<'_>> {
+    let mut r = codec::SliceReader::new(payload);
+    let rec = match r.u8()? {
+        1 => WalRecordRef::Put { key: r.chunk()?, value: r.chunk()? },
+        2 => WalRecordRef::Delete { key: r.chunk()? },
+        _ => return None,
+    };
+    r.done().then_some(rec)
+}
+
+/// Owned-form decode: [`decode_payload_ref`] plus the final copy.
 pub(crate) fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
-    let (&tag, rest) = payload.split_first()?;
-    match tag {
-        1 => {
-            let (key, used) = codec::read_chunk(rest, 0)?;
-            let (value, used2) = codec::read_chunk(rest, used)?;
-            (used2 == rest.len())
-                .then(|| WalRecord::Put { key: key.to_vec(), value: value.to_vec() })
-        }
-        2 => {
-            let (key, used) = codec::read_chunk(rest, 0)?;
-            (used == rest.len()).then(|| WalRecord::Delete { key: key.to_vec() })
-        }
-        _ => None,
-    }
+    decode_payload_ref(payload).map(|r| r.to_owned())
 }
 
 /// Scan `log`, returning the intact record prefix and a report.

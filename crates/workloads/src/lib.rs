@@ -15,8 +15,12 @@
 //! * [`healthcare`] — §II smart healthcare: vital-sign streams with
 //!   injected anomalies for remote monitoring;
 //! * [`smartcity`] — §II smart city: a sensor grid with Zipf-skewed hot
-//!   cells and diurnal rates.
+//!   cells and diurnal rates;
+//! * [`deluge`] — the §III data deluge itself: a million-entity
+//!   update/query storm with Zipf(0.9) entity skew and flash-crowd
+//!   bursts, driving the macro-benchmark (DESIGN.md §13).
 
+pub mod deluge;
 pub mod game;
 pub mod healthcare;
 pub mod marketplace;
@@ -24,6 +28,7 @@ pub mod military;
 pub mod movement;
 pub mod smartcity;
 
+pub use deluge::{DelugeOp, DelugeParams, DelugeTrace};
 pub use game::{GameParams, GameWorkload};
 pub use healthcare::{HealthParams, VitalsStream};
 pub use marketplace::{FlashSale, MarketParams};
