@@ -6,9 +6,20 @@
 //!    deterministic block to be byte-identical across reruns;
 //! 2. validate the rendered report against the `mv-bench-macro/v1`
 //!    schema (required keys present, numeric where expected);
-//! 3. if a committed `BENCH_8.json` exists at the repo root, compare
+//! 3. **health gate** — fail if the smoke run fired a single SLO alert
+//!    (`slo_alerts_fired` in the deterministic block must be 0: the
+//!    perf gate doubles as a health gate);
+//! 4. run the **injected-regression alert canary** (a deliberately
+//!    broken tiny run against an absurdly strict SLO) and validate its
+//!    alert log and `mv-debug-bundle/v1` debug bundle against their
+//!    schemas — proving the alert path *can* fire before trusting a
+//!    gate built on it never firing;
+//! 5. if a committed `BENCH_8.json` exists at the repo root, compare
 //!    every headline metric of the fresh smoke run against the
 //!    committed one and **fail on >10% regression**.
+//!
+//! `--alert-canary` runs only step 4 — the cheap CI step that gates
+//! the alert path on its own.
 //!
 //! `--write` additionally runs the **full** (1M-entity) profile and
 //! rewrites `BENCH_8.json` — run it on a quiet machine when a PR
@@ -39,8 +50,25 @@ fn main() -> ExitCode {
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_8.json".to_string());
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: bench_check [--write] [--baseline <path to BENCH_8.json>]");
+        eprintln!(
+            "usage: bench_check [--write] [--alert-canary] [--baseline <path to BENCH_8.json>]"
+        );
         return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--alert-canary") {
+        return match check_alert_canary() {
+            Ok(lines) => {
+                for l in lines {
+                    eprintln!("bench_check: {l}");
+                }
+                eprintln!("bench_check: PASS");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bench_check: FAIL — alert canary: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     // 1. Same-seed determinism: the gated block must not wobble.
@@ -67,7 +95,37 @@ fn main() -> ExitCode {
     }
     eprintln!("bench_check: schema OK (mv-bench-macro/v1)");
 
-    // 3. Regression gate against the committed baseline, if present.
+    // 3. Health gate: the smoke profile must not burn an SLO budget.
+    match smoke_a.det_value("slo_alerts_fired") {
+        Some("0") => eprintln!("bench_check: health OK (smoke run fired 0 SLO alerts)"),
+        Some(n) => {
+            eprintln!(
+                "bench_check: FAIL — smoke run fired {n} SLO alert(s); the macro-bench \
+                 burned an error budget (see slo_log_hash in the report)"
+            );
+            return ExitCode::FAILURE;
+        }
+        None => {
+            eprintln!("bench_check: FAIL — smoke report carries no slo_alerts_fired metric");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // 4. Injected-regression canary: the alert path must be able to
+    // fire, and its artifacts must match their schemas.
+    match check_alert_canary() {
+        Ok(lines) => {
+            for l in lines {
+                eprintln!("bench_check: {l}");
+            }
+        }
+        Err(e) => {
+            eprintln!("bench_check: FAIL — alert canary: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // 5. Regression gate against the committed baseline, if present.
     match std::fs::read_to_string(&baseline_path) {
         Ok(committed) => {
             if let Err(e) = validate_schema(&committed) {
@@ -101,7 +159,7 @@ fn main() -> ExitCode {
         }
     }
 
-    // 4. Optionally regenerate the committed artifact (smoke + full).
+    // 6. Optionally regenerate the committed artifact (smoke + full).
     if write {
         eprintln!("bench_check: running full profile (this is the 1M-entity run)...");
         let full = run_macro(&full_profile());
@@ -119,6 +177,81 @@ fn main() -> ExitCode {
 
     eprintln!("bench_check: PASS");
     ExitCode::SUCCESS
+}
+
+/// Run the injected-regression canary and validate its artifacts: the
+/// deliberately broken run must fire, its alert log must carry every
+/// canonical field, and its debug bundle must match `mv-debug-bundle/v1`.
+fn check_alert_canary() -> Result<Vec<String>, String> {
+    let c = mv_bench::exp_health::alert_canary();
+    if c.fired == 0 {
+        return Err(format!(
+            "injected regression fired no alert — the alert path is dead\n{}",
+            c.alert_log
+        ));
+    }
+    validate_alert_log(&c.alert_log)?;
+    validate_bundle(&c.bundle_jsonl)?;
+    Ok(vec![format!(
+        "alert canary OK ({} alert(s) fired; alert-log and {} schemas valid)",
+        c.fired,
+        mv_obs::BUNDLE_SCHEMA
+    )])
+}
+
+/// Validate the canonical alert-log shape: every line carries the full
+/// `seq= at_us= slo= kind= burn_fast= burn_slow= fast= slow=` field set
+/// and a known kind.
+fn validate_alert_log(log: &str) -> Result<(), String> {
+    if log.is_empty() {
+        return Err("alert log is empty".into());
+    }
+    for (i, line) in log.lines().enumerate() {
+        for field in
+            ["seq=", "at_us=", "slo=", "kind=", "burn_fast=", "burn_slow=", "fast=", "slow="]
+        {
+            if !line.contains(field) {
+                return Err(format!("alert log line {i} missing `{field}`: {line}"));
+            }
+        }
+        if !line.contains("kind=fire") && !line.contains("kind=clear") {
+            return Err(format!("alert log line {i} has unknown kind: {line}"));
+        }
+    }
+    Ok(())
+}
+
+/// Validate a debug bundle against `mv-debug-bundle/v1`: a header line
+/// naming the schema, then one `{"kind":"tick",…}` line per buffered
+/// tick carrying every evidence category.
+fn validate_bundle(bundle: &str) -> Result<(), String> {
+    let mut lines = bundle.lines();
+    let header = lines.next().ok_or_else(|| "bundle is empty".to_string())?;
+    let schema_tag = format!("{{\"schema\":\"{}\"", mv_obs::BUNDLE_SCHEMA);
+    if !header.starts_with(&schema_tag) {
+        return Err(format!("bundle header misses schema tag {}: {header}", mv_obs::BUNDLE_SCHEMA));
+    }
+    for key in ["\"seq\":", "\"reason\":", "\"at_us\":", "\"ticks\":"] {
+        if !header.contains(key) {
+            return Err(format!("bundle header missing {key}: {header}"));
+        }
+    }
+    let mut ticks = 0usize;
+    for (i, line) in lines.enumerate() {
+        if !line.starts_with("{\"kind\":\"tick\",\"at_us\":") {
+            return Err(format!("bundle line {} is not a tick line: {line}", i + 1));
+        }
+        for key in ["\"counters\":", "\"gauges\":", "\"alerts\":", "\"events\":", "\"spans\":"] {
+            if !line.contains(key) {
+                return Err(format!("bundle tick line {} missing {key}", i + 1));
+            }
+        }
+        ticks += 1;
+    }
+    if ticks == 0 {
+        return Err("bundle carries no tick evidence".into());
+    }
+    Ok(())
 }
 
 /// Validate the `mv-bench-macro/v1` shape: schema tag, at least one

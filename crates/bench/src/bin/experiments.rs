@@ -37,15 +37,24 @@ fn main() {
     }
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
+    // One pretty-print buffer and one JSONL sink, reused across every
+    // table: rendering N tables costs a handful of warm-up growths, not
+    // N allocations (`Table::render_into` / `JsonlSink` — DESIGN.md §13).
+    let mut pretty = String::new();
+    let mut sink = mv_obs::export::JsonlSink::with_capacity(1 << 14);
     for id in ids {
         let started = std::time::Instant::now();
         let tables = mv_bench::run(id);
         writeln!(out, "\n=== experiment {id} ({:.2}s) ===\n", started.elapsed().as_secs_f64())
             .expect("stdout");
         for t in tables {
-            writeln!(out, "{t}").expect("stdout");
+            pretty.clear();
+            t.render_into(&mut pretty);
+            writeln!(out, "{pretty}").expect("stdout");
             if jsonl {
-                write!(out, "{}", mv_obs::export::table_to_jsonl(&t)).expect("stdout");
+                sink.clear();
+                sink.table(&t);
+                write!(out, "{}", sink.as_str()).expect("stdout");
             }
         }
     }

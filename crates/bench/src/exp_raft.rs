@@ -27,14 +27,18 @@ use mv_core::{DurableOp, ReplicatedMetaverse};
 use mv_net::fault::{apply, Fault, FaultTarget};
 use mv_net::{FaultPlan, Network, Sim};
 
-/// Writes flow over `[WRITE_START, WRITE_END)`, one per 10 ms.
-const WRITE_START_MS: u64 = 1_000;
-const WRITE_END_MS: u64 = 6_000;
-/// The fault window.
-const FAULT_AT_MS: u64 = 2_000;
-const HEAL_AT_MS: u64 = 4_000;
+/// Writes flow over `[WRITE_START, WRITE_END)`, one per 10 ms. Shared
+/// with E22 (`crate::exp_health`), which reruns these fault scripts
+/// with SLOs armed.
+pub const WRITE_START_MS: u64 = 1_000;
+/// End of the write window (exclusive).
+pub const WRITE_END_MS: u64 = 6_000;
+/// Fault injection time.
+pub const FAULT_AT_MS: u64 = 2_000;
+/// Fault heal time.
+pub const HEAL_AT_MS: u64 = 4_000;
 /// Quiet tail for reconvergence.
-const END_MS: u64 = 9_000;
+pub const END_MS: u64 = 9_000;
 
 #[derive(Clone, Copy)]
 enum Scenario {

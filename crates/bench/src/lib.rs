@@ -19,6 +19,7 @@ pub mod exp_dissem;
 pub mod exp_durable;
 pub mod exp_fault;
 pub mod exp_fusion;
+pub mod exp_health;
 pub mod exp_ledger;
 pub mod exp_obs;
 pub mod exp_pubsub;
@@ -35,9 +36,9 @@ pub mod macro_bench;
 use mv_common::table::Table;
 
 /// All experiment ids, in DESIGN.md order.
-pub const ALL_IDS: [&str; 23] = [
+pub const ALL_IDS: [&str; 24] = [
     "e1", "e1d", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e12b",
-    "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21",
+    "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22",
 ];
 
 /// Run one experiment by id.
@@ -69,6 +70,7 @@ pub fn run(id: &str) -> Vec<Table> {
         "e19" => exp_txn::e19(),
         "e20" => exp_raft::e20(),
         "e21" => macro_bench::e21(),
+        "e22" => exp_health::e22(),
         other => panic!("unknown experiment id {other}"),
     }
 }

@@ -43,6 +43,7 @@ use mv_core::{DurableMetaverse, WriteOp};
 use mv_dissem::{LinkScheduler, Priority, SchedPolicy, TxRequest};
 use mv_obs::export::JsonlSink;
 use mv_obs::profile::TickProfiler;
+use mv_obs::{HealthMonitor, SharedRegistry, SloSpec, StatSet};
 use mv_pubsub::{BrokerTree, Publication, Subscription};
 use mv_storage::{GroupCommitPolicy, KvConfig};
 use mv_workloads::deluge::{self, DelugeOp, DelugeParams, ATTR_NAMES};
@@ -207,6 +208,35 @@ pub fn run_macro(params: &MacroParams) -> MacroReport {
 
     let mut profiler = TickProfiler::new();
     let mut sink = JsonlSink::with_capacity(1 << 12);
+
+    // ── Health layer: lenient SLOs armed for the whole run. The perf
+    // gate doubles as a health gate — `bench_check` fails if the smoke
+    // profile fires a single alert (`slo_alerts_fired` below). ────────
+    let health_reg = SharedRegistry::new();
+    let mut health_stats = StatSet::in_registry("bench.macro", &health_reg);
+    let e2e_id = health_reg.with(|r| r.histo("bench.macro.e2e_ms"));
+    let mut health = HealthMonitor::new(&health_reg, 16, 8);
+    health.arm(
+        SloSpec::availability(
+            "bench.apply-errors",
+            "bench.macro.apply_errors",
+            "bench.macro.ops",
+            0.01,
+        )
+        .windows(2, 8)
+        .min_events(64),
+    );
+    health.arm(
+        SloSpec::latency("bench.e2e-latency", "bench.macro.e2e_ms", 4096.0, 0.10)
+            .windows(2, 8)
+            .min_events(64),
+    );
+    health.arm(
+        SloSpec::staleness("bench.compaction-debt", "bench.macro.compaction_debt", 64.0, 0.5)
+            .windows(2, 8)
+            .min_events(2),
+    );
+
     let wall_start = std::time::Instant::now();
 
     // ── Spawn phase (before tick 0; logged + committed durably) ──────
@@ -295,13 +325,20 @@ pub fn run_macro(params: &MacroParams) -> MacroReport {
 
         // ingest: log to the WAL, apply to the sharded engine.
         let results = profiler.time("ingest", || dm.apply_batch(&write_ops));
-        apply_errs += results.iter().filter(|r| r.is_err()).count() as u64;
+        let tick_errs = results.iter().filter(|r| r.is_err()).count() as u64;
+        apply_errs += tick_errs;
 
         // Modelled durability latency per op: group-commit wait + sync.
-        for (i, op) in write_ops.iter().enumerate() {
-            let wait_us = seal_of(i).since(op.ts()).as_micros() as f64;
-            durable_h.record((wait_us + SYNC_LATENCY_US) / 1_000.0);
-        }
+        // Also recorded into the health registry (one lock per tick)
+        // so the armed latency SLO watches the same tail.
+        health_reg.with(|r| {
+            for (i, op) in write_ops.iter().enumerate() {
+                let wait_us = seal_of(i).since(op.ts()).as_micros() as f64;
+                let ms = (wait_us + SYNC_LATENCY_US) / 1_000.0;
+                durable_h.record(ms);
+                r.record(e2e_id, ms);
+            }
+        });
 
         // commit: seal the WAL batch, snapshot touched entities to KV.
         profiler.time("commit", || dm.commit(tick_end));
@@ -371,6 +408,13 @@ pub fn run_macro(params: &MacroParams) -> MacroReport {
         // analytics: full divergence sweep (the twin-sync health metric).
         last_divergence = profiler.time("analytics", || dm.engine().mean_divergence());
 
+        // health: publish this tick's probe values and pump the
+        // armed monitor on the tick boundary.
+        health_stats.add("ops", write_ops.len() as u64);
+        health_stats.add("apply_errors", tick_errs);
+        dm.publish_health_gauges(&mut health_stats);
+        health.tick(tick_end);
+
         // Per-tick profile export through the reused sink — the
         // satellite-2 claim: the exporter stays off the profile.
         sink.clear();
@@ -429,6 +473,12 @@ pub fn run_macro(params: &MacroParams) -> MacroReport {
     // Growth while the sink warms up is expected; the satellite-2 claim
     // is zero growth on every steady-state export.
     det.push(("jsonl_sink_grows_after_tick1", sink_steady_growth(&profiler).to_string()));
+    // Health gate: the macro-bench must never burn an SLO budget — a
+    // fired alert here is a perf *and* health regression (bench_check
+    // fails on nonzero; the alert log hash is seed-stable).
+    det.push(("slo_alerts_fired", health.engine.fired_total().to_string()));
+    det.push(("slo_active_at_end", health.active_alerts().to_string()));
+    det.push(("slo_log_hash", format!("\"{:016x}\"", health.engine.log_hash())));
     det.push(("state_digest", format!("\"{:016x}\"", digest_before)));
 
     let ingest_s: f64 = profiler.stage("ingest").map_or(0.0, |h| h.sum());
@@ -542,6 +592,8 @@ mod tests {
         assert!(get("e2e_p99_ms") >= get("e2e_p50_ms"));
         assert_eq!(a.det_value("recovery_digest_matches"), Some("true"));
         assert_eq!(get("jsonl_sink_grows_after_tick1"), 0.0, "satellite-2: exporter off the profile");
+        assert_eq!(get("slo_alerts_fired"), 0.0, "macro-bench must not burn an SLO budget");
+        assert_eq!(get("slo_active_at_end"), 0.0);
     }
 
     #[test]

@@ -4,8 +4,6 @@
 //! keeping the renderer here lets integration tests assert on table
 //! structure without depending on the bench crate.
 
-use std::fmt::Write as _;
-
 /// A simple column-aligned table builder.
 #[derive(Debug, Clone)]
 pub struct Table {
@@ -71,35 +69,72 @@ impl Table {
 
     /// Render to a `String` (also available via `Display`).
     pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
-        for row in &self.rows {
-            for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
         let mut out = String::new();
-        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len() + 1;
-        let _ = writeln!(out, "{}", self.title);
-        let _ = writeln!(out, "{}", "-".repeat(total.max(self.title.len())));
-        let fmt_row = |cells: &[String], widths: &[usize]| {
-            let mut line = String::from("|");
-            for (cell, w) in cells.iter().zip(widths) {
-                let _ = write!(line, " {cell:>w$} |", w = w);
-            }
-            line
-        };
-        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(total.max(self.title.len())));
-        for row in &self.rows {
-            let _ = writeln!(out, "{}", fmt_row(row, &widths));
-        }
+        self.render_into(&mut out);
         out
+    }
+
+    /// Render into a caller-owned buffer. Unlike [`Self::render`], a
+    /// reused buffer makes per-tick pretty-printing allocation-free in
+    /// steady state: cells are written straight into `out` (no
+    /// intermediate per-row strings), and the only scratch is a
+    /// stack-allocated column-width array for tables up to
+    /// [`Self::STACK_COLS`] columns wide.
+    pub fn render_into(&self, out: &mut String) {
+        let _ = self.render_to(out);
+    }
+
+    /// Column count renderable without a heap-allocated width scratch —
+    /// comfortably above the widest experiment table.
+    pub const STACK_COLS: usize = 24;
+
+    fn render_to<W: std::fmt::Write>(&self, out: &mut W) -> std::fmt::Result {
+        let cols = self.headers.len();
+        let mut stack = [0usize; Self::STACK_COLS];
+        let mut heap = Vec::new();
+        let widths: &mut [usize] = if cols <= Self::STACK_COLS {
+            &mut stack[..cols]
+        } else {
+            heap.resize(cols, 0);
+            &mut heap
+        };
+        for (w, h) in widths.iter_mut().zip(&self.headers) {
+            *w = h.len();
+        }
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len() + 1;
+        let rule = total.max(self.title.len());
+        let write_rule = |out: &mut W| -> std::fmt::Result {
+            for _ in 0..rule {
+                out.write_char('-')?;
+            }
+            out.write_char('\n')
+        };
+        let write_row = |out: &mut W, cells: &[String], widths: &[usize]| -> std::fmt::Result {
+            out.write_char('|')?;
+            for (cell, w) in cells.iter().zip(widths) {
+                write!(out, " {cell:>w$} |", w = *w)?;
+            }
+            out.write_char('\n')
+        };
+        writeln!(out, "{}", self.title)?;
+        write_rule(out)?;
+        write_row(out, &self.headers, widths)?;
+        write_rule(out)?;
+        for row in &self.rows {
+            write_row(out, row, widths)?;
+        }
+        Ok(())
     }
 }
 
 impl std::fmt::Display for Table {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.render())
+        self.render_to(f)
     }
 }
 
@@ -160,6 +195,23 @@ mod tests {
         assert_eq!(n(42), "42");
         assert_eq!(speedup(3.4167), "3.42x");
         assert_eq!(pct(0.1234), "12.3%");
+    }
+
+    #[test]
+    fn render_into_reuse_is_allocation_free_in_steady_state() {
+        let mut t = Table::new("profile", &["stage", "mean_us", "note"]);
+        t.row(&["ingest".into(), "12.50".into(), "3.42x".into()]);
+        t.row(&["fanout".into(), "3.25".into(), "-".into()]);
+        let mut out = String::new();
+        t.render_into(&mut out);
+        let cap = out.capacity();
+        for _ in 0..500 {
+            out.clear();
+            t.render_into(&mut out);
+        }
+        assert_eq!(out.capacity(), cap, "reused render buffer must not regrow");
+        assert_eq!(out, t.render());
+        assert_eq!(out, t.to_string());
     }
 
     #[test]

@@ -464,6 +464,21 @@ impl DurableMetaverse {
         &self.kv
     }
 
+    /// Publish the engine's health gauges into `stats` (the caller
+    /// picks the prefix, e.g. `core.durable`): group-commit queue depth
+    /// and bytes, compaction debt (LSM runs beyond one per shard —
+    /// what `compact_all` would merge away), and memtable fill. Called
+    /// once per health tick so `mv_obs::MetricWindows` sees a fresh
+    /// value every roll.
+    pub fn publish_health_gauges(&self, stats: &mut mv_obs::StatSet) {
+        stats.set_gauge("wal_queue_depth", self.wal.queue_depth() as f64);
+        stats.set_gauge("wal_queued_bytes", self.wal.queued_bytes() as f64);
+        let runs: usize = self.kv.run_counts().iter().sum();
+        let debt = runs.saturating_sub(self.kv.shard_count());
+        stats.set_gauge("compaction_debt", debt as f64);
+        stats.set_gauge("memtable_bytes", self.kv.memtable_bytes() as f64);
+    }
+
     /// Spawn-ordered ids of every entity ever registered.
     pub fn ids(&self) -> &[EntityId] {
         &self.ids

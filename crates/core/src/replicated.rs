@@ -42,6 +42,7 @@ use mv_common::id::NodeId;
 use mv_common::time::{SimDuration, SimTime};
 use mv_net::fault::FaultTarget;
 use mv_net::{LinkSpec, Network, ReliableEvent, ReliableTransport, RetryPolicy};
+use mv_obs::{SharedRegistry, StatSet};
 use mv_raft::{RaftConfig, RaftMsg, RaftNode};
 
 pub use mv_raft::RaftConfig as RaftTuning;
@@ -204,9 +205,18 @@ pub struct ReplicatedMetaverse {
     cfg: RegionConfig,
     members: Vec<NodeId>,
     replicas: Vec<ReplicaSlot>,
+    /// One registry consolidating every layer's metrics: the network,
+    /// the transport, all raft nodes, and the region's own
+    /// `core.replicated.*` probes. The SLO layer windows this.
+    registry: SharedRegistry,
+    /// `core.replicated.*`: `submit_attempts`/`submit_unavailable`/
+    /// `acks`/`leader_changes` counters, the `ack_ms` latency
+    /// histogram, and `down_replicas`/`commit_lag`/`term`/`has_leader`
+    /// gauges.
+    stats: StatSet,
     /// Client writes awaiting commit at their proposing leader:
-    /// `(leader, index, cmd)`.
-    pending: Vec<(NodeId, u64, Vec<u8>)>,
+    /// `(leader, index, cmd, submitted_at)`.
+    pending: Vec<(NodeId, u64, Vec<u8>, SimTime)>,
     /// Commands acknowledged to the client, in ack order. The safety
     /// harness checks every one survives on every replica.
     acked: Vec<Vec<u8>>,
@@ -280,14 +290,23 @@ impl ReplicatedMetaverse {
                 );
             }
         }
-        let replicas = members
+        let registry = SharedRegistry::new();
+        net.attach_registry(&registry);
+        let replicas: Vec<ReplicaSlot> = members
             .iter()
-            .map(|&m| ReplicaSlot {
-                node: RaftNode::new(m, &members, cfg.raft, seed ^ 0x5eed, SimTime::ZERO),
-                sm: Some(MetaverseSm::new(cfg.shards)),
-                up: true,
-                wipe_on_crash: false,
-                applied_raft: 0,
+            .map(|&m| {
+                let mut node = RaftNode::new(m, &members, cfg.raft, seed ^ 0x5eed, SimTime::ZERO);
+                // All replicas consolidate under `raft.node.*`: counters
+                // sum region-wide; per-replica gauges are superseded by
+                // the region-level `core.replicated.*` gauges below.
+                node.attach_registry(&registry);
+                ReplicaSlot {
+                    node,
+                    sm: Some(MetaverseSm::new(cfg.shards)),
+                    up: true,
+                    wipe_on_crash: false,
+                    applied_raft: 0,
+                }
             })
             .collect();
         // Raft retries at its own cadence (heartbeats); the transport's
@@ -300,13 +319,18 @@ impl ReplicatedMetaverse {
             max_attempts: 3,
             jitter_frac: 0.1,
         };
+        let mut transport = ReliableTransport::new(policy, seed ^ 0x7a57);
+        transport.attach_registry(&registry);
+        let stats = StatSet::in_registry("core.replicated", &registry);
         ReplicatedMetaverse {
             net,
-            transport: ReliableTransport::new(policy, seed ^ 0x7a57),
+            transport,
             rng: mv_common::seeded_rng(seed),
             cfg,
             members,
             replicas,
+            registry,
+            stats,
             pending: Vec::new(),
             acked: Vec::new(),
             leaders_by_term: BTreeMap::new(),
@@ -348,10 +372,19 @@ impl ReplicatedMetaverse {
     /// retry — that window is the measured unavailability).
     pub fn submit(&mut self, op: &DurableOp, now: SimTime) -> Option<u64> {
         let cmd = op.encode();
-        let slot = self.replicas.iter_mut().find(|s| s.up && s.node.is_leader())?;
-        let leader = slot.node.id();
-        let index = slot.node.client_append(cmd.clone(), now)?;
-        self.pending.push((leader, index, cmd));
+        self.stats.incr("submit_attempts");
+        let appended = (|| {
+            let slot = self.replicas.iter_mut().find(|s| s.up && s.node.is_leader())?;
+            let leader = slot.node.id();
+            let index = slot.node.client_append(cmd.clone(), now)?;
+            Some((leader, index))
+        })();
+        let Some((leader, index)) = appended else {
+            // Measured unavailability: the availability SLO burns here.
+            self.stats.incr("submit_unavailable");
+            return None;
+        };
+        self.pending.push((leader, index, cmd, now));
         Some(index)
     }
 
@@ -452,6 +485,18 @@ impl ReplicatedMetaverse {
         &self.transport.stats
     }
 
+    /// The consolidated registry: network + transport + raft node
+    /// counters plus the region's `core.replicated.*` probes. Hand
+    /// this to an `mv_obs::HealthMonitor` to arm SLOs over the region.
+    pub fn registry(&self) -> &SharedRegistry {
+        &self.registry
+    }
+
+    /// The region's own `core.replicated.*` stats.
+    pub fn region_stats(&self) -> &StatSet {
+        &self.stats
+    }
+
     /// One scheduler tick: deliver transport arrivals to up replicas,
     /// fire raft timers, ship outgoing messages, drain committed
     /// entries into each engine, resolve client acks, and compact logs
@@ -485,6 +530,33 @@ impl ReplicatedMetaverse {
 
         self.pump_state_machines(now);
         self.observe_leaders(now);
+        self.publish_health_gauges();
+    }
+
+    /// Region-level gauges for the SLO layer, refreshed once per tick:
+    /// replica liveness, worst commit lag, leader presence and term.
+    fn publish_health_gauges(&mut self) {
+        let down = (self.replicas.len() - self.up_count()) as f64;
+        let commit_lag = self
+            .replicas
+            .iter()
+            .filter(|s| s.up)
+            .map(|s| s.node.last_index().saturating_sub(s.node.commit_index()))
+            .max()
+            .unwrap_or(0) as f64;
+        let term = self
+            .replicas
+            .iter()
+            .filter(|s| s.up)
+            .map(|s| s.node.term())
+            .max()
+            .unwrap_or(0) as f64;
+        let has_leader = if self.leader().is_some() { 1.0 } else { 0.0 };
+        self.stats.set_gauge("down_replicas", down);
+        self.stats.set_gauge("commit_lag", commit_lag);
+        self.stats.set_gauge("term", term);
+        self.stats.set_gauge("has_leader", has_leader);
+        self.stats.set_gauge("pending_submits", self.pending.len() as f64);
     }
 
     fn pump_state_machines(&mut self, now: SimTime) {
@@ -515,10 +587,13 @@ impl ReplicatedMetaverse {
                     sm.apply(&cmd);
                     // The proposing leader's commit is the client ack.
                     let acked = &mut self.acked;
-                    self.pending.retain(|(leader, idx, pcmd)| {
+                    let stats = &mut self.stats;
+                    self.pending.retain(|(leader, idx, pcmd, submitted)| {
                         let ours = *leader == id && *idx == index && *pcmd == cmd;
                         if ours {
                             acked.push(pcmd.clone());
+                            stats.incr("acks");
+                            stats.observe("ack_ms", now.since(*submitted).as_millis_f64());
                         }
                         !ours
                     });
@@ -542,6 +617,7 @@ impl ReplicatedMetaverse {
             match self.leaders_by_term.get(&term) {
                 None => {
                     self.leaders_by_term.insert(term, id);
+                    self.stats.incr("leader_changes");
                     self.log.push(format!("{now} leader {id:?} term={term}"));
                 }
                 Some(&prev) if prev != id => {

@@ -113,6 +113,12 @@ impl PushServer {
         self.outbox.disconnect(client);
     }
 
+    /// Total messages buffered across every client's outbox — the
+    /// dissemination-depth health probe (`OutboxManager::total_backlog`).
+    pub fn outbox_depth(&self) -> usize {
+        self.outbox.total_backlog()
+    }
+
     /// Reconnect a client and ship its backlog, most critical first
     /// (the outbox's pinned `(priority, object)` order). Returns how
     /// many messages were replayed onto the wire.

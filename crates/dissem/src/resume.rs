@@ -73,6 +73,12 @@ impl OutboxManager {
         self.clients.get(&client).map_or(0, |o| o.pending.len())
     }
 
+    /// Total messages buffered across every client — the outbox-depth
+    /// health probe.
+    pub fn total_backlog(&self) -> usize {
+        self.clients.values().map(|o| o.pending.len()).sum()
+    }
+
     /// Push a value to a client. Returns `Some(msg)` if deliverable now,
     /// `None` if buffered (client offline or unknown).
     pub fn push(

@@ -18,9 +18,10 @@ pub enum Tok {
     /// Identifier or keyword (`unwrap`, `for`, `HashMap`, …).
     Ident(String),
     /// Any string-ish literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
-    /// Contents are deliberately dropped — nothing inside a string is
-    /// lint-significant.
-    Str,
+    /// Carries the raw contents (escapes unprocessed) — the
+    /// `metric-name` rule inspects literal metric names at registration
+    /// call sites. Directives inside strings are still inert.
+    Str(String),
     /// Char or byte literal (`'a'`, `b'\n'`).
     Char,
     /// Lifetime (`'a`, `'static`).
@@ -52,6 +53,14 @@ impl Token {
     /// True when this token is the punctuation byte `c`.
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == Tok::Punct(c)
+    }
+
+    /// The raw string-literal contents, if this is a string literal.
+    pub fn str_lit(&self) -> Option<&str> {
+        match &self.kind {
+            Tok::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
     }
 }
 
@@ -203,6 +212,8 @@ impl<'a> Lexer<'a> {
     fn string(&mut self) {
         let line = self.line;
         self.bump();
+        let start = self.pos;
+        let end;
         loop {
             match self.peek(0) {
                 Some(b'\\') => {
@@ -210,16 +221,21 @@ impl<'a> Lexer<'a> {
                     self.bump();
                 }
                 Some(b'"') => {
+                    end = self.pos;
                     self.bump();
                     break;
                 }
                 Some(_) => {
                     self.bump();
                 }
-                None => break,
+                None => {
+                    end = self.pos;
+                    break;
+                }
             }
         }
-        self.out.tokens.push(Token { kind: Tok::Str, line });
+        let contents = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.out.tokens.push(Token { kind: Tok::Str(contents), line });
         self.line_has_code = true;
     }
 
@@ -234,7 +250,10 @@ impl<'a> Lexer<'a> {
             hashes += 1;
         }
         self.bump(); // opening quote
+        let start = self.pos;
+        let end;
         'outer: loop {
+            let at = self.pos;
             match self.bump() {
                 Some(b'"') => {
                     for k in 0..hashes {
@@ -245,13 +264,18 @@ impl<'a> Lexer<'a> {
                     for _ in 0..hashes {
                         self.bump();
                     }
+                    end = at;
                     break;
                 }
                 Some(_) => {}
-                None => break,
+                None => {
+                    end = at;
+                    break;
+                }
             }
         }
-        self.out.tokens.push(Token { kind: Tok::Str, line });
+        let contents = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.out.tokens.push(Token { kind: Tok::Str(contents), line });
         self.line_has_code = true;
     }
 
@@ -414,6 +438,22 @@ mod tests {
         let ids = idents(src);
         assert!(!ids.contains(&"unwrap".to_string()), "{ids:?}");
         assert!(ids.contains(&"real_ident".to_string()));
+    }
+
+    #[test]
+    fn string_tokens_carry_their_contents() {
+        let src = r##"
+            let plain = "net.transport.sent";
+            let escaped = "say \"hi\"";
+            let raw = r#"core.engine.live"#;
+        "##;
+        let lits: Vec<String> =
+            lex(src).tokens.into_iter().filter_map(|t| t.str_lit().map(String::from)).collect();
+        assert_eq!(
+            lits,
+            vec!["net.transport.sent", "say \\\"hi\\\"", "core.engine.live"],
+            "escapes stay raw, raw-string hashes stripped"
+        );
     }
 
     #[test]

@@ -24,6 +24,11 @@
 //! * `float-key` — `partial_cmp(..).unwrap()`-family comparators and
 //!   float-keyed ordered containers; the sanctioned idiom is
 //!   `f32::total_cmp`/`f64::total_cmp`.
+//! * `metric-name` — a literal metric name at a registration call site
+//!   (`StatSet::new`/`in_registry` prefix, `.counter`/`.gauge`/`.histo`
+//!   interning) off the DESIGN.md §8 `<crate>.<component>.<metric>`
+//!   scheme: prefixes need two dot-separated lowercase segments, full
+//!   names three.
 //! * `vec-realloc-in-loop` — **advisory**: a fresh `Vec` allocation
 //!   (`Vec::new()`, `vec![…]`, `.collect()`) inside a loop body on a
 //!   scoped hot path; the workspace idiom is a reused scratch buffer
@@ -45,6 +50,7 @@ pub const RULES: &[&str] = &[
     "relaxed-ordering",
     "unscoped-spawn",
     "float-key",
+    "metric-name",
     "vec-realloc-in-loop",
 ];
 
@@ -104,6 +110,13 @@ pub const CATALOGUE: &[RuleSpec] = &[
             // every cross-shard query — both must degrade, not panic.
             "crates/core/src/arena.rs",
             "crates/core/src/merge.rs",
+            // The ISSUE 9 health layer: the recorder and SLO engine run
+            // armed inside every experiment and the macro bench — a
+            // monitoring panic must never take down the thing it
+            // monitors.
+            "crates/obs/src/window.rs",
+            "crates/obs/src/slo.rs",
+            "crates/obs/src/recorder.rs",
         ],
         exclude: &[],
         advisory: false,
@@ -127,6 +140,15 @@ pub const CATALOGUE: &[RuleSpec] = &[
         summary: "float ordering without a total order (use total_cmp)",
         include: &[],
         exclude: &[],
+        advisory: false,
+    },
+    RuleSpec {
+        name: "metric-name",
+        summary: "metric registration literal off the DESIGN.md §8 naming scheme",
+        include: &[],
+        // The registry module itself: its `Default` impl interns the
+        // empty prefix, and its API plumbing is not a call site.
+        exclude: &["crates/lint/", "crates/obs/src/registry.rs"],
         advisory: false,
     },
     RuleSpec {
@@ -220,6 +242,9 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
     }
     if path_in_scope(path, spec("float-key")) {
         ctx.float_key();
+    }
+    if path_in_scope(path, spec("metric-name")) {
+        ctx.metric_name();
     }
     if path_in_scope(path, spec("vec-realloc-in-loop")) {
         ctx.vec_realloc_in_loop();
@@ -434,6 +459,21 @@ const BODY_SINKS: &[&str] = &[
     "write_all", "extend", "append", "encode", "emit", "record", "send",
 ];
 
+/// `<seg>.<seg>…` with at least `min_segs` segments, each nonempty and
+/// lowercase `[a-z0-9_]`.
+fn valid_metric_name(name: &str, min_segs: usize) -> bool {
+    let mut segs = 0usize;
+    for seg in name.split('.') {
+        if seg.is_empty()
+            || !seg.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        {
+            return false;
+        }
+        segs += 1;
+    }
+    segs >= min_segs
+}
+
 struct Ctx<'a> {
     toks: &'a [Token],
     in_test: &'a [bool],
@@ -647,6 +687,58 @@ impl<'a> Ctx<'a> {
                      scratch buffer (extend into a cleared Vec)"
                         .into(),
                 );
+            }
+        }
+    }
+
+    // ---- metric-name ------------------------------------------------
+
+    /// Literal metric names at registration call sites must follow
+    /// DESIGN.md §8: `StatSet::new`/`in_registry` prefixes carry the
+    /// `<crate>.<component>` pair (≥ 2 segments); registry interning
+    /// calls (`.counter`/`.gauge`/`.histo` with a literal) carry the
+    /// full `<crate>.<component>.<metric>` (≥ 3). Non-literal names are
+    /// invisible to the lexer and pass — the rule polices the
+    /// hand-written sites, which is where drift happens.
+    fn metric_name(&mut self) {
+        for i in 0..self.toks.len() {
+            if self.ident(i) == Some("StatSet")
+                && self.is(i + 1, ':')
+                && self.is(i + 2, ':')
+                && matches!(self.ident(i + 3), Some("new" | "in_registry"))
+                && self.is(i + 4, '(')
+            {
+                if let Some(name) = self.toks.get(i + 5).and_then(|t| t.str_lit()) {
+                    if !valid_metric_name(name, 2) {
+                        self.flag(
+                            "metric-name",
+                            i,
+                            format!(
+                                "StatSet prefix `{name}` — DESIGN.md §8 wants \
+                                 `<crate>.<component>` (two lowercase dot-separated segments)"
+                            ),
+                        );
+                    }
+                }
+            }
+            if i > 0
+                && self.is(i - 1, '.')
+                && matches!(self.ident(i), Some("counter" | "gauge" | "histo"))
+                && self.is(i + 1, '(')
+            {
+                if let Some(name) = self.toks.get(i + 2).and_then(|t| t.str_lit()) {
+                    if !valid_metric_name(name, 3) {
+                        self.flag(
+                            "metric-name",
+                            i,
+                            format!(
+                                "metric name `{name}` — DESIGN.md §8 wants \
+                                 `<crate>.<component>.<metric>` (three lowercase \
+                                 dot-separated segments)"
+                            ),
+                        );
+                    }
+                }
             }
         }
     }
@@ -1081,6 +1173,44 @@ mod tests {
         let f = unallowed("crates/storage/src/kv.rs", src);
         assert_eq!(f.len(), 1, "{f:?}");
         assert!(f[0].advisory);
+    }
+
+    #[test]
+    fn metric_name_enforces_design_scheme() {
+        // Bad prefix (one segment) and bad full name (two segments).
+        let src = r#"
+            pub fn build() {
+                let s = StatSet::new("raft");
+                let ok = StatSet::in_registry("raft.node", &reg);
+                let c = r.counter("node.sent");
+                let g = r.gauge("core.engine.live");
+                let h = r.histo("storage.wal.batch_bytes");
+            }
+        "#;
+        let f = unallowed("crates/x/src/lib.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == "metric-name"));
+        assert_eq!(f.iter().map(|f| f.line).collect::<Vec<_>>(), vec![3, 5]);
+        // Uppercase and empty segments are off-scheme too.
+        let bad = r#"pub fn b(r: &mut Registry) { r.counter("Net.Transport.Sent"); let t = r.counter("a..b"); }"#;
+        assert_eq!(unallowed("crates/x/src/lib.rs", bad).len(), 2);
+        // Non-literal names are invisible (no type info, documented).
+        let dynamic = "pub fn d(r: &mut Registry, n: &str) { r.counter(n); }";
+        assert!(unallowed("crates/x/src/lib.rs", dynamic).is_empty());
+        // The registry module itself is out of scope.
+        assert!(unallowed("crates/obs/src/registry.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_path_covers_health_layer_files() {
+        let src = "pub fn f(v: &[u32]) -> u32 { v[0] }";
+        for path in
+            ["crates/obs/src/window.rs", "crates/obs/src/slo.rs", "crates/obs/src/recorder.rs"]
+        {
+            let f = unallowed(path, src);
+            assert_eq!(f.len(), 1, "{path}: {f:?}");
+            assert_eq!(f[0].rule, "panic-path");
+        }
     }
 
     #[test]

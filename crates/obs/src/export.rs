@@ -14,9 +14,18 @@
 //! * counter / gauge — `{"kind":"counter","name":…,"value":…}`
 //! * histogram — `{"kind":"histogram","name":…,"count":…,"mean":…,
 //!   "p50":…,"p95":…,"max":…}`
+//! * windowed metric — `{"kind":"window_counter","name":…,"ticks":…,
+//!   "delta":…,"rate":…}` / `{"kind":"window_gauge","name":…,"last":…}`
+//!   / `{"kind":"window_histo","name":…,"ticks":…,"count":…,"mean":…,
+//!   "p50":…,"p99":…}`
+//! * SLO status — `{"kind":"slo","slo":…,"active":…}` plus one
+//!   `{"kind":"slo_totals",…}` summary
+//! * alert event — `{"kind":"alert","seq":…,"slo":…,"alert":"fire",…}`
 
 use crate::registry::Registry;
+use crate::slo::{AlertEvent, SloEngine};
 use crate::trace::SpanRecord;
+use crate::window::{MetricWindows, WindowHisto};
 use mv_common::table::Table;
 use std::fmt::Write as _;
 
@@ -143,6 +152,113 @@ pub fn registry_to_jsonl_into(out: &mut String, reg: &Registry) {
     }
 }
 
+/// Export the windowed view of every metric over the last `k` ticks:
+/// counter deltas/rates, latest gauge values, and windowed histogram
+/// quantiles. `scratch` is the reusable histogram accumulator — pass
+/// the same one every tick and the encoder allocates nothing once warm
+/// (the [`JsonlSink::windows`] form owns one for you).
+pub fn windows_to_jsonl_into(
+    out: &mut String,
+    w: &MetricWindows,
+    k: usize,
+    scratch: &mut WindowHisto,
+) {
+    let ticks = w.window_ticks(k);
+    for name in w.counter_names() {
+        out.push_str("{\"kind\":\"window_counter\",\"name\":\"");
+        json_escape_into(out, name);
+        let _ = writeln!(
+            out,
+            "\",\"ticks\":{ticks},\"delta\":{},\"rate\":{}}}",
+            w.counter_delta(name, k),
+            w.rate(name, k),
+        );
+    }
+    for name in w.gauge_names() {
+        out.push_str("{\"kind\":\"window_gauge\",\"name\":\"");
+        json_escape_into(out, name);
+        let _ = writeln!(out, "\",\"last\":{}}}", w.gauge_last(name));
+    }
+    for name in w.histo_names() {
+        w.histo_window_into(name, k, scratch);
+        out.push_str("{\"kind\":\"window_histo\",\"name\":\"");
+        json_escape_into(out, name);
+        let _ = writeln!(
+            out,
+            "\",\"ticks\":{ticks},\"count\":{},\"mean\":{},\"p50\":{},\"p99\":{}}}",
+            scratch.count(),
+            scratch.mean(),
+            scratch.quantile(0.5),
+            scratch.quantile(0.99),
+        );
+    }
+}
+
+/// Allocating convenience form of [`windows_to_jsonl_into`].
+pub fn windows_to_jsonl(w: &MetricWindows, k: usize) -> String {
+    let mut out = String::new();
+    let mut scratch = WindowHisto::new();
+    windows_to_jsonl_into(&mut out, w, k, &mut scratch);
+    out
+}
+
+/// Export an [`SloEngine`]'s current status: one `{"kind":"slo"}` line
+/// per armed spec plus a `{"kind":"slo_totals"}` summary.
+pub fn slo_to_jsonl_into(out: &mut String, engine: &SloEngine) {
+    for spec in engine.specs() {
+        out.push_str("{\"kind\":\"slo\",\"slo\":\"");
+        json_escape_into(out, &spec.name);
+        let _ = writeln!(out, "\",\"active\":{}}}", engine.is_active(&spec.name));
+    }
+    let _ = writeln!(
+        out,
+        "{{\"kind\":\"slo_totals\",\"armed\":{},\"active\":{},\"fired\":{},\"cleared\":{}}}",
+        engine.specs().len(),
+        engine.active_count(),
+        engine.fired_total(),
+        engine.cleared_total(),
+    );
+}
+
+/// Allocating convenience form of [`slo_to_jsonl_into`].
+pub fn slo_to_jsonl(engine: &SloEngine) -> String {
+    let mut out = String::new();
+    slo_to_jsonl_into(&mut out, engine);
+    out
+}
+
+/// Export alert events as JSONL, one per line, in the order given —
+/// pass [`SloEngine::events`] (or a tail slice for the current tick's
+/// new events). Burn rates use the same fixed `{:.3}` formatting as the
+/// canonical alert log, so the lines are byte-stable across same-seed
+/// runs.
+pub fn alerts_to_jsonl_into(out: &mut String, events: &[AlertEvent]) {
+    for e in events {
+        out.push_str("{\"kind\":\"alert\",\"seq\":");
+        let _ = write!(out, "{},\"at_us\":{},\"slo\":\"", e.seq, e.at.as_micros());
+        json_escape_into(out, &e.slo);
+        let _ = writeln!(
+            out,
+            "\",\"alert\":\"{}\",\"burn_fast\":{:.3},\"burn_slow\":{:.3},\
+             \"fast_bad\":{},\"fast_total\":{},\"slow_bad\":{},\"slow_total\":{}}}",
+            e.kind.as_str(),
+            e.burn_fast,
+            e.burn_slow,
+            e.fast_bad,
+            e.fast_total,
+            e.slow_bad,
+            e.slow_total,
+        );
+    }
+}
+
+/// Allocating convenience form of [`alerts_to_jsonl_into`].
+pub fn alerts_to_jsonl(events: &[AlertEvent]) -> String {
+    let mut out = String::new();
+    alerts_to_jsonl_into(&mut out, events);
+    out
+}
+
 /// A reusable JSONL encode buffer for per-tick export loops.
 ///
 /// Exporting the profiler or a span batch every tick used to allocate a
@@ -156,12 +272,19 @@ pub fn registry_to_jsonl_into(out: &mut String, reg: &Registry) {
 pub struct JsonlSink {
     buf: String,
     grows: u64,
+    /// Reused by [`Self::windows`] so windowed-histogram export never
+    /// allocates a fresh accumulator per tick.
+    histo_scratch: WindowHisto,
 }
 
 impl JsonlSink {
     /// A sink with a preallocated buffer.
     pub fn with_capacity(bytes: usize) -> Self {
-        JsonlSink { buf: String::with_capacity(bytes), grows: 0 }
+        JsonlSink {
+            buf: String::with_capacity(bytes),
+            grows: 0,
+            histo_scratch: WindowHisto::new(),
+        }
     }
 
     /// Clear the buffer for the next tick, keeping its capacity.
@@ -213,6 +336,27 @@ impl JsonlSink {
     /// Append a registry snapshot as JSONL.
     pub fn registry(&mut self, reg: &Registry) {
         self.track(|buf| registry_to_jsonl_into(buf, reg));
+    }
+
+    /// Append the windowed view of every metric over the last `k`
+    /// ticks (see [`windows_to_jsonl_into`]); the histogram scratch is
+    /// owned by the sink, so steady-state streaming is allocation-free.
+    pub fn windows(&mut self, w: &MetricWindows, k: usize) {
+        let before = self.buf.capacity();
+        windows_to_jsonl_into(&mut self.buf, w, k, &mut self.histo_scratch);
+        if self.buf.capacity() != before {
+            self.grows += 1;
+        }
+    }
+
+    /// Append an SLO engine's status lines (see [`slo_to_jsonl_into`]).
+    pub fn slo(&mut self, engine: &SloEngine) {
+        self.track(|buf| slo_to_jsonl_into(buf, engine));
+    }
+
+    /// Append alert events (see [`alerts_to_jsonl_into`]).
+    pub fn alerts(&mut self, events: &[AlertEvent]) {
+        self.track(|buf| alerts_to_jsonl_into(buf, events));
     }
 
     /// Append one raw, pre-formed JSONL line (caller supplies valid
@@ -305,6 +449,130 @@ mod tests {
             sink.table(&t);
         }
         assert_eq!(sink.grows(), 0);
+    }
+
+    #[test]
+    fn windowed_and_slo_lines_have_expected_shapes() {
+        use crate::slo::SloSpec;
+
+        let mut r = Registry::new();
+        let c = r.counter("net.transport.sent");
+        let g = r.gauge("core.replicated.commit_lag");
+        let h = r.histo("core.replicated.ack_ms");
+        let mut w = MetricWindows::new(4);
+        for i in 1..=4u64 {
+            r.add(c, 2);
+            r.set_gauge(g, i as f64);
+            r.record(h, 8.0);
+            w.roll(&r);
+        }
+        let j = windows_to_jsonl(&w, 4);
+        assert!(j.contains(
+            "{\"kind\":\"window_counter\",\"name\":\"net.transport.sent\",\
+             \"ticks\":4,\"delta\":8,\"rate\":2}"
+        ));
+        assert!(
+            j.contains("{\"kind\":\"window_gauge\",\"name\":\"core.replicated.commit_lag\",\"last\":4}")
+        );
+        assert!(j.contains("\"kind\":\"window_histo\",\"name\":\"core.replicated.ack_ms\",\"ticks\":4,\"count\":4"));
+
+        let mut engine = SloEngine::new();
+        engine.arm(SloSpec::availability("t.avail", "t.c.err", "t.c.total", 0.01));
+        let s = slo_to_jsonl(&engine);
+        assert!(s.contains("{\"kind\":\"slo\",\"slo\":\"t.avail\",\"active\":false}"));
+        assert!(s.contains(
+            "{\"kind\":\"slo_totals\",\"armed\":1,\"active\":0,\"fired\":0,\"cleared\":0}"
+        ));
+        assert!(alerts_to_jsonl(engine.events()).is_empty());
+    }
+
+    #[test]
+    fn alert_events_export_canonical_fields() {
+        use crate::slo::{HealthMonitor, SloSpec};
+        use crate::registry::SharedRegistry;
+
+        let reg = SharedRegistry::new();
+        let mut mon = HealthMonitor::new(&reg, 64, 16);
+        mon.arm(
+            SloSpec::availability("t.avail", "t.c.err", "t.c.total", 0.01)
+                .windows(8, 32)
+                .min_events(4),
+        );
+        let (errs, total) = reg.with(|r| (r.counter("t.c.err"), r.counter("t.c.total")));
+        for ms in 0..150u64 {
+            reg.with(|r| {
+                r.incr(total);
+                if (50..90).contains(&ms) {
+                    r.incr(errs);
+                }
+            });
+            mon.tick(SimTime::from_millis(ms));
+        }
+        let j = alerts_to_jsonl(mon.alert_log());
+        assert!(j.contains("\"kind\":\"alert\",\"seq\":0,"), "{j}");
+        assert!(j.contains("\"slo\":\"t.avail\",\"alert\":\"fire\""), "{j}");
+        assert!(j.contains("\"alert\":\"clear\""), "{j}");
+        // One line per event, every line a JSON object.
+        assert_eq!(j.lines().count(), mon.alert_log().len());
+        assert!(j.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn health_streaming_stops_allocating_after_warmup() {
+        // The satellite-6 claim: streaming windowed metrics + SLO
+        // status + new alert events through one sink every tick stops
+        // reallocating once the buffer and the histogram scratch have
+        // warmed up — the exporter never becomes per-tick allocation
+        // pressure on the loop it is observing.
+        use crate::slo::SloSpec;
+
+        let mut r = Registry::new();
+        let c = r.counter("t.c.total");
+        let e = r.counter("t.c.err");
+        let g = r.gauge("t.g.lag");
+        let h = r.histo("t.h.ms");
+        let mut w = MetricWindows::new(16);
+        let mut engine = SloEngine::new();
+        engine.arm(
+            SloSpec::availability("t.avail", "t.c.err", "t.c.total", 0.05)
+                .windows(4, 16)
+                .min_events(4),
+        );
+        let mut sink = JsonlSink::default();
+        let mut step = |tick: u64, sink: &mut JsonlSink| {
+            r.add(c, 3);
+            // A burst of errors during warmup so the alert path (fire
+            // and clear events, active status flips) is exercised and
+            // its buffer high-water mark is established before the
+            // steady-state measurement starts.
+            if (10..30).contains(&tick) {
+                r.add(e, 3);
+            }
+            r.set_gauge(g, (tick % 7) as f64);
+            r.record(h, (tick % 32) as f64 + 1.0);
+            w.roll(&r);
+            let before = engine.events().len();
+            engine.evaluate(SimTime::from_millis(tick), &w);
+            sink.clear();
+            sink.windows(&w, 8);
+            sink.slo(&engine);
+            sink.alerts(&engine.events()[before..]);
+        };
+        for tick in 0..40u64 {
+            step(tick, &mut sink);
+        }
+        let after_warmup = sink.grows();
+        for tick in 40..1000u64 {
+            step(tick, &mut sink);
+        }
+        assert!(engine.fired_total() >= 1, "alert path never exercised");
+        assert_eq!(
+            sink.grows(),
+            after_warmup,
+            "steady-state health export must not reallocate"
+        );
+        assert!(sink.as_str().contains("\"kind\":\"window_counter\""));
+        assert!(sink.as_str().contains("\"kind\":\"slo_totals\""));
     }
 
     #[test]

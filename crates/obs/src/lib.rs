@@ -25,6 +25,18 @@
 //!   log-scaled histograms.
 //! * [`export`] — JSONL + pretty-table export used by the `experiments`
 //!   binary for every `exp_*` bench.
+//! * [`window`] — sliding-window aggregation over a registry: a fixed
+//!   ring of per-tick buckets turning cumulative counters and
+//!   histograms into windowed rates and windowed p50/p99, with a
+//!   merge that commutes with [`registry::Registry::merge`].
+//! * [`slo`] — declarative SLOs (latency, availability, staleness)
+//!   evaluated by multi-window burn-rate rules, emitting a canonical
+//!   seed-reproducible alert log; [`slo::HealthMonitor`] is the
+//!   per-tick pump gluing windows, SLOs, and the recorder together.
+//! * [`recorder`] — a black-box flight recorder: a bounded ring of
+//!   recent metric deltas, alerts, and component events, dumped as a
+//!   schema-versioned JSONL debug bundle when an alert fires, an
+//!   invariant trips, or crash recovery runs.
 //!
 //! Everything here is deterministic where it touches simulation state
 //! (span ids, sim timestamps, counter iteration order) and wall-clock
@@ -32,9 +44,15 @@
 
 pub mod export;
 pub mod profile;
+pub mod recorder;
 pub mod registry;
+pub mod slo;
 pub mod trace;
+pub mod window;
 
 pub use profile::TickProfiler;
+pub use recorder::{DebugBundle, FlightRecorder, TickEvidence, BUNDLE_SCHEMA};
 pub use registry::{CounterId, GaugeId, HistoId, LogHistogram, Registry, SharedRegistry, StatSet};
+pub use slo::{AlertEvent, AlertKind, HealthMonitor, Objective, SloEngine, SloSpec};
 pub use trace::{SharedTracer, SpanRecord, TraceCtx, Tracer};
+pub use window::{MetricWindows, WindowHisto};

@@ -178,6 +178,23 @@ impl LogHistogram {
         self.max()
     }
 
+    /// The raw per-bucket counts (index `i` covers `[bucket_floor(i),
+    /// bucket_floor(i + 1))`). The window layer diffs these per tick.
+    pub fn bucket_counts(&self) -> &[u64; LOG_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Lower bound of bucket `i` (0 for the underflow bucket). Public so
+    /// the window layer can reconstruct quantiles from bucket deltas.
+    pub fn bucket_floor(i: usize) -> f64 {
+        bucket_lo(i)
+    }
+
+    /// Index of the bucket a sample `v` lands in.
+    pub fn bucket_index(v: f64) -> usize {
+        bucket_of(v)
+    }
+
     /// Merge another histogram into this one, bucket-wise.
     pub fn merge(&mut self, other: &LogHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -312,6 +329,11 @@ impl Registry {
         &self.histos[id.0 as usize]
     }
 
+    /// Merge a whole histogram into the one behind `id`, bucket-wise.
+    pub fn merge_histo(&mut self, id: HistoId, other: &LogHistogram) {
+        self.histos[id.0 as usize].merge(other);
+    }
+
     /// Borrow a histogram by name, if interned.
     pub fn histo_get(&self, name: &str) -> Option<&LogHistogram> {
         self.histo_index.get(name).map(|&i| &self.histos[i as usize])
@@ -409,6 +431,10 @@ pub struct StatSet {
     registry: SharedRegistry,
     /// Leaf-name → interned handle, cached per component.
     ids: FastMap<&'static str, CounterId>,
+    /// Leaf-name → interned gauge handle.
+    gauge_ids: FastMap<&'static str, GaugeId>,
+    /// Leaf-name → interned histogram handle.
+    histo_ids: FastMap<&'static str, HistoId>,
 }
 
 impl Default for StatSet {
@@ -421,12 +447,24 @@ impl StatSet {
     /// A stat set over its own private registry, namespaced by `prefix`
     /// (e.g. `"net.transport"`).
     pub fn new(prefix: &'static str) -> Self {
-        StatSet { prefix, registry: SharedRegistry::new(), ids: FastMap::default() }
+        StatSet {
+            prefix,
+            registry: SharedRegistry::new(),
+            ids: FastMap::default(),
+            gauge_ids: FastMap::default(),
+            histo_ids: FastMap::default(),
+        }
     }
 
     /// A stat set writing into an existing shared registry.
     pub fn in_registry(prefix: &'static str, registry: &SharedRegistry) -> Self {
-        StatSet { prefix, registry: registry.clone(), ids: FastMap::default() }
+        StatSet {
+            prefix,
+            registry: registry.clone(),
+            ids: FastMap::default(),
+            gauge_ids: FastMap::default(),
+            histo_ids: FastMap::default(),
+        }
     }
 
     /// The namespace prefix.
@@ -448,14 +486,28 @@ impl StatSet {
         let moved: Vec<(String, u64)> = self
             .registry
             .with(|r| r.counters().map(|(n, v)| (n.to_string(), v)).collect());
+        let moved_gauges: Vec<(String, f64)> =
+            self.registry.with(|r| r.gauges().map(|(n, v)| (n.to_string(), v)).collect());
+        let moved_histos: Vec<(String, LogHistogram)> =
+            self.registry.with(|r| r.histograms().map(|(n, h)| (n.to_string(), h.clone())).collect());
         registry.with(|r| {
             for (name, v) in moved {
                 let id = r.counter(&name);
                 r.add(id, v);
             }
+            for (name, v) in moved_gauges {
+                let id = r.gauge(&name);
+                r.set_gauge(id, v);
+            }
+            for (name, h) in moved_histos {
+                let id = r.histo(&name);
+                r.merge_histo(id, &h);
+            }
         });
         self.registry = registry.clone();
         self.ids.clear();
+        self.gauge_ids.clear();
+        self.histo_ids.clear();
     }
 
     fn full_name(&self, name: &str) -> String {
@@ -492,6 +544,50 @@ impl StatSet {
     /// Read counter `name` (0 if never touched).
     pub fn get(&self, name: &str) -> u64 {
         self.registry.counter_get(&self.full_name(name))
+    }
+
+    fn gauge_id(&mut self, name: &'static str) -> GaugeId {
+        if let Some(&id) = self.gauge_ids.get(name) {
+            return id;
+        }
+        let full = self.full_name(name);
+        let id = self.registry.with(|r| r.gauge(&full));
+        self.gauge_ids.insert(name, id);
+        id
+    }
+
+    /// Set gauge `name` (created at zero on first use).
+    #[inline]
+    pub fn set_gauge(&mut self, name: &'static str, v: f64) {
+        let id = self.gauge_id(name);
+        self.registry.with(|r| r.set_gauge(id, v));
+    }
+
+    /// Read gauge `name` (0 if never touched).
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.registry.with(|r| r.gauge_get(&self.full_name(name)))
+    }
+
+    fn histo_id(&mut self, name: &'static str) -> HistoId {
+        if let Some(&id) = self.histo_ids.get(name) {
+            return id;
+        }
+        let full = self.full_name(name);
+        let id = self.registry.with(|r| r.histo(&full));
+        self.histo_ids.insert(name, id);
+        id
+    }
+
+    /// Record one sample into histogram `name` (created on first use).
+    #[inline]
+    pub fn observe(&mut self, name: &'static str, v: f64) {
+        let id = self.histo_id(name);
+        self.registry.with(|r| r.record(id, v));
+    }
+
+    /// Clone of histogram `name`, if ever observed.
+    pub fn histo_snapshot(&self, name: &str) -> Option<LogHistogram> {
+        self.registry.with(|r| r.histo_get(&self.full_name(name)).cloned())
     }
 
     /// Snapshot of this component's counters (prefix stripped), in name
@@ -674,6 +770,33 @@ mod tests {
             ]
         );
         assert!(snap.iter().all(|(_, v)| *v == 1));
+    }
+
+    #[test]
+    fn statset_gauges_and_histos() {
+        let reg = SharedRegistry::new();
+        let mut s = StatSet::in_registry("raft.test", &reg);
+        s.set_gauge("commit_lag", 7.0);
+        assert_eq!(s.gauge("commit_lag"), 7.0);
+        s.observe("election_ms", 120.0);
+        s.observe("election_ms", 240.0);
+        let h = s.histo_snapshot("election_ms").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(reg.with(|r| r.gauge_get("raft.test.commit_lag")), 7.0);
+        assert!(reg.with(|r| r.histo_get("raft.test.election_ms").is_some()));
+    }
+
+    #[test]
+    fn statset_attach_carries_gauges_and_histos() {
+        let mut s = StatSet::new("raft.test");
+        s.set_gauge("term", 3.0);
+        s.observe("lat", 8.0);
+        let reg = SharedRegistry::new();
+        s.attach(&reg);
+        assert_eq!(reg.with(|r| r.gauge_get("raft.test.term")), 3.0);
+        assert_eq!(reg.with(|r| r.histo_get("raft.test.lat").map(|h| h.count())), Some(1));
+        s.observe("lat", 16.0);
+        assert_eq!(reg.with(|r| r.histo_get("raft.test.lat").map(|h| h.count())), Some(2));
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Property harness for the sliding-window layer: windowing must
+//! commute with the registry's shard merge, and burn-rate evaluation
+//! must be order-independent across shard-merged windows.
+//!
+//! The platform's registries merge shard-wise (`Registry::merge`:
+//! counters sum, histograms merge bucket-wise), and
+//! `MetricWindows::merge_from` claims the windowed view commutes with
+//! that merge when the rings are the same length and rolled in
+//! lockstep. These properties pin the claim down over random op
+//! sequences:
+//!
+//! * **merge-then-window ≡ window-then-merge** — rolling one window
+//!   over a combined registry produces exactly the windowed deltas,
+//!   rates, and histogram quantiles of merging the per-shard windows.
+//! * **burn-rate order independence** — an `SloEngine` armed with
+//!   counter and histogram objectives emits a byte-identical alert log
+//!   whether shard windows merge left-into-right or right-into-left.
+//!   (Gauge objectives are excluded by design: gauges merge
+//!   latest-wins, which is order-sensitive — see `mv_obs::slo` docs.)
+
+use mv_common::time::SimTime;
+use mv_obs::registry::Registry;
+use mv_obs::window::MetricWindows;
+use mv_obs::{SloEngine, SloSpec};
+use proptest::prelude::*;
+
+/// One generated op: `(shard, kind, value)`. Kind 0/1 bump the error /
+/// total counters, kind 2 observes `value` ms in the latency histogram.
+type Op = (u8, u8, u16);
+
+const WINDOW: usize = 8;
+
+/// Apply `ops` tick-by-tick (chunks of `per_tick`) to two shard
+/// registries and a combined registry, rolling all three windows in
+/// lockstep. Returns `(shard_windows, combined_window, tick_count)`.
+fn drive(ops: &[Op], per_tick: usize) -> ([MetricWindows; 2], MetricWindows, usize) {
+    let mut shards = [Registry::default(), Registry::default()];
+    let mut combined = Registry::default();
+    let mut shard_windows = [MetricWindows::new(WINDOW), MetricWindows::new(WINDOW)];
+    let mut combined_window = MetricWindows::new(WINDOW);
+    let mut ticks = 0usize;
+    for chunk in ops.chunks(per_tick.max(1)) {
+        for &(shard, kind, value) in chunk {
+            let shard = usize::from(shard) % 2;
+            let regs: [&mut Registry; 2] = match shard {
+                0 => [&mut shards[0], &mut combined],
+                _ => [&mut shards[1], &mut combined],
+            };
+            for r in regs {
+                match kind % 3 {
+                    0 => {
+                        let id = r.counter("t.c.err");
+                        r.incr(id);
+                    }
+                    1 => {
+                        let id = r.counter("t.c.total");
+                        r.incr(id);
+                    }
+                    _ => {
+                        let id = r.histo("t.h.ms");
+                        r.record(id, f64::from(value) + 0.5);
+                    }
+                }
+            }
+        }
+        for (w, r) in shard_windows.iter_mut().zip(shards.iter()) {
+            w.roll(r);
+        }
+        combined_window.roll(&combined);
+        ticks += 1;
+    }
+    (shard_windows, combined_window, ticks)
+}
+
+fn merged(a: &MetricWindows, b: &MetricWindows) -> MetricWindows {
+    let mut m = a.clone();
+    m.merge_from(b);
+    m
+}
+
+/// The SLO set used for the order-independence property: counter and
+/// histogram objectives only (gauges are order-sensitive by design).
+fn armed_engine() -> SloEngine {
+    let mut engine = SloEngine::new();
+    engine.arm(
+        SloSpec::availability("p.avail", "t.c.err", "t.c.total", 0.05)
+            .windows(2, WINDOW)
+            .burn(2.0, 1.0)
+            .min_events(2),
+    );
+    engine.arm(
+        SloSpec::latency("p.lat", "t.h.ms", 64.0, 0.10)
+            .windows(2, WINDOW)
+            .burn(2.0, 1.0)
+            .min_events(2),
+    );
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn window_commutes_with_registry_merge(
+        ops in proptest::collection::vec((0u8..2, 0u8..3, 0u16..512), 1..160),
+        per_tick in 1usize..12,
+    ) {
+        let (shard_windows, combined_window, _) = drive(&ops, per_tick);
+        let m = merged(&shard_windows[0], &shard_windows[1]);
+
+        // Windowed counter deltas and rates agree for every window
+        // length up to the ring size.
+        for name in ["t.c.err", "t.c.total"] {
+            for k in 1..=WINDOW {
+                prop_assert_eq!(
+                    m.counter_delta(name, k),
+                    combined_window.counter_delta(name, k),
+                    "counter {} over {} ticks", name, k
+                );
+            }
+        }
+        // Windowed histograms agree bit-exactly: counts, sums, and the
+        // quantiles the SLO layer reads.
+        for k in 1..=WINDOW {
+            let a = m.histo_window("t.h.ms", k);
+            let b = combined_window.histo_window("t.h.ms", k);
+            prop_assert_eq!(a.count(), b.count(), "histo count over {} ticks", k);
+            prop_assert_eq!(a.sum().to_bits(), b.sum().to_bits(), "histo sum over {} ticks", k);
+            for q in [0.5, 0.99] {
+                prop_assert_eq!(
+                    a.quantile(q).to_bits(),
+                    b.quantile(q).to_bits(),
+                    "p{} over {} ticks", q * 100.0, k
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn burn_rate_evaluation_is_merge_order_independent(
+        ops in proptest::collection::vec((0u8..2, 0u8..3, 0u16..512), 1..160),
+        per_tick in 1usize..12,
+    ) {
+        let (shard_windows, combined_window, ticks) = drive(&ops, per_tick);
+        let ab = merged(&shard_windows[0], &shard_windows[1]);
+        let ba = merged(&shard_windows[1], &shard_windows[0]);
+
+        let mut eng_ab = armed_engine();
+        let mut eng_ba = armed_engine();
+        let mut eng_combined = armed_engine();
+        let now = SimTime::from_millis(ticks as u64);
+        eng_ab.evaluate(now, &ab);
+        eng_ba.evaluate(now, &ba);
+        eng_combined.evaluate(now, &combined_window);
+
+        // Merge order must not change the alert log…
+        prop_assert_eq!(eng_ab.canonical_log(), eng_ba.canonical_log());
+        prop_assert_eq!(eng_ab.log_hash(), eng_ba.log_hash());
+        // …and shard-merged evaluation must match the combined registry.
+        prop_assert_eq!(eng_ab.canonical_log(), eng_combined.canonical_log());
+    }
+}

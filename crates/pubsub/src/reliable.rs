@@ -119,6 +119,20 @@ impl ReliableBroker {
         self.clients.get(&client).map_or(0, |c| c.retained.len())
     }
 
+    /// Total retained publications across every client — the broker's
+    /// outbox-depth health probe.
+    pub fn retained_total(&self) -> usize {
+        self.clients.values().map(|c| c.retained.len()).sum()
+    }
+
+    /// Publish the broker's health gauges into its own stat set
+    /// (`pubsub.broker.retained_depth`); the `replayed` counter already
+    /// gives the redelivery rate once windowed.
+    pub fn publish_health_gauges(&mut self) {
+        let depth = self.retained_total() as f64;
+        self.stats.set_gauge("retained_depth", depth);
+    }
+
     /// Publish: match, assign a `pub_id`, and ship or retain per client.
     /// Returns the `pub_id` (also when nothing matched).
     pub fn publish<R: Rng + ?Sized>(

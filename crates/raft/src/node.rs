@@ -97,9 +97,12 @@ pub struct RaftNode {
     pending_install: bool,
     /// Open `raft.election` span, if an election is in flight.
     election_span: Option<u64>,
+    /// When the in-flight election started (duration probe).
+    election_started: Option<SimTime>,
     tracer: Option<SharedTracer>,
-    /// `raft.*` counters (`elections_started`, `leaders_elected`,
-    /// `entries_committed`, `snapshots_installed`, …).
+    /// `raft.node.*` counters (`elections_started`, `leaders_elected`,
+    /// `entries_committed`, `snapshots_installed`, …), the
+    /// `term`/`commit_lag` gauges, and the `election_ms` histogram.
     pub stats: StatSet,
 }
 
@@ -134,8 +137,9 @@ impl RaftNode {
             last_ack: BTreeMap::new(),
             pending_install: false,
             election_span: None,
+            election_started: None,
             tracer: None,
-            stats: StatSet::new("raft"),
+            stats: StatSet::new("raft.node"),
         };
         node.election_deadline = now + node.election_timeout(0);
         node
@@ -293,6 +297,10 @@ impl RaftNode {
                 }
             }
         }
+        // Health probes: the SLO layer windows these each sim tick.
+        self.stats.set_gauge("term", self.term as f64);
+        self.stats
+            .set_gauge("commit_lag", self.last_index().saturating_sub(self.commit_index) as f64);
         out
     }
 
@@ -306,6 +314,7 @@ impl RaftNode {
         self.election_deadline = now + self.election_timeout(self.term);
         self.persist_hard_state(now);
         self.stats.incr("elections_started");
+        self.election_started = Some(now);
         if let Some(tr) = &self.tracer {
             if let Some(ctx) = tr.maybe_trace("raft.election", now) {
                 self.election_span = Some(ctx.span);
@@ -329,6 +338,9 @@ impl RaftNode {
         self.role = Role::Leader;
         self.leader_hint = Some(self.id);
         self.stats.incr("leaders_elected");
+        if let Some(started) = self.election_started.take() {
+            self.stats.observe("election_ms", now.since(started).as_millis_f64());
+        }
         self.close_election(now, "won");
         let next = self.last_index() + 1;
         self.next_index = self.peers.iter().map(|&p| (p, next)).collect();

@@ -118,6 +118,17 @@ impl GroupCommitWal {
         self.policy
     }
 
+    /// Records appended but not yet sealed into a durable batch — the
+    /// group-commit queue depth health probes watch.
+    pub fn queue_depth(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Encoded bytes of the unsealed pending batch.
+    pub fn queued_bytes(&self) -> usize {
+        self.pending_payload.len()
+    }
+
     /// Collect a `storage.wal.group_commit` span per traced append: the
     /// span opens at append time and closes when the record's batch
     /// seals (status "sealed") — so the span's duration *is* the group

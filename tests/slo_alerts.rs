@@ -1,0 +1,93 @@
+//! Fault-to-alert bound harness: the operational health layer must
+//! *notice* every scripted fault the failover harness proves the
+//! region survives.
+//!
+//! Reuses E22's cells (`mv_bench::exp_health`): a 3-replica
+//! `ReplicatedMetaverse` under the E20 fault scripts with the standard
+//! SLO set armed — availability on submit failures, staleness on the
+//! down-replica and commit-lag gauges, latency on the ack tail.
+//! Asserted, for every scenario:
+//!
+//! * **Bounded detection.** The first alert fires within
+//!   `DETECT_BOUND_MS` of fault injection — the burn-rate windows are
+//!   sized for sustained evidence, not instant triggers, but detection
+//!   latency is still bounded and CI-gated.
+//! * **Reconvergence clears.** No alert is still active at the end of
+//!   the quiet tail; every fire has a matching clear.
+//! * **Zero false positives.** The fault-free baseline run fires
+//!   nothing and dumps no debug bundle.
+//! * **Same-seed determinism.** The canonical alert log and the flight
+//!   recorder's bundle bytes hash identically across reruns.
+
+use mv_bench::exp_health::{run_cell, CellResult, Scenario, DETECT_BOUND_MS};
+
+/// Fault injection time in the E20/E22 timeline (ms).
+const FAULT_AT_MS: u64 = 2_000;
+
+fn faulted(scenario: Scenario, name: &str) -> CellResult {
+    let r = run_cell(scenario, 3, 22);
+    let first = r
+        .first_fire_ms
+        .unwrap_or_else(|| panic!("{name}: no alert fired\n{}", r.alert_log));
+    assert!(
+        (FAULT_AT_MS..=FAULT_AT_MS + DETECT_BOUND_MS).contains(&first),
+        "{name}: first fire at {first} ms, fault at {FAULT_AT_MS}\n{}",
+        r.alert_log
+    );
+    assert_eq!(r.active_at_end, 0, "{name}: alert still active at end\n{}", r.alert_log);
+    assert_eq!(r.fired, r.cleared, "{name}: every fire needs a clear\n{}", r.alert_log);
+    assert!(r.bundles >= 1, "{name}: alert fired but no debug bundle dumped");
+    r
+}
+
+#[test]
+fn leader_crash_is_detected_within_bound() {
+    let r = faulted(Scenario::LeaderCrash, "leader-crash");
+    // Losing the leader burns the availability budget: submits fail
+    // until the next election.
+    assert!(
+        r.slos_fired.iter().any(|s| s == "region.availability"),
+        "expected region.availability among {:?}",
+        r.slos_fired
+    );
+}
+
+#[test]
+fn minority_partition_is_detected_within_bound() {
+    let r = faulted(Scenario::MinorityPartition, "minority-partition");
+    // A partitioned leader keeps accepting writes it cannot commit:
+    // the commit-lag gauge is what catches it.
+    assert!(
+        r.slos_fired.iter().any(|s| s == "region.commit-lag"),
+        "expected region.commit-lag among {:?}",
+        r.slos_fired
+    );
+}
+
+#[test]
+fn wipe_crash_is_detected_within_bound() {
+    let r = faulted(Scenario::WipeCrash, "wipe-crash");
+    assert!(
+        r.slos_fired.iter().any(|s| s == "region.replica-down"),
+        "expected region.replica-down among {:?}",
+        r.slos_fired
+    );
+}
+
+#[test]
+fn fault_free_baseline_fires_nothing() {
+    let r = run_cell(Scenario::Baseline, 3, 22);
+    assert_eq!(r.fired, 0, "false positive on fault-free baseline:\n{}", r.alert_log);
+    assert_eq!(r.bundles, 0, "bundle dumped with no trigger");
+}
+
+#[test]
+fn alert_logs_and_bundles_are_seed_reproducible() {
+    for &seed in &[22u64, 777] {
+        let a = run_cell(Scenario::LeaderCrash, 3, seed);
+        let b = run_cell(Scenario::LeaderCrash, 3, seed);
+        assert_eq!(a.alert_log, b.alert_log, "seed {seed}");
+        assert_eq!(a.log_hash, b.log_hash, "seed {seed}");
+        assert_eq!(a.bundle_hash, b.bundle_hash, "seed {seed}");
+    }
+}
