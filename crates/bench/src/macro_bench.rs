@@ -480,6 +480,12 @@ pub fn run_macro(params: &MacroParams) -> MacroReport {
     det.push(("slo_active_at_end", health.active_alerts().to_string()));
     det.push(("slo_log_hash", format!("\"{:016x}\"", health.engine.log_hash())));
     det.push(("state_digest", format!("\"{:016x}\"", digest_before)));
+    // Lint coverage rides in the deterministic block (headlines
+    // untouched): reviewers see findings appear/disappear in the same
+    // diff as the perf numbers they paid for.
+    let (lint_findings, lint_rules) = lint_coverage();
+    det.push(("lint_findings_total", lint_findings.to_string()));
+    det.push(("lint_rules_active", lint_rules.to_string()));
 
     let ingest_s: f64 = profiler.stage("ingest").map_or(0.0, |h| h.sum());
     let commit_s: f64 = profiler.stage("commit").map_or(0.0, |h| h.sum());
@@ -526,6 +532,30 @@ fn stage_key(name: &str) -> &'static str {
         "analytics" => "stage_analytics_total_ms",
         _ => "stage_other_total_ms",
     }
+}
+
+/// Lint coverage of the source tree at bench time: total findings
+/// (denied and allowed alike) plus the number of active rules, so the
+/// static-analysis trajectory diffs alongside the perf trajectory in
+/// BENCH_8.json. Source-derived, not seed-derived — still deterministic
+/// for a given commit. Falls back to zero findings when the sources are
+/// not on disk (a relocated binary outside the repo).
+fn lint_coverage() -> (usize, usize) {
+    let rules = mv_lint::RULES.len();
+    let start = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let Some(root) = mv_lint::scan::find_workspace_root(&start) else {
+        return (0, rules);
+    };
+    let Ok(files) = mv_lint::scan::rust_files(&root) else {
+        return (0, rules);
+    };
+    let sources: Vec<(String, String)> = files
+        .into_iter()
+        .filter_map(|rel| {
+            std::fs::read_to_string(root.join(&rel)).ok().map(|text| (rel, text))
+        })
+        .collect();
+    (mv_lint::lint_workspace(&sources).len(), rules)
 }
 
 /// Steady-state sink growth: exports happen once per tick; the stage

@@ -1,0 +1,46 @@
+//! Checked narrowing for wire-format fields.
+//!
+//! Every encoder in the workspace frames variable-length data with a
+//! `u32` length prefix (and a few other `u32` wire fields: counts,
+//! shard indices). Writing `len as u32` at each site silently truncates
+//! if a payload ever crosses 4 GiB — the frame would decode as a
+//! *shorter* record and the checksum of the remainder would fail in a
+//! way that looks like corruption, not like an oversized write. The
+//! workspace lint (`cast-truncation`) bans the bare cast on codec
+//! paths; this helper is the sanctioned spelling.
+
+/// Convert a `usize` destined for a `u32` wire field (length prefix,
+/// count, shard index), checking the narrowing.
+///
+/// Debug builds assert; release builds saturate to `u32::MAX`, which a
+/// reader's bounds check then rejects as a hostile length instead of
+/// mis-framing the stream. For every value this workspace actually
+/// produces (payloads are far below 4 GiB) the result is bit-identical
+/// to the old `as u32` cast, so experiment output does not move.
+#[inline]
+pub fn wire_u32(n: usize) -> u32 {
+    debug_assert!(
+        u64::try_from(n).unwrap_or(u64::MAX) <= u64::from(u32::MAX),
+        "value {n} exceeds the u32 wire field"
+    );
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_u32_is_identity_in_range() {
+        for n in [0usize, 1, 251, 65_535, 1 << 20] {
+            assert_eq!(wire_u32(n), n as u32);
+        }
+        assert_eq!(wire_u32(u32::MAX as usize), u32::MAX);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn wire_u32_saturates_in_release() {
+        assert_eq!(wire_u32(usize::MAX), u32::MAX);
+    }
+}

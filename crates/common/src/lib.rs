@@ -17,13 +17,16 @@
 //! * [`metrics`] — counters and streaming histograms (p50/p95/p99) used by
 //!   every experiment harness;
 //! * [`table`] — a tiny fixed-width table printer for experiment output;
-//! * [`error`] — the workspace-wide error type [`MvError`].
+//! * [`error`] — the workspace-wide error type [`MvError`];
+//! * [`codec`] — checked narrowing helpers ([`codec::wire_u32`]) for the
+//!   `u32` wire fields every encoder writes.
 //!
 //! The paper ("The Metaverse Data Deluge", ICDE 2023) describes data that
 //! lives in two interacting spaces; the [`Space`] enum is the tag used
 //! across the whole workspace to mark which side of the co-space a datum
 //! originated from (§IV-F "Organization of Data").
 
+pub mod codec;
 pub mod error;
 pub mod geom;
 pub mod hash;

@@ -93,6 +93,7 @@ impl Table {
         let mut stack = [0usize; Self::STACK_COLS];
         let mut heap = Vec::new();
         let widths: &mut [usize] = if cols <= Self::STACK_COLS {
+            // lint:allow(panic-path): cols <= STACK_COLS holds on this branch; the slice cannot overrun the stack scratch
             &mut stack[..cols]
         } else {
             heap.resize(cols, 0);

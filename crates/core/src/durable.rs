@@ -25,6 +25,7 @@ use crate::entity::EntityKind;
 use crate::events::Command;
 use crate::sharded::{ShardedMetaverse, WriteOp};
 use mv_common::geom::{Aabb, Point};
+use mv_common::codec::wire_u32;
 use mv_common::hash::FxHasher;
 use mv_common::id::EntityId;
 use mv_common::time::SimTime;
@@ -180,7 +181,7 @@ fn put_f64(out: &mut Vec<u8>, v: f64) {
 }
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
+    put_u32(out, wire_u32(s.len()));
     out.extend_from_slice(s.as_bytes());
 }
 
@@ -285,10 +286,10 @@ impl DurableOp {
                 out.push(6);
                 put_u64(&mut out, *txn);
                 put_u32(&mut out, *shard);
-                put_u32(&mut out, ops.len() as u32);
+                put_u32(&mut out, wire_u32(ops.len()));
                 for op in ops {
                     let bytes = op.encode();
-                    put_u32(&mut out, bytes.len() as u32);
+                    put_u32(&mut out, wire_u32(bytes.len()));
                     out.extend_from_slice(&bytes);
                 }
                 put_u64(&mut out, ts.as_micros());
@@ -378,7 +379,7 @@ fn encode_entity(out: &mut Vec<u8>, e: EntityRef<'_>) {
     out.push(kind_tag(e.kind));
     put_point(out, e.position);
     put_point(out, e.twin_position);
-    put_u32(out, e.attrs.len() as u32);
+    put_u32(out, wire_u32(e.attrs.len()));
     for (name, value) in e.attrs {
         put_str(out, name);
         put_f64(out, *value);
@@ -816,7 +817,7 @@ impl DurableMetaverse {
         }
         let stats = self.engine.stats();
         let entries: Vec<(&str, u64)> = stats.iter().collect();
-        put_u32(&mut out, entries.len() as u32);
+        put_u32(&mut out, wire_u32(entries.len()));
         for (name, value) in entries {
             put_str(&mut out, name);
             put_u64(&mut out, value);

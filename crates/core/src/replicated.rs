@@ -38,6 +38,7 @@
 
 use crate::durable::{DurableMetaverse, DurableOp};
 use mv_common::time::TS_SEQ_BITS;
+use mv_common::codec::wire_u32;
 use mv_common::id::NodeId;
 use mv_common::time::{SimDuration, SimTime};
 use mv_net::fault::FaultTarget;
@@ -102,13 +103,13 @@ impl MetaverseSm {
     /// reproduce.
     fn snapshot(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        put_u32(&mut out, self.history.len() as u32);
+        put_u32(&mut out, wire_u32(self.history.len()));
         for cmd in &self.history {
-            put_u32(&mut out, cmd.len() as u32);
+            put_u32(&mut out, wire_u32(cmd.len()));
             out.extend_from_slice(cmd);
         }
         let state = self.dm.state_encoding();
-        put_u32(&mut out, state.len() as u32);
+        put_u32(&mut out, wire_u32(state.len()));
         out.extend_from_slice(&state);
         out
     }

@@ -47,6 +47,7 @@
 use crate::durable::{DurableMetaverse, DurableOp};
 use bytes::Bytes;
 use mv_common::geom::Point;
+use mv_common::codec::wire_u32;
 use mv_common::id::EntityId;
 use mv_common::time::SimTime;
 use mv_common::{MvError, MvResult};
@@ -351,7 +352,7 @@ impl DurableMetaverse {
         for (logged, (si, shard_ops)) in by_shard.iter().enumerate() {
             self.log(&DurableOp::TxnPrepare {
                 txn: inner.id.raw(),
-                shard: *si as u32,
+                shard: wire_u32(*si),
                 ops: shard_ops.clone(),
                 ts: now,
             });

@@ -60,9 +60,10 @@ impl DeltaCodec {
             Some(prev) if prev.len() == state.len() => {
                 let delta: Vec<(u32, f64)> = state
                     .iter()
+                    .zip(prev.iter())
                     .enumerate()
-                    .filter(|(i, v)| prev[*i] != **v)
-                    .map(|(i, v)| (i as u32, *v))
+                    .filter(|(_, (v, p))| p != v)
+                    .map(|(i, (v, _))| (i as u32, *v))
                     .collect();
                 let delta_enc = Encoded::Delta(delta);
                 if delta_enc.wire_bytes() < full_cost {

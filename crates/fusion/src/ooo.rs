@@ -68,11 +68,13 @@ impl ReorderBuffer {
 
     fn release(&mut self) -> Vec<Record> {
         let mut out = Vec::new();
-        while let Some(top) = self.heap.peek() {
-            if top.0.ts + self.slack <= self.watermark {
-                out.push(self.heap.pop().expect("peeked").0);
-            } else {
-                break;
+        while self
+            .heap
+            .peek()
+            .is_some_and(|top| top.0.ts + self.slack <= self.watermark)
+        {
+            if let Some(HeapRec(rec, _)) = self.heap.pop() {
+                out.push(rec);
             }
         }
         out

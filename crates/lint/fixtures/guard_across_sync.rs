@@ -1,0 +1,62 @@
+//! guard-across-sync fixture: a lock guard live across a blocking
+//! boundary (WAL sync, transport send), directly or through a callee
+//! that may block. The fake path places this under `crates/core/src/`,
+//! inside the rule's hot-path scope.
+
+struct Engine {
+    state: Mutex<State>,
+    wal: Wal,
+    net: Transport,
+}
+
+impl Engine {
+    /// Guard held across a direct `sync` call.
+    fn commit_bad(&self, batch: &[Op]) {
+        let mut st = self.state.lock();
+        st.apply(batch);
+        self.wal.sync(); //~DENY(guard-across-sync)
+    }
+
+    /// Guard held across a `send` — the other direct boundary.
+    fn publish_bad(&self, msg: Msg) {
+        let st = self.state.lock();
+        self.net.send(st.render(msg)); //~DENY(guard-across-sync)
+    }
+
+    /// Guard held across a callee that (transitively) blocks.
+    fn commit_indirect(&self, batch: &[Op]) {
+        let mut st = self.state.lock();
+        st.apply(batch);
+        self.flush_wal(); //~DENY(guard-across-sync)
+    }
+
+    fn flush_wal(&self) {
+        self.wal.sync();
+    }
+
+    /// Negative: the guard is dropped before the boundary.
+    fn commit_good(&self, batch: &[Op]) {
+        {
+            let mut st = self.state.lock();
+            st.apply(batch);
+        }
+        self.wal.sync();
+    }
+
+    /// Negative: explicit drop releases the guard first.
+    fn commit_good_drop(&self, batch: &[Op]) {
+        let mut st = self.state.lock();
+        st.apply(batch);
+        drop(st);
+        self.wal.sync();
+    }
+
+    /// The sealed-batch handoff really does need the guard (the seal
+    /// and the sync must be atomic here); reviewed and allowed.
+    fn commit_sealed(&self, batch: &[Op]) {
+        let mut st = self.state.lock();
+        st.seal(batch);
+        // lint:allow(guard-across-sync): seal+sync must be atomic; contention is bounded by the seal fast path
+        self.wal.sync(); //~ALLOWED(guard-across-sync)
+    }
+}

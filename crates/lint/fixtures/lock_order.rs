@@ -1,0 +1,60 @@
+//! lock-order fixture: intra-file cases — same-lock re-entry and an
+//! acquisition-order cycle whose two halves live in different
+//! functions of the same file (the global order graph composes them).
+//! The usual DENY/ALLOWED trailing markers carry the expectations.
+
+struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    /// A then B: contributes the edge Pair.a -> Pair.b.
+    fn forward(&self) -> u64 {
+        let ga = self.a.lock(); //~DENY(lock-order)   <- cycle anchor (min evidence site)
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    /// B then A in a *different* function: the opposite edge. No single
+    /// statement shows the cycle — only the composed graph does.
+    fn backward(&self) -> u64 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        *ga + *gb
+    }
+
+    /// Same lock twice while the first guard is still live.
+    fn reenter(&self) -> u64 {
+        let g1 = self.a.lock();
+        let g2 = self.a.lock(); //~DENY(lock-order)
+        *g1 + *g2
+    }
+
+    /// Re-entry through a callee: holds `a`, calls a method that takes
+    /// `a` again.
+    fn reenter_via_call(&self) -> u64 {
+        let g = self.a.lock();
+        let x = self.grab_a(); //~DENY(lock-order)
+        *g + x
+    }
+
+    fn grab_a(&self) -> u64 {
+        *self.a.lock()
+    }
+
+    /// Negative: the first guard is dropped before the second lock —
+    /// no overlap, no re-entry.
+    fn sequential(&self) -> u64 {
+        let x = { *self.a.lock() };
+        let y = *self.a.lock();
+        x + y
+    }
+
+    /// Negative: consistent order in both functions is not a cycle.
+    fn forward_again(&self) -> u64 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga * *gb
+    }
+}

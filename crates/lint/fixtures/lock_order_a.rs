@@ -1,0 +1,22 @@
+//! lock-order cross-file fixture, half A. On its own this file is
+//! clean: `grab_b` is not defined here, so the A->B edge cannot form.
+//! Linted together with `lock_order_b.rs` (same `Sys` impl split
+//! across files), the composed call graph yields the cycle
+//! {Sys.a, Sys.b} — flat per-file token matching is provably
+//! insufficient. See `interprocedural_cycle_needs_the_call_graph` in
+//! tests/rules.rs.
+
+impl Sys {
+    /// Holds `a`, then calls into the other file to take `b`.
+    fn forward(&self) -> u64 {
+        let g = self.a.lock(); // cycle anchor once both files are seen
+        let x = self.grab_b();
+        *g + x
+    }
+
+    /// Leaf: takes `a` alone (the other file calls this while holding
+    /// `b`).
+    fn grab_a(&self) -> u64 {
+        *self.a.lock()
+    }
+}

@@ -1,0 +1,17 @@
+//! lock-order cross-file fixture, half B — see `lock_order_a.rs`.
+//! Alone this file is clean; combined, `backward` (holds `b`, calls
+//! `grab_a`) closes the cycle against `forward` in half A.
+
+impl Sys {
+    /// Holds `b`, then calls into the other file to take `a`.
+    fn backward(&self) -> u64 {
+        let g = self.b.lock();
+        let x = self.grab_a();
+        *g + x
+    }
+
+    /// Leaf: takes `b` alone.
+    fn grab_b(&self) -> u64 {
+        *self.b.lock()
+    }
+}

@@ -1,0 +1,75 @@
+//! Parser torture fixture: nested closures, match guards, early
+//! returns, generic impls with fn-trait bounds, trait defaults, nested
+//! fn items, and `impl Trait` in type position. `parser_torture_fixture`
+//! in tests/rules.rs asserts the exact item tree (names, qualifiers,
+//! bodies); no rule findings are expected from this file.
+
+pub fn free_fn(xs: &[u64]) -> u64 {
+    // Early return inside a match guard, closure capturing a closure.
+    let pick = |n: u64| move |m: u64| n + m;
+    match xs.first() {
+        Some(&x) if x > 10 => return pick(1)(x),
+        Some(&x) => x,
+        None => 0,
+    }
+}
+
+struct Outer<F: Fn() -> u64> {
+    thunk: F,
+}
+
+impl<F: Fn() -> u64> Outer<F> {
+    fn call(&self) -> u64 {
+        // Nested fn item: inherits the enclosing impl qualifier
+        // (documented parser blind spot — lexically it is scoped).
+        fn helper(v: u64) -> u64 {
+            if v == 0 {
+                return 1;
+            }
+            v
+        }
+        helper((self.thunk)())
+    }
+
+    fn chained(&self) -> u64 {
+        let add = |a: u64| {
+            let inner = |b: u64| a.wrapping_add(b);
+            inner(3)
+        };
+        add(4)
+    }
+}
+
+pub trait Shape {
+    fn area(&self) -> u64;
+
+    fn doubled(&self) -> u64 {
+        self.area() * 2
+    }
+}
+
+impl Shape for Outer<fn() -> u64> {
+    fn area(&self) -> u64 {
+        (self.thunk)()
+    }
+}
+
+pub fn returns_opaque() -> impl Iterator<Item = u64> {
+    (0..4).map(|x| x * 2)
+}
+
+pub fn takes_opaque(f: impl Fn(u64) -> u64) -> u64 {
+    f(9)
+}
+
+impl Drop for Outer<fn() -> u64> {
+    fn drop(&mut self) {
+        // Match with guards and a loop with labeled break.
+        'outer: loop {
+            match (self.thunk)() {
+                v if v % 2 == 0 => break 'outer,
+                _ => continue 'outer,
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! span-leak fixture: every `let`-bound tracer span must be closed,
+//! aborted, stored, or returned on all paths. Non-`let` opens are
+//! transfers (documented blind spot) and must not fire.
+
+struct Worker {
+    tracer: SharedTracer,
+}
+
+impl Worker {
+    /// Opened, never touched again: leaks.
+    fn leak_plain(&self, at: SimTime) {
+        let ctx = self.tracer.start_trace("tick", at); //~DENY(span-leak)
+        self.step();
+    }
+
+    /// Bound to `_`: dropped immediately, the tracer never sees it.
+    fn leak_discard(&self, at: SimTime) {
+        let _ = self.tracer.start_trace("tick", at); //~DENY(span-leak)
+    }
+
+    /// Early `return` exits while the span is still open.
+    fn leak_early_return(&self, at: SimTime, empty: bool) -> u64 {
+        let ctx = self.tracer.start_trace("flush", at);
+        if empty {
+            return 0; //~DENY(span-leak)
+        }
+        self.tracer.close(ctx.span, at, "ok");
+        1
+    }
+
+    /// `?` propagates an error while the span is still open.
+    fn leak_question(&self, at: SimTime) -> Result<(), Error> {
+        let ctx = self.tracer.start_trace("decode", at);
+        self.decode()?; //~DENY(span-leak)
+        self.tracer.close(ctx.span, at, "ok");
+        Ok(())
+    }
+
+    /// Happy path: opened and closed.
+    fn ok_closed(&self, at: SimTime) {
+        let ctx = self.tracer.start_trace("tick", at);
+        self.step();
+        self.tracer.close(ctx.span, at, "ok");
+    }
+
+    /// Aborting counts as consumption too.
+    fn ok_aborted(&self, at: SimTime) {
+        let ctx = self.tracer.start_trace("tick", at);
+        self.tracer.abort(ctx.span, "cancelled");
+    }
+
+    /// Returning the span hands it to the caller: a transfer, not a
+    /// leak.
+    fn ok_handed_off(&self, at: SimTime) -> TraceCtx {
+        let ctx = self.tracer.start_trace("outer", at);
+        ctx
+    }
+
+    /// Explicit `return <span>` is a hand-off as well.
+    fn ok_returned(&self, at: SimTime) -> TraceCtx {
+        let ctx = self.tracer.start_trace("outer", at);
+        return ctx;
+    }
+
+    /// Non-`let` open (match scrutinee): ownership moves through the
+    /// match — a transfer the file-level analysis does not follow.
+    fn ok_transfer(&self, at: SimTime) {
+        match self.tracer.maybe_trace("sampled", at) {
+            Some(ctx) => self.tracer.close(ctx.span, at, "ok"),
+            None => {}
+        }
+    }
+
+    /// The shutdown path really does drop the span open — the process
+    /// is exiting and the tracer is about to be torn down; reviewed.
+    fn allowed_leak(&self, at: SimTime) {
+        // lint:allow(span-leak): process is exiting; the tracer is torn down before the span could close
+        let ctx = self.tracer.start_trace("shutdown", at); //~ALLOWED(span-leak)
+        self.step();
+    }
+}

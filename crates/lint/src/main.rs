@@ -17,7 +17,7 @@
 //!   omitted.
 
 use mv_lint::report;
-use mv_lint::rules::{lint_source, Finding, CATALOGUE};
+use mv_lint::rules::{lint_workspace, Finding, CATALOGUE};
 use mv_lint::scan;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -95,13 +95,17 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut findings: Vec<Finding> = Vec::new();
+    // Read everything first: the interprocedural rules (lock-order,
+    // guard-across-sync, panic-path reachability) need the whole
+    // workspace in one pass.
+    let mut sources: Vec<(String, String)> = Vec::new();
     for rel in &files {
         match std::fs::read_to_string(root.join(rel)) {
-            Ok(src) => findings.extend(lint_source(rel, &src)),
+            Ok(src) => sources.push((rel.clone(), src)),
             Err(e) => eprintln!("mv-lint: reading {rel}: {e} (skipped)"),
         }
     }
+    let findings: Vec<Finding> = lint_workspace(&sources);
 
     if let Some(path) = &args.jsonl {
         let out = report::findings_to_jsonl(&findings);
@@ -129,6 +133,9 @@ fn main() -> ExitCode {
         findings.iter().filter(|f| !f.is_allowed() && f.advisory).collect();
     for f in &denied {
         println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        for e in &f.evidence {
+            println!("    {}:{}: {}", e.path, e.line, e.note);
+        }
     }
     for f in &advisories {
         println!("{}:{}: [{}] (advisory) {}", f.path, f.line, f.rule, f.message);

@@ -1,0 +1,423 @@
+//! The structural layer: a brace/item tree over the flat token stream.
+//!
+//! The build is offline (`syn` is unavailable), so this is a
+//! hand-rolled *item* parser, not an expression parser: it finds `impl`
+//! blocks (and the type they implement on), `fn` items (name, body
+//! token range), and test regions, and leaves everything inside a fn
+//! body as a flat token slice for the rules to scan. That is exactly
+//! enough structure for a symbol table, a call graph, and per-function
+//! lockset/span analyses — and little enough that the parser stays
+//! honest about what it cannot see (macro-generated items, trait
+//! method dispatch, closures-as-values).
+//!
+//! Known blind spots, by construction:
+//!
+//! * Items produced by macro expansion are invisible (the lexer sees
+//!   the macro invocation, not its output).
+//! * `impl` target types are reduced to their last path segment at
+//!   angle-depth 0 (`core::Engine<T>` → `Engine`), so two types with
+//!   the same terminal name alias into one qualifier.
+//! * Nested `fn` items inherit the enclosing `impl` qualifier even
+//!   though they are lexically scoped.
+
+use crate::lexer::{lex, Directive, Tok, Token};
+
+/// One `fn` item: name, qualifier, and body token range.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function name.
+    pub name: String,
+    /// Terminal type name of the enclosing `impl` block (also set for
+    /// default methods in `trait` blocks — the trait name), or `None`
+    /// for free functions.
+    pub qual: Option<String>,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Token range of the body: indices of the opening `{` and its
+    /// matching `}` (inclusive). `None` for body-less declarations.
+    pub body: Option<(usize, usize)>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// True when the item sits inside a `#[test]`/`#[cfg(test)]`
+    /// region — excluded from the symbol table and all analyses.
+    pub in_test: bool,
+}
+
+/// One lexed + item-parsed source file, the unit the workspace pass
+/// operates on.
+#[derive(Debug)]
+pub struct FileUnit {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Tokens in source order.
+    pub toks: Vec<Token>,
+    /// Per-token "inside test code" flags (parallel to `toks`).
+    pub in_test: Vec<bool>,
+    /// `lint:allow` directives found by the lexer.
+    pub directives: Vec<Directive>,
+    /// True for wholesale-test files (`tests/`, `examples/`, …).
+    pub whole_file_test: bool,
+    /// `fn` items in source order.
+    pub fns: Vec<FnItem>,
+}
+
+impl FileUnit {
+    /// Lex and item-parse one source file.
+    pub fn build(path: &str, src: &str) -> FileUnit {
+        let lexed = lex(src);
+        let toks = lexed.tokens;
+        let whole_file_test = is_test_path(path);
+        let in_test = if whole_file_test { vec![true; toks.len()] } else { test_regions(&toks) };
+        let fns = parse_fns(&toks, &in_test);
+        FileUnit {
+            path: path.to_string(),
+            toks,
+            in_test,
+            directives: lexed.directives,
+            whole_file_test,
+            fns,
+        }
+    }
+}
+
+/// True for files that are test code wholesale (integration tests and
+/// examples): no determinism rules apply there, and directives inside
+/// them are ignored rather than reported unused.
+pub fn is_test_path(path: &str) -> bool {
+    path.starts_with("tests/")
+        || path.contains("/tests/")
+        || path.starts_with("examples/")
+        || path.contains("/examples/")
+        || path.contains("/benches/")
+}
+
+/// Index of the token closing the group opened at `open_idx` (which
+/// must hold `open`). Honors nesting of the same pair only — good
+/// enough on a lexed stream where strings/comments are opaque.
+pub fn matching(toks: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Per-token "inside test code" flags: `#[test]`-, `#[cfg(test)]`- (and
+/// friends) attributed items, body included.
+pub fn test_regions(toks: &[Token]) -> Vec<bool> {
+    let mut flags = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            if let Some(close) = matching(toks, i + 1, '[', ']') {
+                let attr = &toks[i + 2..close];
+                let has = |w: &str| attr.iter().any(|t| t.ident() == Some(w));
+                if has("test") && !has("not") {
+                    // Skip any further attributes, then mark through the
+                    // item body (or to the `;` of a body-less item).
+                    let mut j = close + 1;
+                    while toks.get(j).is_some_and(|t| t.is_punct('#'))
+                        && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
+                    {
+                        match matching(toks, j + 1, '[', ']') {
+                            Some(c) => j = c + 1,
+                            None => break,
+                        }
+                    }
+                    let mut depth = 0i32;
+                    let mut end = j;
+                    while let Some(t) = toks.get(end) {
+                        match t.kind {
+                            Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                            Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                            Tok::Punct(';') if depth == 0 => break,
+                            Tok::Punct('{') if depth == 0 => {
+                                end = matching(toks, end, '{', '}').unwrap_or(toks.len() - 1);
+                                break;
+                            }
+                            _ => {}
+                        }
+                        end += 1;
+                    }
+                    for f in flags.iter_mut().take((end + 1).min(toks.len())).skip(i) {
+                        *f = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    flags
+}
+
+/// An `impl` (or `trait`) block: body token range plus the terminal
+/// name used as the qualifier for the methods inside.
+struct ImplBlock {
+    open: usize,
+    close: usize,
+    name: Option<String>,
+}
+
+/// Find `impl`/`trait` block bodies and their target-type names.
+fn impl_blocks(toks: &[Token]) -> Vec<ImplBlock> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let kw = toks[i].ident();
+        let is_impl = kw == Some("impl");
+        let is_trait = kw == Some("trait");
+        if !is_impl && !is_trait {
+            continue;
+        }
+        // `impl` in type position (`-> impl Iterator`, `x: impl Fn()`,
+        // `&impl Trait`, `dyn`/generic bounds) is not an item header:
+        // an item-position `impl`/`trait` follows only a statement or
+        // item boundary, an attribute, or `unsafe`/`pub`-visibility.
+        let header_ok = match i.checked_sub(1).map(|p| &toks[p]) {
+            None => true,
+            Some(t) => {
+                t.is_punct('}')
+                    || t.is_punct(';')
+                    || t.is_punct('{')
+                    || t.is_punct(']')
+                    || matches!(t.ident(), Some("unsafe" | "pub"))
+                    || t.is_punct(')') // `pub(crate) trait …`
+            }
+        };
+        if !header_ok {
+            continue;
+        }
+        // Skip the generics group right after the keyword, if any.
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.is_punct('<')) {
+            let mut depth = 0i32;
+            while let Some(t) = toks.get(j) {
+                if t.is_punct('<') {
+                    depth += 1;
+                } else if t.is_punct('>') && !(j > 0 && toks[j - 1].is_punct('-')) {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Scan to the body `{`, tracking the `for` split (trait impls
+        // qualify by the *target* type) and stopping the name segment
+        // at `where`. Angle depth keeps `Vec<Foo>` from naming `Foo`.
+        let mut depth = 0i32;
+        let mut name: Option<String> = None;
+        let mut open = None;
+        while let Some(t) = toks.get(j) {
+            match &t.kind {
+                Tok::Punct('<') | Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                // `->` in an fn-trait bound (`Fn() -> T`): the `>`
+                // there is part of the arrow, not a closing angle.
+                Tok::Punct('>') | Tok::Punct(')') | Tok::Punct(']')
+                    if !(t.is_punct('>') && j > 0 && toks[j - 1].is_punct('-')) =>
+                {
+                    depth -= 1;
+                }
+                Tok::Punct('{') if depth <= 0 => {
+                    open = Some(j);
+                    break;
+                }
+                Tok::Punct(';') if depth <= 0 => break,
+                Tok::Ident(w) if depth <= 0 && w == "for" => name = None,
+                Tok::Ident(w) if depth <= 0 && w == "where" => {
+                    // Name is settled; skip ahead to the body brace.
+                    while let Some(t2) = toks.get(j) {
+                        if t2.is_punct('{') {
+                            open = Some(j);
+                            break;
+                        }
+                        j += 1;
+                    }
+                    break;
+                }
+                Tok::Ident(w)
+                    if depth <= 0
+                        && w != "dyn"
+                        && w != "mut"
+                        && w != "const"
+                        && w != "unsafe" =>
+                {
+                    name = Some(w.clone());
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        let close = matching(toks, open, '{', '}').unwrap_or(toks.len().saturating_sub(1));
+        out.push(ImplBlock { open, close, name });
+    }
+    out
+}
+
+/// Parse `fn` items, qualifying each by the innermost enclosing
+/// `impl`/`trait` block.
+fn parse_fns(toks: &[Token], in_test: &[bool]) -> Vec<FnItem> {
+    let impls = impl_blocks(toks);
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].ident() != Some("fn") {
+            continue;
+        }
+        // `fn` pointer types (`fn(u32) -> u32`) have no name ident.
+        let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) else { continue };
+        // Find the body `{` (or the `;` of a body-less declaration) at
+        // paren/bracket depth 0. Generic angle brackets never nest a
+        // `{`/`;` before the body, so they need no tracking here.
+        let mut depth = 0i32;
+        let mut body = None;
+        let mut k = i + 2;
+        while let Some(t) = toks.get(k) {
+            match t.kind {
+                Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                Tok::Punct('{') if depth == 0 => {
+                    let close = matching(toks, k, '{', '}').unwrap_or(toks.len() - 1);
+                    body = Some((k, close));
+                    break;
+                }
+                Tok::Punct(';') if depth == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        // Innermost enclosing impl/trait block wins.
+        let qual = impls
+            .iter()
+            .filter(|b| b.open < i && i < b.close)
+            .min_by_key(|b| b.close - b.open)
+            .and_then(|b| b.name.clone());
+        out.push(FnItem {
+            name: name.to_string(),
+            qual,
+            fn_tok: i,
+            body,
+            line: toks[i].line,
+            in_test: in_test.get(i).copied().unwrap_or(false),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fns(src: &str) -> Vec<(String, Option<String>, bool)> {
+        let u = FileUnit::build("crates/x/src/lib.rs", src);
+        u.fns.iter().map(|f| (f.name.clone(), f.qual.clone(), f.body.is_some())).collect()
+    }
+
+    #[test]
+    fn free_and_impl_fns_are_qualified() {
+        let src = "
+            pub fn free() {}
+            struct S;
+            impl S {
+                fn method(&self) { helper(); }
+            }
+            impl std::fmt::Debug for S {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }
+            }
+        ";
+        assert_eq!(
+            fns(src),
+            vec![
+                ("free".into(), None, true),
+                ("method".into(), Some("S".into()), true),
+                ("fmt".into(), Some("S".into()), true),
+            ]
+        );
+    }
+
+    #[test]
+    fn generic_impls_reduce_to_terminal_name() {
+        let src = "
+            impl<T: Clone> Wrapper<T> {
+                fn get(&self) -> &T { &self.0 }
+            }
+            impl<K, V> core::Engine<K, V> where K: Ord {
+                fn tick(&mut self) {}
+            }
+        ";
+        assert_eq!(
+            fns(src),
+            vec![
+                ("get".into(), Some("Wrapper".into()), true),
+                ("tick".into(), Some("Engine".into()), true),
+            ]
+        );
+    }
+
+    #[test]
+    fn impl_in_type_position_is_not_a_block() {
+        let src = "
+            fn make() -> impl Iterator<Item = u32> { (0..3).map(|x| x) }
+            fn take(f: impl Fn() -> u32) -> u32 { f() }
+        ";
+        let got = fns(src);
+        assert_eq!(
+            got,
+            vec![("make".into(), None, true), ("take".into(), None, true)],
+            "return-position impl must not swallow the next fn: {got:?}"
+        );
+    }
+
+    #[test]
+    fn trait_default_methods_and_decls() {
+        let src = "
+            pub trait Store {
+                fn put(&mut self, k: u64, v: u64);
+                fn len_or_zero(&self) -> usize { 0 }
+            }
+        ";
+        assert_eq!(
+            fns(src),
+            vec![
+                ("put".into(), Some("Store".into()), false),
+                ("len_or_zero".into(), Some("Store".into()), true),
+            ]
+        );
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "struct H { cb: fn(u32) -> u32 } pub fn real(h: &H) -> u32 { (h.cb)(1) }";
+        assert_eq!(fns(src), vec![("real".into(), None, true)]);
+    }
+
+    #[test]
+    fn test_region_fns_are_marked() {
+        let src = "
+            fn live() {}
+            #[cfg(test)]
+            mod tests {
+                fn helper() {}
+                #[test]
+                fn case() { helper(); }
+            }
+        ";
+        let u = FileUnit::build("crates/x/src/lib.rs", src);
+        let flags: Vec<(String, bool)> =
+            u.fns.iter().map(|f| (f.name.clone(), f.in_test)).collect();
+        assert_eq!(
+            flags,
+            vec![("live".into(), false), ("helper".into(), true), ("case".into(), true)]
+        );
+    }
+}

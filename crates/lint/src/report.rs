@@ -5,24 +5,59 @@
 //! there): one self-contained object per line with a leading `"kind"`
 //! discriminator, strings escaped by [`mv_obs::export::json_escape`].
 //!
-//! Line shape:
+//! Schema `mv-lint/v2`: the report opens with one meta line
+//! `{"kind":"lint-meta","schema":"mv-lint/v2","rules":N,"findings":N}`
+//! and every finding line carries an `"evidence"` array — the
+//! acquisition sites behind a lock-order cycle, the open/leak pair of
+//! a span leak, the witness call chain of an interprocedural
+//! panic-path finding (empty for single-site token rules):
 //! `{"kind":"lint","rule":…,"path":…,"line":…,"allowed":…,"advisory":…,
-//! "reason":…,"message":…}`
+//! "reason":…,"message":…,"evidence":[{"path":…,"line":…,"note":…},…]}`
+//!
+//! The report is a pure function of the findings (which are themselves
+//! deterministic — path-ordered files, BTree-ordered analyses), so two
+//! runs over the same tree emit byte-identical output; `tests/gate.rs`
+//! pins that.
+
+pub const JSONL_SCHEMA: &str = "mv-lint/v2";
 
 use crate::rules::{Finding, RULES};
 use mv_obs::export::json_escape;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Findings as JSONL, one line per finding (allowed ones included —
-/// machines doing allow audits want them most of all).
+/// Findings as JSONL: one `lint-meta` header line, then one line per
+/// finding (allowed ones included — machines doing allow audits want
+/// them most of all).
 pub fn findings_to_jsonl(findings: &[Finding]) -> String {
     let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"kind\":\"lint-meta\",\"schema\":\"{}\",\"rules\":{},\"findings\":{}}}",
+        JSONL_SCHEMA,
+        RULES.len(),
+        findings.len(),
+    );
     for f in findings {
+        let mut ev = String::from("[");
+        for (i, e) in f.evidence.iter().enumerate() {
+            if i > 0 {
+                ev.push(',');
+            }
+            let _ = write!(
+                ev,
+                "{{\"path\":\"{}\",\"line\":{},\"note\":\"{}\"}}",
+                json_escape(&e.path),
+                e.line,
+                json_escape(&e.note),
+            );
+        }
+        ev.push(']');
         let _ = writeln!(
             out,
             "{{\"kind\":\"lint\",\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\
-             \"allowed\":{},\"advisory\":{},\"reason\":\"{}\",\"message\":\"{}\"}}",
+             \"allowed\":{},\"advisory\":{},\"reason\":\"{}\",\"message\":\"{}\",\
+             \"evidence\":{ev}}}",
             json_escape(&f.rule),
             json_escape(&f.path),
             f.line,
@@ -144,16 +179,30 @@ mod tests {
             message: "msg with \"quotes\"".into(),
             allowed: allowed.map(Into::into),
             advisory: false,
+            evidence: vec![crate::rules::Evidence {
+                path: "crates/x/src/lib.rs".into(),
+                line: 1,
+                note: "guard `X` acquired here".into(),
+            }],
         }
     }
 
     #[test]
     fn jsonl_escapes_and_discriminates() {
         let out = findings_to_jsonl(&[f("wall-clock", Some("why: \"timing\""))]);
-        assert!(out.starts_with("{\"kind\":\"lint\",\"rule\":\"wall-clock\""));
-        assert!(out.contains("\\\"timing\\\""));
-        assert!(out.contains("\"allowed\":true"));
-        assert!(out.ends_with('}') || out.ends_with("}\n"));
+        let mut lines = out.lines();
+        let meta = lines.next().unwrap();
+        assert!(meta.starts_with("{\"kind\":\"lint-meta\",\"schema\":\"mv-lint/v2\""));
+        assert!(meta.contains("\"findings\":1"));
+        let line = lines.next().unwrap();
+        assert!(line.starts_with("{\"kind\":\"lint\",\"rule\":\"wall-clock\""));
+        assert!(line.contains("\\\"timing\\\""));
+        assert!(line.contains("\"allowed\":true"));
+        assert!(line.contains(
+            "\"evidence\":[{\"path\":\"crates/x/src/lib.rs\",\"line\":1,\
+             \"note\":\"guard `X` acquired here\"}]"
+        ));
+        assert!(lines.next().is_none());
     }
 
     #[test]

@@ -1,11 +1,12 @@
-//! The rule engines: token-pattern matchers with path-aware scoping.
+//! The rule engines: token-pattern matchers with path-aware scoping,
+//! plus the structural rules built on [`crate::parse`]/[`crate::callgraph`].
 //!
-//! Every rule here is a *heuristic* over the flat token stream from
-//! [`crate::lexer`] — there is no type information, so each matcher
-//! documents exactly what it keys on and what it will miss. The bias is
-//! deliberate: over-flag and make the author either fix the site or
-//! write a `// lint:allow(<rule>): <reason>` with a reviewable reason,
-//! rather than under-flag and let nondeterminism ship.
+//! Every rule here is a *heuristic* — there is no type information, so
+//! each matcher documents exactly what it keys on and what it will
+//! miss. The bias is deliberate: over-flag and make the author either
+//! fix the site or write a `// lint:allow(<rule>): <reason>` with a
+//! reviewable reason, rather than under-flag and let nondeterminism
+//! ship.
 //!
 //! Rule catalogue (see DESIGN.md §9 for the policy around each):
 //!
@@ -35,12 +36,30 @@
 //!   (see `mv_core::merge`, `ShardedKv::apply_batch`). Advisory rules
 //!   are printed but never fail `--deny` — they point at churn, not
 //!   bugs.
+//! * `lock-order` — same-lock re-entry and acquisition-order cycles
+//!   over a global lock graph composed through the call graph (see
+//!   [`crate::callgraph`]); a cycle is a potential deadlock.
+//! * `guard-across-sync` — a lock guard live across a blocking
+//!   boundary (WAL sync / group-commit seal, transport send) on the
+//!   scoped hot paths, directly or through a callee that may block.
+//! * `span-leak` — a `Tracer` span opened (`start_trace`/`maybe_trace`/
+//!   `trace`/`child`) and `let`-bound, but never closed, aborted, or
+//!   passed on — or abandoned by an early `return`/`?` before its
+//!   first use. Non-`let` opens (match scrutinees, call arguments) are
+//!   transfers and out of scope, documented blind spot.
+//! * `cast-truncation` — a narrowing `as` cast (`as u8`…`as i32`, or
+//!   `as usize`/`u64` from a float/128-bit value) on the codec/recovery
+//!   paths where the workspace idiom is checked `try_from`. Literal
+//!   casts and provably bounded ones (`% N`, `.min(n)`, bool casts)
+//!   are exempt.
 //!
 //! Two meta-rules police the escape hatch itself: `bad-allow` (unknown
 //! rule name, or a missing reason) and `unused-allow` (a directive that
 //! suppressed nothing). Neither can itself be allowed.
 
-use crate::lexer::{lex, Directive, Tok, Token};
+use crate::callgraph;
+use crate::lexer::{Tok, Token};
+use crate::parse::{matching, FileUnit};
 
 /// Names of the real (allowable) rules, in report order.
 pub const RULES: &[&str] = &[
@@ -52,6 +71,10 @@ pub const RULES: &[&str] = &[
     "float-key",
     "metric-name",
     "vec-realloc-in-loop",
+    "lock-order",
+    "guard-across-sync",
+    "span-leak",
+    "cast-truncation",
 ];
 
 /// Where each rule applies. Paths are workspace-relative with `/`
@@ -167,7 +190,79 @@ pub const CATALOGUE: &[RuleSpec] = &[
         exclude: &[],
         advisory: true,
     },
+    RuleSpec {
+        name: "lock-order",
+        summary: "lock acquisition-order cycle or same-lock re-entry (call-graph composed)",
+        include: &[],
+        exclude: &[],
+        advisory: false,
+    },
+    RuleSpec {
+        name: "guard-across-sync",
+        summary: "lock guard held across a blocking boundary (WAL sync, transport send)",
+        // The hot paths where a held guard serializes fsync/send
+        // latency into every contending thread. The WAL/group-commit
+        // internals are the boundary itself, not a caller of it.
+        include: &[
+            "crates/core/src/",
+            "crates/txn/src/",
+            "crates/raft/src/",
+            "crates/net/src/",
+            "crates/storage/src/sharded_kv.rs",
+        ],
+        exclude: &[],
+        advisory: false,
+    },
+    RuleSpec {
+        name: "span-leak",
+        summary: "tracer span opened but not closed/aborted on every return path",
+        include: &[],
+        exclude: &[],
+        advisory: false,
+    },
+    RuleSpec {
+        name: "cast-truncation",
+        summary: "narrowing `as` cast where the codec idiom is checked try_from",
+        include: &[
+            "crates/storage/src/wal.rs",
+            "crates/storage/src/group_commit.rs",
+            "crates/storage/src/codec.rs",
+            "crates/storage/src/organization.rs",
+            "crates/core/src/durable.rs",
+            "crates/core/src/txn.rs",
+            "crates/core/src/replicated.rs",
+            "crates/raft/src/",
+            "crates/net/src/reliable.rs",
+        ],
+        exclude: &[],
+        advisory: false,
+    },
 ];
+
+/// One supporting location in a finding's evidence chain — the
+/// acquisition sites behind a lock-order cycle, the open/leak pair of
+/// a span leak, the witness call chain of an interprocedural
+/// panic-path finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evidence {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What this site contributes (`"guard `X` acquired here"`, …).
+    pub note: String,
+}
+
+/// A finding before directive binding: rule, anchor line, message, and
+/// the evidence chain. Produced by the per-file matchers and the
+/// workspace pass, consumed by [`bind_directives`].
+#[derive(Debug)]
+pub(crate) struct RawFinding {
+    pub rule: &'static str,
+    pub line: u32,
+    pub message: String,
+    pub evidence: Vec<Evidence>,
+}
 
 /// One lint finding, allowed or not.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -184,6 +279,8 @@ pub struct Finding {
     pub allowed: Option<String>,
     /// Mirrors [`RuleSpec::advisory`]: printed but never denied.
     pub advisory: bool,
+    /// Supporting sites (empty for single-site token rules).
+    pub evidence: Vec<Evidence>,
 }
 
 impl Finding {
@@ -193,38 +290,50 @@ impl Finding {
     }
 }
 
-fn spec(name: &str) -> &'static RuleSpec {
+pub(crate) fn spec(name: &str) -> &'static RuleSpec {
     CATALOGUE.iter().find(|s| s.name == name).unwrap_or(&CATALOGUE[0])
 }
 
-fn path_in_scope(path: &str, spec: &RuleSpec) -> bool {
+pub(crate) fn path_in_scope(path: &str, spec: &RuleSpec) -> bool {
     let included =
         spec.include.is_empty() || spec.include.iter().any(|p| path == *p || path.starts_with(p));
     let excluded = spec.exclude.iter().any(|p| path == *p || path.starts_with(p));
     included && !excluded
 }
 
-/// True for files that are test code wholesale (integration tests and
-/// examples): no determinism rules apply there, and directives inside
-/// them are ignored rather than reported unused.
-fn is_test_path(path: &str) -> bool {
-    path.starts_with("tests/")
-        || path.contains("/tests/")
-        || path.starts_with("examples/")
-        || path.contains("/examples/")
-        || path.contains("/benches/")
-}
-
 /// Lint one source file. `path` must be workspace-relative with `/`
 /// separators — rule scoping and test-file detection key off it.
+/// Single-file view of [`lint_workspace`]: interprocedural rules see
+/// only this file's call graph.
 pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
-    let lexed = lex(src);
-    let toks = &lexed.tokens;
-    let whole_file_test = is_test_path(path);
-    let in_test = if whole_file_test { vec![true; toks.len()] } else { test_regions(toks) };
+    lint_workspace(&[(path.to_string(), src.to_string())])
+}
 
-    let mut raw: Vec<(&'static str, u32, String)> = Vec::new();
-    let mut ctx = Ctx { toks, in_test: &in_test, out: &mut raw };
+/// Lint a set of source files as one workspace: per-file token rules
+/// first, then the call-graph analyses (`lock-order`,
+/// `guard-across-sync`, interprocedural `panic-path`) across all of
+/// them. Output is deterministic: files are processed in path order
+/// and every analysis iterates BTree-ordered structures.
+pub fn lint_workspace(files: &[(String, String)]) -> Vec<Finding> {
+    let mut units: Vec<FileUnit> =
+        files.iter().map(|(p, s)| FileUnit::build(p, s)).collect();
+    units.sort_by(|a, b| a.path.cmp(&b.path));
+    let mut raw: Vec<Vec<RawFinding>> = units.iter().map(per_file_findings).collect();
+    for (fi, rf) in callgraph::global_findings(&units) {
+        raw[fi].push(rf);
+    }
+    let mut out = Vec::new();
+    for (u, r) in units.iter().zip(raw) {
+        out.extend(bind_directives(u, r));
+    }
+    out
+}
+
+/// Run every per-file rule over one unit.
+fn per_file_findings(u: &FileUnit) -> Vec<RawFinding> {
+    let path = u.path.as_str();
+    let mut raw: Vec<RawFinding> = Vec::new();
+    let mut ctx = Ctx { toks: &u.toks, in_test: &u.in_test, out: &mut raw };
     if path_in_scope(path, spec("nondet-iter")) {
         ctx.nondet_iter();
     }
@@ -249,20 +358,20 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
     if path_in_scope(path, spec("vec-realloc-in-loop")) {
         ctx.vec_realloc_in_loop();
     }
-
-    bind_directives(path, &lexed.directives, toks, &in_test, whole_file_test, raw)
+    if path_in_scope(path, spec("cast-truncation")) {
+        ctx.cast_truncation();
+    }
+    if path_in_scope(path, spec("span-leak")) {
+        span_leak(u, &mut raw);
+    }
+    raw
 }
 
 /// Attach `lint:allow` directives to raw findings, and emit the
 /// meta-findings (`bad-allow`, `unused-allow`).
-fn bind_directives(
-    path: &str,
-    directives: &[Directive],
-    toks: &[Token],
-    in_test: &[bool],
-    whole_file_test: bool,
-    raw: Vec<(&'static str, u32, String)>,
-) -> Vec<Finding> {
+fn bind_directives(u: &FileUnit, raw: Vec<RawFinding>) -> Vec<Finding> {
+    let (path, directives, toks) = (u.path.as_str(), &u.directives, &u.toks);
+    let (in_test, whole_file_test) = (&u.in_test, u.whole_file_test);
     // Line covered by each directive: its own line when trailing, else
     // the first line with code after it.
     let line_in_test = |line: u32| -> bool {
@@ -272,7 +381,8 @@ fn bind_directives(
             .map(|(_, &b)| b)
             .unwrap_or(whole_file_test)
     };
-    let mut allows: Vec<(usize, &Directive, u32, bool)> = Vec::new(); // (idx, d, covered, used)
+    // (idx, directive, covered line, used)
+    let mut allows: Vec<(usize, &crate::lexer::Directive, u32, bool)> = Vec::new();
     let mut findings = Vec::new();
     for (idx, d) in directives.iter().enumerate() {
         let covered = if d.own_line {
@@ -291,6 +401,7 @@ fn bind_directives(
                 message: format!("lint:allow names unknown rule `{}`", d.rule),
                 allowed: None,
                 advisory: false,
+                evidence: Vec::new(),
             });
             continue;
         }
@@ -305,16 +416,17 @@ fn bind_directives(
                 ),
                 allowed: None,
                 advisory: false,
+                evidence: Vec::new(),
             });
             continue;
         }
         allows.push((idx, d, covered, false));
     }
 
-    for (rule, line, message) in raw {
+    for rf in raw {
         let hit = allows
             .iter_mut()
-            .find(|(_, d, covered, _)| d.rule == rule && *covered == line);
+            .find(|(_, d, covered, _)| d.rule == rf.rule && *covered == rf.line);
         let allowed = match hit {
             Some((_, d, _, used)) => {
                 *used = true;
@@ -323,12 +435,13 @@ fn bind_directives(
             None => None,
         };
         findings.push(Finding {
-            rule: rule.into(),
+            rule: rf.rule.into(),
             path: path.into(),
-            line,
-            message,
+            line: rf.line,
+            message: rf.message,
             allowed,
-            advisory: spec(rule).advisory,
+            advisory: spec(rf.rule).advisory,
+            evidence: rf.evidence,
         });
     }
 
@@ -341,79 +454,12 @@ fn bind_directives(
                 message: format!("lint:allow({}) suppresses nothing — remove it", d.rule),
                 allowed: None,
                 advisory: false,
+                evidence: Vec::new(),
             });
         }
     }
     findings.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(&b.rule)));
     findings
-}
-
-/// Per-token "inside test code" flags: `#[test]`-, `#[cfg(test)]`- (and
-/// friends) attributed items, body included.
-fn test_regions(toks: &[Token]) -> Vec<bool> {
-    let mut flags = vec![false; toks.len()];
-    let mut i = 0;
-    while i < toks.len() {
-        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
-            if let Some(close) = matching(toks, i + 1, '[', ']') {
-                let attr = &toks[i + 2..close];
-                let has = |w: &str| attr.iter().any(|t| t.ident() == Some(w));
-                if has("test") && !has("not") {
-                    // Skip any further attributes, then mark through the
-                    // item body (or to the `;` of a body-less item).
-                    let mut j = close + 1;
-                    while toks.get(j).is_some_and(|t| t.is_punct('#'))
-                        && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
-                    {
-                        match matching(toks, j + 1, '[', ']') {
-                            Some(c) => j = c + 1,
-                            None => break,
-                        }
-                    }
-                    let mut depth = 0i32;
-                    let mut end = j;
-                    while let Some(t) = toks.get(end) {
-                        match t.kind {
-                            Tok::Punct('(') | Tok::Punct('[') => depth += 1,
-                            Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
-                            Tok::Punct(';') if depth == 0 => break,
-                            Tok::Punct('{') if depth == 0 => {
-                                end = matching(toks, end, '{', '}').unwrap_or(toks.len() - 1);
-                                break;
-                            }
-                            _ => {}
-                        }
-                        end += 1;
-                    }
-                    for f in flags.iter_mut().take((end + 1).min(toks.len())).skip(i) {
-                        *f = true;
-                    }
-                    i = end + 1;
-                    continue;
-                }
-            }
-        }
-        i += 1;
-    }
-    flags
-}
-
-/// Index of the token closing the group opened at `open_idx` (which
-/// must hold `open`). Honors nesting of the same pair only — good
-/// enough on a lexed stream where strings/comments are opaque.
-fn matching(toks: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
-    let mut depth = 0i32;
-    for (k, t) in toks.iter().enumerate().skip(open_idx) {
-        if t.is_punct(open) {
-            depth += 1;
-        } else if t.is_punct(close) {
-            depth -= 1;
-            if depth == 0 {
-                return Some(k);
-            }
-        }
-    }
-    None
 }
 
 const HASH_TYPES: &[&str] = &[
@@ -477,7 +523,7 @@ fn valid_metric_name(name: &str, min_segs: usize) -> bool {
 struct Ctx<'a> {
     toks: &'a [Token],
     in_test: &'a [bool],
-    out: &'a mut Vec<(&'static str, u32, String)>,
+    out: &'a mut Vec<RawFinding>,
 }
 
 impl<'a> Ctx<'a> {
@@ -495,7 +541,12 @@ impl<'a> Ctx<'a> {
 
     fn flag(&mut self, rule: &'static str, i: usize, message: String) {
         if self.live(i) {
-            self.out.push((rule, self.toks[i].line, message));
+            self.out.push(RawFinding {
+                rule,
+                line: self.toks[i].line,
+                message,
+                evidence: Vec::new(),
+            });
         }
     }
 
@@ -746,50 +797,82 @@ impl<'a> Ctx<'a> {
     // ---- panic-path -------------------------------------------------
 
     fn panic_path(&mut self) {
-        for i in 0..self.toks.len() {
-            if i > 0
-                && self.is(i - 1, '.')
-                && matches!(self.ident(i), Some("unwrap" | "expect"))
-                && self.is(i + 1, '(')
-            {
-                self.flag(
-                    "panic-path",
-                    i,
-                    format!(
-                        "`.{}()` on a recovery/decode path — corrupt input must return, \
-                         not panic",
-                        self.ident(i).unwrap_or_default()
-                    ),
-                );
+        for (i, what, advice) in panic_sites(self.toks, 0, self.toks.len()) {
+            self.flag("panic-path", i, format!("{what} on a recovery/decode path — {advice}"));
+        }
+    }
+
+    // ---- cast-truncation --------------------------------------------
+
+    /// Narrowing `as` casts on the scoped codec/recovery paths, where
+    /// the workspace idiom is checked `try_from`. Exemptions (all
+    /// token-shape, documented blind spots included):
+    ///
+    /// * literal casts (`251 as u8`) — compile-time visible;
+    /// * `(x % N) as T` — bounded by the literal modulus;
+    /// * `x.min(c) as T` — bounded by the single-token cap;
+    /// * `x.is_some() as T` (and friends) — bool, can't truncate.
+    ///
+    /// `as usize`/`u64`/`i64`/`isize` is only narrowing when the value
+    /// is a float or 128-bit: flagged only with `f32`/`f64`/`u128`/
+    /// `i128` evidence in the same statement. A `min` capped by a
+    /// *variable* still passes — the cap's range is invisible here.
+    fn cast_truncation(&mut self) {
+        const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+        const WIDE: &[&str] = &["usize", "u64", "i64", "isize"];
+        const BOOLISH: &[&str] = &["is_some", "is_none", "is_ok", "is_err", "is_empty"];
+        for i in 1..self.toks.len() {
+            if self.ident(i) != Some("as") {
+                continue;
             }
-            if matches!(self.ident(i), Some("panic" | "unreachable" | "todo" | "unimplemented"))
-                && self.is(i + 1, '!')
-            {
-                self.flag(
-                    "panic-path",
-                    i,
-                    format!(
-                        "`{}!` on a recovery/decode path — corrupt input must return, not panic",
-                        self.ident(i).unwrap_or_default()
-                    ),
-                );
+            let Some(ty) = self.ident(i + 1) else { continue };
+            let narrow = NARROW.contains(&ty);
+            let wide = WIDE.contains(&ty);
+            if !narrow && !wide {
+                continue;
             }
-            // Indexing/slicing expressions: `x[…]`, `f()[…]`, `x[..n]`.
-            // A `[` after an identifier, `)` or `]` is an index (array
-            // types/literals follow `:`, `=`, `<`, `&`, `!`, … instead).
-            if self.is(i, '[')
-                && i > 0
-                && (matches!(self.toks[i - 1].kind, Tok::Ident(_))
-                    || self.is(i - 1, ')')
-                    || self.is(i - 1, ']'))
-            {
-                self.flag(
-                    "panic-path",
-                    i,
-                    "panic-capable `[]` indexing on a recovery/decode path — use `.get(..)`"
-                        .into(),
-                );
+            if matches!(self.toks[i - 1].kind, Tok::Num) {
+                continue; // literal cast
             }
+            if self.is(i - 1, ')') {
+                if i >= 3 && matches!(self.toks[i - 2].kind, Tok::Num) && self.is(i - 3, '%') {
+                    continue; // (x % N) as T
+                }
+                if i >= 4 && self.is(i - 3, '(') && self.ident(i - 4) == Some("min") {
+                    continue; // x.min(cap) as T
+                }
+                if i >= 3
+                    && self.is(i - 2, '(')
+                    && matches!(self.ident(i - 3), Some(w) if BOOLISH.contains(&w))
+                {
+                    continue; // bool as T
+                }
+            }
+            if wide {
+                // Only narrowing when the source is float/128-bit:
+                // scan the statement for evidence.
+                let mut s = i;
+                while s > 0 {
+                    match self.toks[s - 1].kind {
+                        Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => break,
+                        _ => s -= 1,
+                    }
+                }
+                let floaty = (s..i).any(|k| {
+                    matches!(self.ident(k), Some("f32" | "f64" | "u128" | "i128"))
+                });
+                if !floaty {
+                    continue;
+                }
+            }
+            self.flag(
+                "cast-truncation",
+                i,
+                format!(
+                    "`as {ty}` narrowing cast on a codec/recovery path — use \
+                     `{ty}::try_from` and handle the error (hostile-input discipline)"
+                ),
+            );
         }
     }
 
@@ -1047,6 +1130,249 @@ impl<'a> Ctx<'a> {
             "iteration over hash container `{recv}` flows into an order-sensitive \
              sink — sort it, collect into a BTree/hash container, or allow with a reason"
         ))
+    }
+}
+
+/// Panic-capable sites in `toks[lo..hi]`: `(token index, what, advice)`.
+/// Shared by the per-file `panic-path` matcher (whole file) and the
+/// interprocedural extension in [`crate::callgraph`] (single fn body).
+pub(crate) fn panic_sites(
+    toks: &[Token],
+    lo: usize,
+    hi: usize,
+) -> Vec<(usize, String, &'static str)> {
+    let mut out = Vec::new();
+    let ident = |i: usize| toks.get(i).and_then(|t| t.ident());
+    let is = |i: usize, c: char| toks.get(i).is_some_and(|t| t.is_punct(c));
+    for i in lo..hi.min(toks.len()) {
+        if i > 0
+            && is(i - 1, '.')
+            && matches!(ident(i), Some("unwrap" | "expect"))
+            && is(i + 1, '(')
+        {
+            out.push((
+                i,
+                format!("`.{}()`", ident(i).unwrap_or_default()),
+                "corrupt input must return, not panic",
+            ));
+        }
+        if matches!(ident(i), Some("panic" | "unreachable" | "todo" | "unimplemented"))
+            && is(i + 1, '!')
+        {
+            out.push((
+                i,
+                format!("`{}!`", ident(i).unwrap_or_default()),
+                "corrupt input must return, not panic",
+            ));
+        }
+        // Indexing/slicing expressions: `x[…]`, `f()[…]`, `x[..n]`.
+        // A `[` after an identifier, `)` or `]` is an index (array
+        // types/literals follow `:`, `=`, `<`, `&`, `!`, … instead).
+        // Keywords that precede a slice *type* or array literal —
+        // `&mut [usize]`, `dyn [..]`, `return [..]` — are identifier
+        // tokens to the lexer but never index expressions.
+        let keyword_prev = i > 0
+            && matches!(
+                ident(i - 1),
+                Some(
+                    "mut" | "dyn" | "ref" | "box" | "move" | "in" | "as" | "else" | "return"
+                        | "break" | "continue" | "impl" | "where" | "const" | "static"
+                )
+            );
+        if is(i, '[')
+            && i > 0
+            && !keyword_prev
+            && (matches!(toks[i - 1].kind, Tok::Ident(_)) || is(i - 1, ')') || is(i - 1, ']'))
+        {
+            out.push((i, "panic-capable `[]` indexing".to_string(), "use `.get(..)`"));
+        }
+    }
+    out
+}
+
+/// Method names that open a tracer span (and return a `TraceCtx`).
+const SPAN_OPENERS: &[&str] = &["start_trace", "maybe_trace", "trace", "child"];
+
+/// `span-leak`: every `let`-bound span open must be *consumed* —
+/// closed, aborted, stored, or returned — before the function exits,
+/// and before any `return`/`?` early exit that follows the open in
+/// token order.
+///
+/// What counts, exactly:
+///
+/// * Opens are `.start_trace(`/`.maybe_trace(`/`.trace(`/`.child(`
+///   method calls whose statement is a `let` (including `if let`/
+///   `while let`); the binding names are the lowercase idents in the
+///   pattern.
+/// * Consumption is any later appearance of a binding name — this is
+///   flow-insensitive in the happy direction (a close in one match arm
+///   marks the span consumed for all arms: documented false-negative).
+/// * A `return` whose expression mentions a binding is a hand-off, not
+///   a leak. A `?` before first consumption is a leak (the error path
+///   drops the guard unclosed).
+/// * Non-`let` opens (match scrutinees, call arguments, struct fields)
+///   are *transfers* — ownership moved somewhere this file-level
+///   analysis can't follow — and are skipped: documented blind spot.
+fn span_leak(u: &FileUnit, out: &mut Vec<RawFinding>) {
+    let toks = &u.toks;
+    for f in &u.fns {
+        if f.in_test {
+            continue;
+        }
+        let Some((b0, b1)) = f.body else { continue };
+        for k in b0 + 1..b1 {
+            if !matches!(toks[k].ident(), Some(n) if SPAN_OPENERS.contains(&n)) {
+                continue;
+            }
+            if !(k >= 1
+                && toks[k - 1].is_punct('.')
+                && toks.get(k + 1).is_some_and(|t| t.is_punct('(')))
+            {
+                continue;
+            }
+            if u.in_test.get(k).copied().unwrap_or(false) {
+                continue;
+            }
+            let close = matching(toks, k + 1, '(', ')').unwrap_or(b1);
+            // Statement start and `let`-ness.
+            let mut s = k;
+            while s > b0 + 1 {
+                match toks[s - 1].kind {
+                    Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => break,
+                    _ => s -= 1,
+                }
+            }
+            let mut w = s;
+            let mut is_let = false;
+            while w < k {
+                match toks[w].ident() {
+                    Some("let") => {
+                        is_let = true;
+                        break;
+                    }
+                    Some("if" | "while" | "else") => w += 1,
+                    None => w += 1,
+                    Some(_) => break,
+                }
+            }
+            if !is_let {
+                continue; // transfer — see the doc comment
+            }
+            // Binding names: lowercase idents between `let` and the `=`.
+            let mut binds: Vec<&str> = Vec::new();
+            for t in toks.iter().take(k).skip(w + 1) {
+                if t.is_punct('=') {
+                    break;
+                }
+                match t.ident() {
+                    Some("mut" | "ref" | "Some" | "Ok" | "Err" | "None") | None => {}
+                    Some(n) if n.starts_with(|c: char| c.is_ascii_lowercase()) => binds.push(n),
+                    Some(_) => {}
+                }
+            }
+            let open_line = toks[k].line;
+            let opener = toks[k].ident().unwrap_or_default().to_string();
+            let open_ev = Evidence {
+                path: u.path.clone(),
+                line: open_line,
+                note: format!("span opened here (`.{opener}(…)`)"),
+            };
+            if binds.is_empty() {
+                out.push(RawFinding {
+                    rule: "span-leak",
+                    line: open_line,
+                    message: format!(
+                        "span from `.{opener}(…)` is bound to `_` and dropped immediately — \
+                         the tracer never sees a close/abort"
+                    ),
+                    evidence: vec![open_ev],
+                });
+                continue;
+            }
+            // Consumption scan from the end of the open call.
+            let mut consumed = false;
+            let mut leak: Option<(u32, String)> = None;
+            let mut i = close + 1;
+            while i < b1 {
+                match toks[i].ident() {
+                    Some("return") => {
+                        // Does the return expression hand the span off?
+                        let mut depth = 0i32;
+                        let mut j = i + 1;
+                        let mut used = false;
+                        while j < b1 {
+                            match toks[j].kind {
+                                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => {
+                                    depth -= 1;
+                                    if depth < 0 {
+                                        break;
+                                    }
+                                }
+                                Tok::Punct(';') if depth <= 0 => break,
+                                _ => {
+                                    if matches!(toks[j].ident(), Some(n) if binds.contains(&n)) {
+                                        used = true;
+                                    }
+                                }
+                            }
+                            j += 1;
+                        }
+                        if used {
+                            consumed = true;
+                            i = j;
+                            continue;
+                        }
+                        if !consumed {
+                            leak = Some((
+                                toks[i].line,
+                                "early `return` exits while the span is still open".into(),
+                            ));
+                            break;
+                        }
+                    }
+                    Some(n) if binds.contains(&n) => consumed = true,
+                    _ => {
+                        if toks[i].is_punct('?')
+                            && toks.get(i + 1).and_then(|t| t.ident()) != Some("Sized")
+                            && !consumed
+                        {
+                            leak = Some((
+                                toks[i].line,
+                                "`?` propagates an error while the span is still open".into(),
+                            ));
+                            break;
+                        }
+                    }
+                }
+                i += 1;
+            }
+            if let Some((line, why)) = leak {
+                out.push(RawFinding {
+                    rule: "span-leak",
+                    line,
+                    message: format!(
+                        "span `{}` opened at line {open_line} leaks: {why} — close or abort \
+                         it on every path",
+                        binds.join("/")
+                    ),
+                    evidence: vec![
+                        open_ev,
+                        Evidence { path: u.path.clone(), line, note: why },
+                    ],
+                });
+            } else if !consumed {
+                out.push(RawFinding {
+                    rule: "span-leak",
+                    line: open_line,
+                    message: format!(
+                        "span `{}` opened here is never closed, aborted, or passed on",
+                        binds.join("/")
+                    ),
+                    evidence: vec![open_ev],
+                });
+            }
+        }
     }
 }
 

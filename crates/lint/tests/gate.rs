@@ -131,3 +131,85 @@ fn bad_allow_fails_even_with_deny_satisfied() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("bad-allow"), "meta-rule fires: {stdout}");
 }
+
+#[test]
+fn injected_lock_order_cycle_fails_the_gate() {
+    let ws = Scratch::new("lock-order");
+    // Two functions with opposite two-mutex acquisition orders: the
+    // cycle only exists in the composed order graph.
+    ws.write(
+        "crates/app/src/locks.rs",
+        "pub struct Pair { a: Mutex<u64>, b: Mutex<u64> }\n\
+         impl Pair {\n\
+             pub fn fwd(&self) -> u64 { let g = self.a.lock(); *g + *self.b.lock() }\n\
+             pub fn bwd(&self) -> u64 { let g = self.b.lock(); *g + *self.a.lock() }\n\
+         }\n",
+    );
+    let out = ws.lint(&[]);
+    assert!(!out.status.success(), "gate must fail on the injected cycle");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("lock-order"), "finding names the rule: {stdout}");
+    assert!(stdout.contains("Pair.a") && stdout.contains("Pair.b"), "{stdout}");
+}
+
+#[test]
+fn injected_span_leak_fails_the_gate() {
+    let ws = Scratch::new("span-leak");
+    ws.write(
+        "crates/app/src/traced.rs",
+        "pub fn tick(t: &SharedTracer, at: SimTime) {\n\
+             let ctx = t.start_trace(\"tick\", at);\n\
+             work();\n\
+         }\n",
+    );
+    let out = ws.lint(&[]);
+    assert!(!out.status.success(), "gate must fail on the leaked span");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("span-leak"), "finding names the rule: {stdout}");
+}
+
+#[test]
+fn injected_cast_truncation_fails_the_gate() {
+    let ws = Scratch::new("cast");
+    // The rule is path-scoped to codec/recovery files; the scratch file
+    // sits at one of them.
+    std::fs::create_dir_all(ws.root.join("crates/raft/src")).expect("mkdir raft");
+    ws.write(
+        "crates/raft/src/wire.rs",
+        "pub fn frame(buf: &[u8], out: &mut Vec<u8>) {\n\
+             let len = buf.len() as u32;\n\
+             out.extend_from_slice(&len.to_le_bytes());\n\
+         }\n",
+    );
+    let out = ws.lint(&[]);
+    assert!(!out.status.success(), "gate must fail on the narrowing cast");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cast-truncation"), "finding names the rule: {stdout}");
+}
+
+#[test]
+fn jsonl_output_is_byte_identical_across_runs() {
+    let ws = Scratch::new("jsonl-det");
+    ws.write(
+        "crates/app/src/locks.rs",
+        "pub struct Pair { a: Mutex<u64>, b: Mutex<u64> }\n\
+         impl Pair {\n\
+             pub fn fwd(&self) -> u64 { let g = self.a.lock(); *g + *self.b.lock() }\n\
+             pub fn bwd(&self) -> u64 { let g = self.b.lock(); *g + *self.a.lock() }\n\
+         }\n",
+    );
+    let run = || {
+        let out = Command::new(env!("CARGO_BIN_EXE_mv-lint"))
+            .args(["--jsonl", "-"])
+            .arg(&ws.root)
+            .output()
+            .expect("run mv-lint");
+        out.stdout
+    };
+    let first = run();
+    assert_eq!(first, run(), "two runs must emit byte-identical JSONL");
+    let text = String::from_utf8(first).expect("utf8 jsonl");
+    let meta = text.lines().next().expect("meta line");
+    assert!(meta.starts_with("{\"kind\":\"lint-meta\",\"schema\":\"mv-lint/v2\""), "{meta}");
+    assert!(text.contains("\"evidence\":[{"), "findings carry evidence chains: {text}");
+}

@@ -7,7 +7,7 @@
 //! never hardcode line numbers. A marker comment is not a directive (it
 //! contains no `lint:allow`), so it cannot perturb what it annotates.
 
-use mv_lint::rules::lint_source;
+use mv_lint::rules::{lint_source, lint_workspace};
 use std::collections::BTreeSet;
 use std::path::Path;
 
@@ -127,4 +127,139 @@ fn fixtures_in_test_regions_are_exempt() {
         findings.iter().any(|f| f.rule == "nondet-iter"),
         "twin outside cfg(test) must be flagged: {findings:?}"
     );
+}
+
+#[test]
+fn lock_order_positive_negative_and_allow() {
+    check("lock_order.rs", "crates/fake/src/lock_order.rs");
+}
+
+#[test]
+fn guard_across_sync_positive_negative_and_allow() {
+    // The fake path puts the fixture inside the rule's hot-path scope.
+    check("guard_across_sync.rs", "crates/core/src/fake_gas.rs");
+}
+
+#[test]
+fn guard_across_sync_is_scoped_to_hot_paths() {
+    // The same held-guard boundary crossings outside the scoped paths
+    // produce nothing (the now-unused allow fires instead).
+    let src = fixture("guard_across_sync.rs");
+    let findings = lint_source("crates/fake/src/lib.rs", &src);
+    assert!(
+        findings.iter().all(|f| f.rule == "unused-allow"),
+        "only the unused allow should fire out of scope: {findings:?}"
+    );
+}
+
+#[test]
+fn span_leak_positive_negative_and_allow() {
+    check("span_leak.rs", "crates/fake/src/span_leak.rs");
+}
+
+#[test]
+fn cast_truncation_positive_negative_and_allow() {
+    check("cast_truncation.rs", "crates/storage/src/codec.rs");
+}
+
+#[test]
+fn cast_truncation_is_scoped_to_codec_paths() {
+    let src = fixture("cast_truncation.rs");
+    let findings = lint_source("crates/fake/src/lib.rs", &src);
+    assert!(
+        findings.iter().all(|f| f.rule == "unused-allow"),
+        "only the unused allow should fire out of scope: {findings:?}"
+    );
+}
+
+/// The acceptance-criteria proof that flat token matching is
+/// insufficient: each half of the cross-file fixture is clean alone
+/// (the A->B and B->A acquisition orders live in *separate functions
+/// of separate files*), and only the workspace call graph composes
+/// them into a cycle.
+#[test]
+fn interprocedural_cycle_needs_the_call_graph() {
+    let a = fixture("lock_order_a.rs");
+    let b = fixture("lock_order_b.rs");
+    let pa = "crates/fake/src/lock_order_a.rs".to_string();
+    let pb = "crates/fake/src/lock_order_b.rs".to_string();
+
+    // Each file alone: no lock-order findings at all.
+    for (p, s) in [(&pa, &a), (&pb, &b)] {
+        let alone = lint_source(p, s);
+        assert!(
+            alone.iter().all(|f| f.rule != "lock-order"),
+            "{p} alone must be clean — the cycle is interprocedural: {alone:?}"
+        );
+    }
+
+    // Together: the composed graph yields the {Sys.a, Sys.b} cycle.
+    let both = lint_workspace(&[(pa.clone(), a), (pb.clone(), b)]);
+    let cycles: Vec<_> = both
+        .iter()
+        .filter(|f| f.rule == "lock-order" && f.message.contains("cycle"))
+        .collect();
+    assert_eq!(cycles.len(), 1, "exactly one cycle finding: {both:?}");
+    let c = cycles[0];
+    assert!(c.message.contains("Sys.a") && c.message.contains("Sys.b"), "{}", c.message);
+    // The evidence chain spans both files — that is the witness that
+    // no single-file view could have produced the finding.
+    let ev_paths: std::collections::BTreeSet<&str> =
+        c.evidence.iter().map(|e| e.path.as_str()).collect();
+    assert!(ev_paths.contains(pa.as_str()) && ev_paths.contains(pb.as_str()), "{c:?}");
+}
+
+/// The parser torture file: nested closures, match guards, early
+/// returns, fn-trait bounds, trait defaults, nested fn items, labeled
+/// loops. The item tree must come out exactly right, and no rule may
+/// misfire on any of it.
+#[test]
+fn parser_torture_fixture() {
+    let src = fixture("parser_torture.rs");
+    let unit = mv_lint::parse::FileUnit::build("crates/fake/src/lib.rs", &src);
+    let items: Vec<(String, Option<String>, bool)> = unit
+        .fns
+        .iter()
+        .map(|f| (f.name.clone(), f.qual.clone(), f.body.is_some()))
+        .collect();
+    let want: Vec<(String, Option<String>, bool)> = [
+        ("free_fn", None, true),
+        ("call", Some("Outer"), true),
+        ("helper", Some("Outer"), true), // nested fn: inherits the impl qual (documented)
+        ("chained", Some("Outer"), true),
+        ("area", Some("Shape"), false), // trait method declaration: no body
+        ("doubled", Some("Shape"), true),
+        ("area", Some("Outer"), true), // trait impl: qualified by the target type
+        ("returns_opaque", None, true),
+        ("takes_opaque", None, true),
+        ("drop", Some("Outer"), true),
+    ]
+    .into_iter()
+    .map(|(n, q, b)| (n.to_string(), q.map(str::to_string), b))
+    .collect();
+    assert_eq!(items, want);
+
+    let findings = lint_source("crates/fake/src/lib.rs", &src);
+    assert!(findings.is_empty(), "torture file must be finding-free: {findings:?}");
+}
+
+/// Two workspace runs over the same inputs emit byte-identical JSONL —
+/// the determinism the v2 schema promises.
+#[test]
+fn workspace_report_is_deterministic() {
+    let inputs: Vec<(String, String)> = [
+        ("crates/fake/src/lock_order.rs", fixture("lock_order.rs")),
+        ("crates/fake/src/lock_order_a.rs", fixture("lock_order_a.rs")),
+        ("crates/fake/src/lock_order_b.rs", fixture("lock_order_b.rs")),
+        ("crates/core/src/fake_gas.rs", fixture("guard_across_sync.rs")),
+        ("crates/fake/src/span_leak.rs", fixture("span_leak.rs")),
+        ("crates/storage/src/codec.rs", fixture("cast_truncation.rs")),
+    ]
+    .into_iter()
+    .map(|(p, s)| (p.to_string(), s))
+    .collect();
+    let run = || mv_lint::report::findings_to_jsonl(&lint_workspace(&inputs));
+    let first = run();
+    assert_eq!(first, run(), "same inputs must yield byte-identical JSONL");
+    assert!(first.starts_with("{\"kind\":\"lint-meta\",\"schema\":\"mv-lint/v2\""));
 }

@@ -226,7 +226,10 @@ impl Network {
                             let mut path = vec![dst];
                             let mut at = dst;
                             while at != src {
-                                at = prev[&at];
+                                match prev.get(&at) {
+                                    Some(&p) => at = p,
+                                    None => return None,
+                                }
                                 path.push(at);
                             }
                             path.reverse();
@@ -286,7 +289,7 @@ impl Network {
             .ok_or(MvError::Unreachable { node: dst.raw() })?;
         let mut t = now;
         for hop in path.windows(2) {
-            let (a, b) = (hop[0], hop[1]);
+            let &[a, b] = hop else { continue };
             if self.down.contains(&b) {
                 return Err(MvError::Unreachable { node: b.raw() });
             }

@@ -259,6 +259,7 @@ impl Registry {
     /// Add `delta` to a counter by handle.
     #[inline]
     pub fn add(&mut self, id: CounterId, delta: u64) {
+        // lint:allow(panic-path): CounterId handles are only minted by counter() after pushing the slot; typed-handle invariant
         self.counters[id.0 as usize] += delta;
     }
 
@@ -293,6 +294,7 @@ impl Registry {
     /// Set a gauge by handle.
     #[inline]
     pub fn set_gauge(&mut self, id: GaugeId, v: f64) {
+        // lint:allow(panic-path): GaugeId handles are only minted by gauge() after pushing the slot; typed-handle invariant
         self.gauges[id.0 as usize] = v;
     }
 
@@ -303,6 +305,7 @@ impl Registry {
 
     /// Read a gauge by name (0 if never interned).
     pub fn gauge_get(&self, name: &str) -> f64 {
+        // lint:allow(panic-path): gauge_index stores indices this registry interned; the two grow in lockstep
         self.gauge_index.get(name).map_or(0.0, |&i| self.gauges[i as usize])
     }
 
@@ -331,6 +334,7 @@ impl Registry {
 
     /// Merge a whole histogram into the one behind `id`, bucket-wise.
     pub fn merge_histo(&mut self, id: HistoId, other: &LogHistogram) {
+        // lint:allow(panic-path): HistoId handles are only minted by histo() after pushing the slot; typed-handle invariant
         self.histos[id.0 as usize].merge(other);
     }
 
@@ -341,6 +345,7 @@ impl Registry {
 
     /// Counter `(name, value)` pairs in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        // lint:allow(panic-path): counter_index stores indices this registry interned; the two grow in lockstep
         self.counter_index.iter().map(|(k, &i)| (k.as_str(), self.counters[i as usize]))
     }
 
@@ -360,11 +365,13 @@ impl Registry {
 
     /// Gauge `(name, value)` pairs in name order.
     pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        // lint:allow(panic-path): gauge_index stores indices this registry interned; the two grow in lockstep
         self.gauge_index.iter().map(|(k, &i)| (k.as_str(), self.gauges[i as usize]))
     }
 
     /// Histogram `(name, histogram)` pairs in name order.
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &LogHistogram)> + '_ {
+        // lint:allow(panic-path): histo_index stores indices this registry interned; the two grow in lockstep
         self.histo_index.iter().map(|(k, &i)| (k.as_str(), &self.histos[i as usize]))
     }
 

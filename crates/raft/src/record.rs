@@ -11,6 +11,7 @@
 //! (`mv-lint`'s panic-path rule audits this file).
 
 use crate::msg::LogEntry;
+use mv_common::codec::wire_u32;
 use mv_common::id::NodeId;
 
 /// One durable raft state change — the unit of recovery replay.
@@ -62,7 +63,7 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
 }
 
 fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
-    put_u32(out, b.len() as u32);
+    put_u32(out, wire_u32(b.len()));
     out.extend_from_slice(b);
 }
 

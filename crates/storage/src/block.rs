@@ -107,7 +107,10 @@ impl BlockStore {
         if offset + len > BLOCK_SIZE {
             return Err(MvError::InvalidArgument("read crosses block boundary".into()));
         }
-        Ok(&self.blocks[idx][offset..offset + len])
+        self.blocks
+            .get(idx)
+            .and_then(|b| b.get(offset..offset + len))
+            .ok_or_else(|| MvError::InvalidArgument("read crosses block boundary".into()))
     }
 
     /// Store a byte payload as a fresh extent; returns the block list.

@@ -26,6 +26,7 @@ use crate::wal::{
     checksum, decode_payload_ref, encode_payload, Corruption, RecoveryReport, WalRecord,
     WalRecordRef,
 };
+use mv_common::codec::wire_u32;
 use mv_common::metrics::Counters;
 use mv_common::time::{SimDuration, SimTime};
 use mv_obs::{SharedTracer, TraceCtx};
@@ -156,7 +157,7 @@ impl GroupCommitWal {
         let start = self.pending_payload.len();
         self.pending_payload.extend_from_slice(&[0u8; 4]);
         encode_payload(&rec, &mut self.pending_payload);
-        let rec_len = (self.pending_payload.len() - start - 4) as u32;
+        let rec_len = wire_u32(self.pending_payload.len() - start - 4);
         // The slot always exists: the placeholder was pushed just above.
         if let Some(slot) = self.pending_payload.get_mut(start..start + 4) {
             slot.copy_from_slice(&rec_len.to_le_bytes());
@@ -213,8 +214,8 @@ impl GroupCommitWal {
             self.pending_spans.clear();
         }
         let payload = std::mem::take(&mut self.pending_payload);
-        self.log.extend_from_slice(&(count as u32).to_le_bytes());
-        self.log.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.log.extend_from_slice(&wire_u32(count).to_le_bytes());
+        self.log.extend_from_slice(&wire_u32(payload.len()).to_le_bytes());
         self.log.extend_from_slice(&checksum(&payload).to_le_bytes());
         self.log.extend_from_slice(&payload);
         self.sealed.append(&mut self.pending);
@@ -530,7 +531,7 @@ mod tests {
         payload.extend_from_slice(&[0xAB, 0xCD]);
         let mut log = Vec::new();
         log.extend_from_slice(&u32::MAX.to_le_bytes());
-        log.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        log.extend_from_slice(&wire_u32(payload.len()).to_le_bytes());
         log.extend_from_slice(&checksum(&payload).to_le_bytes());
         log.extend_from_slice(&payload);
         let (batches, report) = decode_batches(&log);

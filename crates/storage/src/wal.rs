@@ -17,6 +17,7 @@
 
 use crate::codec;
 use crate::kv::KvStore;
+use mv_common::codec::wire_u32;
 use bytes::Bytes;
 use mv_common::hash::FxHasher;
 use serde::{Deserialize, Serialize};
@@ -124,14 +125,14 @@ pub(crate) fn encode_payload(rec: &WalRecord, out: &mut Vec<u8>) {
     match rec {
         WalRecord::Put { key, value } => {
             out.push(1);
-            out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            out.extend_from_slice(&wire_u32(key.len()).to_le_bytes());
             out.extend_from_slice(key);
-            out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+            out.extend_from_slice(&wire_u32(value.len()).to_le_bytes());
             out.extend_from_slice(value);
         }
         WalRecord::Delete { key } => {
             out.push(2);
-            out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            out.extend_from_slice(&wire_u32(key.len()).to_le_bytes());
             out.extend_from_slice(key);
         }
     }
@@ -140,7 +141,7 @@ pub(crate) fn encode_payload(rec: &WalRecord, out: &mut Vec<u8>) {
 fn append_frame(log: &mut Vec<u8>, rec: &WalRecord) {
     let mut payload = Vec::new();
     encode_payload(rec, &mut payload);
-    log.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    log.extend_from_slice(&wire_u32(payload.len()).to_le_bytes());
     log.extend_from_slice(&checksum(&payload).to_le_bytes());
     log.extend_from_slice(&payload);
 }
@@ -533,7 +534,7 @@ mod tests {
         payload.extend_from_slice(&u32::MAX.to_le_bytes());
         payload.extend_from_slice(b"k");
         let mut log = Vec::new();
-        log.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        log.extend_from_slice(&wire_u32(payload.len()).to_le_bytes());
         log.extend_from_slice(&checksum(&payload).to_le_bytes());
         log.extend_from_slice(&payload);
         let (records, report) = decode_log(&log);
